@@ -1,0 +1,112 @@
+// Host-side microbenchmarks (google-benchmark): raw throughput of the
+// kernels and pipeline stages on the build machine. These complement the
+// cost-model benches — they measure this library's host implementation, not
+// the simulated MCU.
+#include <benchmark/benchmark.h>
+
+#include "core/rng.h"
+#include "kernels/baseline_conv.h"
+#include "kernels/bit_unpack.h"
+#include "kernels/bitserial_conv.h"
+#include "pool/kmeans.h"
+#include "pool/lut.h"
+
+namespace {
+
+using namespace bswp;
+
+struct LayerFixture {
+  nn::ConvSpec spec;
+  kernels::PackedIndices indices;
+  pool::DotLut lut;
+  QTensor input;
+  QTensor qweights;
+  kernels::Requant rq;
+
+  LayerFixture(int channels, int filters, int act_bits) {
+    Rng rng(1);
+    spec = nn::ConvSpec{channels, filters, 3, 3, 1, 1, 1};
+    pool::WeightPool wp;
+    wp.group_size = 8;
+    wp.vectors = Tensor({64, 8});
+    rng.fill_normal(wp.vectors, 0.3f);
+    lut = pool::build_lut(wp, pool::LutOptions{});
+    pool::PooledLayer pl;
+    pl.out_ch = filters;
+    pl.channel_groups = channels / 8;
+    pl.kh = pl.kw = 3;
+    pl.indices.resize(static_cast<std::size_t>(filters) * pl.channel_groups * 9);
+    for (auto& idx : pl.indices) idx = static_cast<uint16_t>(rng.uniform_int(64));
+    indices = kernels::PackedIndices::pack(pl);
+    input = QTensor({1, channels, 16, 16}, act_bits, false);
+    input.scale = 0.05f;
+    for (auto& v : input.data) v = static_cast<int16_t>(rng.uniform_int(1u << act_bits));
+    qweights = QTensor(spec.weight_shape(), 8, true);
+    qweights.scale = 0.01f;
+    for (auto& v : qweights.data)
+      v = static_cast<int16_t>(-127 + static_cast<int>(rng.uniform_int(255)));
+    rq = kernels::Requant::uniform(filters, 1e-4f, {}, 0.01f, 8, false, true);
+  }
+};
+
+void BM_BaselineConv(benchmark::State& state) {
+  LayerFixture f(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernels::baseline_conv2d(f.input, f.qweights, f.spec, f.rq, nullptr));
+  }
+}
+BENCHMARK(BM_BaselineConv)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BitSerialConv(benchmark::State& state) {
+  LayerFixture f(static_cast<int>(state.range(0)), static_cast<int>(state.range(0)),
+                 static_cast<int>(state.range(1)));
+  const auto variant = static_cast<kernels::BitSerialVariant>(state.range(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        kernels::bitserial_conv2d(f.input, f.indices, f.lut, f.spec, f.rq, variant, nullptr));
+  }
+}
+BENCHMARK(BM_BitSerialConv)
+    ->Args({64, 8, static_cast<long>(kernels::BitSerialVariant::kCached)})
+    ->Args({64, 4, static_cast<long>(kernels::BitSerialVariant::kCached)})
+    ->Args({128, 8, static_cast<long>(kernels::BitSerialVariant::kCachedPrecompute)})
+    ->Args({128, 4, static_cast<long>(kernels::BitSerialVariant::kCachedPrecompute)});
+
+void BM_BitUnpack(benchmark::State& state) {
+  Rng rng(2);
+  int16_t vals[8];
+  for (auto& v : vals) v = static_cast<int16_t>(rng.uniform_int(256));
+  uint32_t planes[8];
+  for (auto _ : state) {
+    kernels::unpack_bits(vals, 8, static_cast<int>(state.range(0)), planes, nullptr);
+    benchmark::DoNotOptimize(planes);
+  }
+}
+BENCHMARK(BM_BitUnpack)->Arg(8)->Arg(4)->Arg(1);
+
+void BM_LutBuild(benchmark::State& state) {
+  Rng rng(3);
+  pool::WeightPool wp;
+  wp.group_size = 8;
+  wp.vectors = Tensor({static_cast<int>(state.range(0)), 8});
+  rng.fill_normal(wp.vectors, 0.3f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool::build_lut(wp, pool::LutOptions{}));
+  }
+}
+BENCHMARK(BM_LutBuild)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_KMeans(benchmark::State& state) {
+  Rng rng(4);
+  Tensor data({static_cast<int>(state.range(0)), 8});
+  rng.fill_normal(data, 0.3f);
+  pool::KMeansOptions opt;
+  opt.clusters = 64;
+  opt.max_iters = 10;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pool::kmeans(data, opt));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(2000)->Arg(8000);
+
+}  // namespace

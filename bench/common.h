@@ -1,0 +1,173 @@
+// Shared harness for the paper-reproduction benchmarks.
+//
+// Every bench binary regenerates one table or figure. The accuracy benches
+// train width-scaled models on the synthetic datasets (DESIGN.md §2
+// substitutions) with fixed seeds, run the full Figure 2 pipeline
+// (cluster -> fine-tune -> calibrate -> compile), and evaluate through the
+// real integer engine. The latency benches use paper-scale (width 1.0)
+// architectures — event counts depend only on geometry, not on weights.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/synthetic.h"
+#include "models/zoo.h"
+#include "nn/trainer.h"
+#include "pool/finetune.h"
+#include "pool/storage_model.h"
+#include "quant/calibrate.h"
+#include "runtime/evaluate.h"
+#include "runtime/pipeline.h"
+
+namespace bswp::bench {
+
+// ---------------------------------------------------------------------------
+// Datasets: fixed-seed synthetic stand-ins (see DESIGN.md substitution table).
+// ---------------------------------------------------------------------------
+
+struct BenchDataset {
+  std::unique_ptr<data::Dataset> train;
+  std::unique_ptr<data::Dataset> test;
+  models::ModelOptions model_opts;  // in_channels / image_size / num_classes
+};
+
+/// CIFAR-10 stand-in used by the ResNet rows.
+inline BenchDataset cifar_like() {
+  data::SyntheticCifarOptions o;
+  o.num_classes = 10;
+  o.train_size = 768;
+  o.test_size = 192;
+  o.image_size = 16;
+  o.templates_per_class = 4;
+  o.noise_stddev = 0.15f;  // calibrated so float ResNet-14 lands near the
+  o.seed = 42;             // paper's 92.26% CIFAR-10 accuracy
+  BenchDataset d;
+  d.train = std::make_unique<data::SyntheticCifar>(o, true);
+  d.test = std::make_unique<data::SyntheticCifar>(o, false);
+  d.model_opts.in_channels = 3;
+  d.model_opts.image_size = o.image_size;
+  d.model_opts.num_classes = o.num_classes;
+  return d;
+}
+
+/// Quickdraw-100 stand-in used by the TinyConv / MobileNet-v2 rows
+/// (class count scaled with the models; keeps the many-class regime).
+inline BenchDataset quickdraw_like() {
+  data::SyntheticQuickdrawOptions o;
+  o.num_classes = 24;
+  o.train_size = 960;
+  o.test_size = 192;
+  o.image_size = 20;
+  o.jitter = 0.08f;
+  o.seed = 7;
+  BenchDataset d;
+  d.train = std::make_unique<data::SyntheticQuickdraw>(o, true);
+  d.test = std::make_unique<data::SyntheticQuickdraw>(o, false);
+  d.model_opts.in_channels = 1;
+  d.model_opts.image_size = o.image_size;
+  d.model_opts.num_classes = o.num_classes;
+  return d;
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline steps
+// ---------------------------------------------------------------------------
+
+struct TrainedModel {
+  std::string name;
+  nn::Graph graph;
+  float float_acc = 0.0f;
+};
+
+inline TrainedModel train_float(const std::string& name,
+                                const std::function<nn::Graph(const models::ModelOptions&)>& build,
+                                const BenchDataset& ds, float width, int epochs = 6,
+                                uint64_t seed = 1000, bool fake_quant = false) {
+  TrainedModel m;
+  m.name = name;
+  models::ModelOptions mo = ds.model_opts;
+  mo.width = width;
+  mo.fake_quant = fake_quant;
+  m.graph = build(mo);
+  Rng rng(seed);
+  m.graph.init_weights(rng);
+  nn::TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.batch_size = 32;
+  cfg.lr = 0.08f;
+  cfg.lr_step = 4;
+  cfg.seed = seed + 1;
+  nn::Trainer trainer(cfg);
+  m.float_acc = trainer.fit(m.graph, *ds.train, *ds.test).final_test_acc;
+  return m;
+}
+
+struct PooledModel {
+  nn::Graph graph;  // weights projected onto the pool
+  pool::PooledNetwork net;
+  float finetuned_acc = 0.0f;
+};
+
+inline PooledModel pool_and_finetune(const TrainedModel& base, const BenchDataset& ds,
+                                     int pool_size, int group_size = 8,
+                                     pool::Metric metric = pool::Metric::kCosine,
+                                     int finetune_epochs = 3, float lr = 0.02f) {
+  PooledModel p;
+  p.graph = base.graph;
+  pool::CodecOptions co;
+  co.pool_size = pool_size;
+  co.group_size = group_size;
+  co.metric = metric;
+  co.kmeans_iters = 12;
+  co.max_cluster_vectors = 8000;
+  p.net = pool::build_weight_pool(p.graph, co);
+  pool::FinetuneOptions fo;
+  fo.train.epochs = finetune_epochs;
+  fo.train.batch_size = 32;
+  fo.train.lr = lr;
+  fo.train.lr_step = 0;
+  p.finetuned_acc = pool::finetune_pooled(p.graph, p.net, *ds.train, *ds.test, fo).final_test_acc;
+  return p;
+}
+
+/// Engine accuracy through the integer pipeline (pooled if `net` non-null).
+inline float engine_accuracy(nn::Graph& graph, const pool::PooledNetwork* net,
+                             const BenchDataset& ds, const runtime::CompileOptions& opt,
+                             int max_samples = 0) {
+  quant::CalibrateOptions qo;
+  qo.num_samples = 96;
+  qo.act_bits = opt.act_bits;
+  quant::CalibrationResult cal = quant::calibrate(graph, *ds.train, qo);
+  runtime::CompiledNetwork cn = runtime::compile(graph, net, cal, opt);
+  return runtime::evaluate_accuracy(cn, *ds.test, max_samples);
+}
+
+/// The paper's five network/dataset rows, width-scaled for trainability.
+struct PaperRow {
+  std::string name;
+  std::function<nn::Graph(const models::ModelOptions&)> build;
+  bool on_cifar;
+  float width;
+};
+
+inline std::vector<PaperRow> accuracy_rows() {
+  return {
+      {"ResNet-s", models::build_resnet_s, true, 0.5f},
+      {"ResNet-10", models::build_resnet10, true, 0.25f},
+      {"ResNet-14", models::build_resnet14, true, 0.25f},
+      {"TinyConv", models::build_tinyconv, false, 0.5f},
+      {"MobileNet-v2", models::build_mobilenet_v2, false, 0.25f},
+  };
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace bswp::bench

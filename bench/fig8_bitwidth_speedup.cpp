@@ -1,0 +1,80 @@
+// Figure 8: speedup over the 8-bit bit-serial implementation as the
+// activation bitwidth decreases, (a) without precomputation and (b) with
+// precomputation. Layer: 3x3 conv, 128 channels and filters, 16x16 input,
+// pool size 64, MC-large.
+//
+// Paper shape: without precomputation the speedup scales ~linearly with
+// bitwidth (≈4x at 1 bit; below the 8x ideal because bit unpacking and
+// index reads do not shrink). With precomputation the precomputed-result
+// lookups dominate at low bitwidth, so the curve saturates (~2x at 1 bit) —
+// but precompute is faster in absolute terms throughout.
+#include "common.h"
+
+#include "kernels/bitserial_conv.h"
+
+namespace {
+
+using namespace bswp;
+
+QTensor random_input(int channels, int act_bits, uint64_t seed) {
+  Rng rng(seed);
+  QTensor q({1, channels, 16, 16}, act_bits, /*is_signed=*/false);
+  q.scale = 0.05f;
+  for (auto& v : q.data) v = static_cast<int16_t>(rng.uniform_int(1u << act_bits));
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  using namespace bswp;
+  using namespace bswp::bench;
+  using kernels::BitSerialVariant;
+
+  print_header(
+      "Figure 8 — speedup vs activation bitwidth (128 ch/filters, pool 64, MC-large)\n"
+      "(a) without precomputation (LUT caching only)   (b) with precomputation");
+
+  const int channels = 128, filters = 128, pool_size = 64;
+  Rng rng(88);
+  pool::WeightPool wp;
+  wp.group_size = 8;
+  wp.vectors = Tensor({pool_size, 8});
+  rng.fill_normal(wp.vectors, 0.3f);
+  pool::DotLut lut = pool::build_lut(wp, pool::LutOptions{});
+  const sim::McuProfile mcu = sim::mc_large();
+
+  pool::PooledLayer pl;
+  pl.out_ch = filters;
+  pl.channel_groups = channels / 8;
+  pl.kh = pl.kw = 3;
+  pl.indices.resize(static_cast<std::size_t>(filters) * pl.channel_groups * 9);
+  for (auto& idx : pl.indices)
+    idx = static_cast<uint16_t>(rng.uniform_int(static_cast<uint64_t>(pool_size)));
+  kernels::PackedIndices packed = kernels::PackedIndices::pack(pl);
+  const nn::ConvSpec spec{channels, filters, 3, 3, 1, 1, 1};
+  kernels::Requant rq = kernels::Requant::uniform(filters, 1e-4f, {}, 0.01f, 8, false, true);
+
+  double base_cached = 0.0, base_pre = 0.0;
+  std::printf("\n%-8s %18s %18s %22s\n", "M bits", "(a) no-precomp x", "(b) precomp x",
+              "(b) absolute vs (a)8bit");
+  for (int bits = 8; bits >= 1; --bits) {
+    QTensor in = random_input(channels, bits, 200 + static_cast<uint64_t>(bits));
+    sim::CostCounter cc, cp;
+    kernels::bitserial_conv2d(in, packed, lut, spec, rq, BitSerialVariant::kCached, &cc);
+    kernels::bitserial_conv2d(in, packed, lut, spec, rq, BitSerialVariant::kCachedPrecompute, &cp);
+    const double tc = mcu.seconds(cc), tp = mcu.seconds(cp);
+    if (bits == 8) {
+      base_cached = tc;
+      base_pre = tp;
+    }
+    std::printf("%-8d %18.2f %18.2f %22.2f\n", bits, base_cached / tc, base_pre / tp,
+                base_cached / tp);
+  }
+  std::printf(
+      "\nshape check (paper Fig. 8): column (a) scales near-linearly toward\n"
+      "~4x at 1 bit; column (b) saturates near ~2x because the precomputed\n"
+      "result lookups do not shrink with bitwidth; precompute remains faster\n"
+      "in absolute terms (last column > 1 everywhere).\n");
+  return 0;
+}

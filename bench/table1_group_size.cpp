@@ -1,0 +1,32 @@
+// Table 1: accuracy of z-dimension weight pools vs group (weight vector)
+// size, on ResNet-14 / CIFAR-10. Paper: 4 -> 91.22, 8 -> 91.13, 16 -> 87.96
+// (original 92.26). Expected shape: 4 and 8 close to the original, 16
+// clearly worse; 8 is the compression/accuracy sweet spot.
+#include "common.h"
+
+int main() {
+  using namespace bswp;
+  using namespace bswp::bench;
+
+  print_header(
+      "Table 1 — z-dimension weight pool accuracy vs group size\n"
+      "network: ResNet-14 (width-scaled), dataset: SyntheticCifar, pool size 64");
+
+  BenchDataset ds = cifar_like();
+  TrainedModel base = train_float("ResNet-14", models::build_resnet14, ds, 0.25f,
+                                  /*epochs=*/5, /*seed=*/11);
+  std::printf("\noriginal (float) accuracy: %.2f%%   [paper: 92.26%%]\n\n", base.float_acc);
+  std::printf("%-12s %-14s %-14s %s\n", "group size", "measured (%)", "paper (%)", "drop vs float");
+
+  const int group_sizes[] = {4, 8, 16};
+  const float paper_acc[] = {91.22f, 91.13f, 87.96f};
+  for (int i = 0; i < 3; ++i) {
+    PooledModel p = pool_and_finetune(base, ds, /*pool_size=*/64, group_sizes[i]);
+    std::printf("%-12d %-14.2f %-14.2f %+.2f\n", group_sizes[i], p.finetuned_acc, paper_acc[i],
+                p.finetuned_acc - base.float_acc);
+  }
+  std::printf(
+      "\nshape check: group sizes 4 and 8 should sit near the float accuracy;\n"
+      "group size 16 (2 bytes of weights per index) should drop clearly.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Table 5: inference accuracy of the bit-serial LUT implementation vs the
+// LUT bitwidth B_l (no-LUT reference / 16 / 8 / 4), at 8-bit activations and
+// pool size 64.
+//
+// "No-LUT" runs the same pooled weights through the plain int8 kernels; the
+// 16-bit LUT stores exact partial dot products (entry_scale 1) and must match
+// it closely; 8-bit loses almost nothing; 4-bit visibly degrades.
+//
+// Paper (no-LUT / 16 / 8 / 4):
+//   ResNet-s      83.0 / 83.0 / 82.9 / 82.3
+//   ResNet-10     89.6 / 89.9 / 89.9 / 89.4
+//   ResNet-14     91.1 / 91.1 / 91.1 / 90.4
+//   TinyConv      82.2 / 82.2 / 82.1 / 81.6
+//   MobileNet-v2  86.8 / 86.6 / 86.6 / 85.5
+#include "common.h"
+
+int main() {
+  using namespace bswp;
+  using namespace bswp::bench;
+
+  print_header("Table 5 — accuracy vs LUT bitwidth (pool 64, 8-bit activations)");
+
+  BenchDataset cifar = cifar_like();
+  BenchDataset quickdraw = quickdraw_like();
+
+  std::printf("\n%-14s %8s %8s %8s %8s\n", "network", "No-LUT", "Bl=16", "Bl=8", "Bl=4");
+  for (const PaperRow& row : accuracy_rows()) {
+    const BenchDataset& ds = row.on_cifar ? cifar : quickdraw;
+    TrainedModel base = train_float(row.name, row.build, ds, row.width, /*epochs=*/6,
+                                    /*seed=*/41);
+    PooledModel p = pool_and_finetune(base, ds, /*pool_size=*/64);
+
+    // No-LUT: identical pooled weights, plain int8 kernels.
+    runtime::CompileOptions base_opt;
+    const float no_lut = engine_accuracy(p.graph, nullptr, ds, base_opt, /*max_samples=*/128);
+    std::printf("%-14s %8.2f", row.name.c_str(), no_lut);
+    std::fflush(stdout);
+    for (int bl : {16, 8, 4}) {
+      runtime::CompileOptions opt;
+      opt.lut_bits = bl;
+      std::printf(" %8.2f", engine_accuracy(p.graph, &p.net, ds, opt, /*max_samples=*/128));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nshape check (paper Table 5): Bl=16 ~ Bl=8 ~ no-LUT; Bl=4 drops\n"
+      "roughly half a point to a point on every network.\n");
+  return 0;
+}

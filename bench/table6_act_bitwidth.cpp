@@ -1,0 +1,99 @@
+// Table 6: inference accuracy vs activation bitwidth (8..3), with
+// quantization-aware retraining for low bitwidths (the paper's bracketed
+// values), plus the minimum bitwidth achieving < 1% accuracy drop.
+//
+// Paper highlights: 8..6 bits lossless everywhere; 5 bits fine except
+// MobileNet-v2; retraining recovers 3-4 bit accuracy for the ResNets and
+// TinyConv; min bitwidths 4/4/3/4/5 (ResNet-s/10/14, TinyConv, MNv2).
+#include "common.h"
+
+namespace {
+
+using namespace bswp;
+using namespace bswp::bench;
+
+/// QAT retraining: set fake-quant nodes to `bits`, seed their clip ranges
+/// from calibration, fine-tune with the pool projection, then re-evaluate
+/// through the engine at the same bitwidth.
+float retrain_at_bits(const PooledModel& pooled, const BenchDataset& ds, int bits) {
+  PooledModel p = pooled;  // copy graph + net
+  p.graph.set_activation_bits(bits);
+  quant::CalibrateOptions qo;
+  qo.num_samples = 96;
+  qo.act_bits = bits;
+  quant::CalibrationResult cal = quant::calibrate(p.graph, *ds.train, qo);
+  quant::apply_ranges_to_fake_quant(p.graph, cal);
+
+  pool::FinetuneOptions fo;
+  fo.train.epochs = 1;
+  fo.train.batch_size = 32;
+  fo.train.lr = 0.01f;
+  fo.train.lr_step = 0;
+  pool::finetune_pooled(p.graph, p.net, *ds.train, *ds.test, fo);
+
+  runtime::CompileOptions opt;
+  opt.act_bits = bits;
+  return engine_accuracy(p.graph, &p.net, ds, opt, /*max_samples=*/128);
+}
+
+}  // namespace
+
+int main() {
+  using namespace bswp;
+  using namespace bswp::bench;
+
+  print_header(
+      "Table 6 — accuracy vs activation bitwidth (pool 64, 8-bit LUT)\n"
+      "values in brackets: after quantization-aware retraining");
+
+  BenchDataset cifar = cifar_like();
+  BenchDataset quickdraw = quickdraw_like();
+
+  std::printf("\n%-14s", "network");
+  for (int b = 8; b >= 3; --b) std::printf("      M=%d", b);
+  std::printf("   min(small a.d.)  [paper]\n");
+
+  const int paper_min[] = {4, 4, 3, 4, 5};
+  int row_idx = 0;
+  for (const PaperRow& row : accuracy_rows()) {
+    const BenchDataset& ds = row.on_cifar ? cifar : quickdraw;
+    // Train with fake-quant nodes present so QAT retraining is structural.
+    TrainedModel base = train_float(row.name, row.build, ds, row.width, /*epochs=*/6,
+                                    /*seed=*/51, /*fake_quant=*/true);
+    PooledModel p = pool_and_finetune(base, ds, /*pool_size=*/64);
+
+    std::printf("%-14s", row.name.c_str());
+    float acc8 = 0.0f;
+    int min_bits = 8;
+    for (int bits = 8; bits >= 3; --bits) {
+      runtime::CompileOptions opt;
+      opt.act_bits = bits;
+      float acc = engine_accuracy(p.graph, &p.net, ds, opt, /*max_samples=*/128);
+      if (bits == 8) acc8 = acc;
+      bool retrained = false;
+      if (bits <= 5 && acc < acc8 - 1.0f) {
+        const float r = retrain_at_bits(p, ds, bits);
+        if (r > acc) {
+          acc = r;
+          retrained = true;
+        }
+      }
+      // The paper uses a 1% threshold on the 10k-image CIFAR test set; our
+      // 192-sample synthetic test set has ~+-3% binomial noise, so the
+      // threshold is widened to 2.5% (documented in EXPERIMENTS.md).
+      if (acc >= acc8 - 2.5f) min_bits = bits;
+      if (retrained) {
+        std::printf("  %5.1f(r)", acc);
+      } else {
+        std::printf("  %7.1f", acc);
+      }
+      std::fflush(stdout);
+    }
+    std::printf("        %d            [%d]\n", min_bits, paper_min[row_idx++]);
+  }
+  std::printf(
+      "\nshape check (paper Table 6): near-lossless at 8-6 bits; degradation\n"
+      "below 5 bits, partially recovered by retraining (r); MobileNet-v2 is\n"
+      "the most quantization-sensitive network.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Precision explorer: the runtime/accuracy trade-off that makes bit-serial
+// weight pools "arbitrary precision". Compresses one network, then sweeps
+// the activation bitwidth 8..1 and prints accuracy vs simulated latency —
+// the deployment decision a TinyML engineer actually makes.
+#include <cstdio>
+
+#include "core/rng.h"
+#include "data/synthetic.h"
+#include "models/zoo.h"
+#include "nn/trainer.h"
+#include "pool/finetune.h"
+#include "quant/calibrate.h"
+#include "runtime/evaluate.h"
+#include "runtime/pipeline.h"
+
+int main() {
+  using namespace bswp;
+
+  data::SyntheticCifarOptions dopt;
+  dopt.train_size = 1024;
+  dopt.test_size = 256;
+  dopt.image_size = 16;
+  data::SyntheticCifar train(dopt, true), test(dopt, false);
+
+  models::ModelOptions mo;
+  mo.image_size = 16;
+  mo.width = 0.25f;
+  nn::Graph model = models::build_resnet10(mo);
+  Rng rng(2);
+  model.init_weights(rng);
+
+  std::printf("training + compressing ResNet-10 (width 0.25)...\n");
+  nn::TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 32;
+  cfg.lr = 0.08f;
+  nn::Trainer(cfg).fit(model, train, test);
+
+  pool::CodecOptions co;
+  co.pool_size = 64;
+  pool::PooledNetwork pooled = pool::build_weight_pool(model, co);
+  pool::FinetuneOptions fo;
+  fo.train.epochs = 3;
+  fo.train.batch_size = 32;
+  fo.train.lr = 0.02f;
+  const float pooled_acc = pool::finetune_pooled(model, pooled, train, test, fo).final_test_acc;
+  std::printf("fine-tuned pooled accuracy (float): %.2f%%\n\n", pooled_acc);
+
+  Tensor sample({1, 3, 16, 16});
+  test.sample(0, sample.data());
+  const sim::McuProfile mcu = sim::mc_large();
+
+  std::printf("%-8s %10s %12s %12s   note\n", "M bits", "accuracy", "latency", "speedup");
+  double t8 = 0.0;
+  float acc8 = 0.0f;
+  for (int bits = 8; bits >= 1; --bits) {
+    quant::CalibrateOptions qo;
+    qo.num_samples = 96;
+    qo.act_bits = bits;
+    quant::CalibrationResult cal = quant::calibrate(model, train, qo);
+    runtime::CompileOptions opt;
+    opt.act_bits = bits;
+    runtime::CompiledNetwork net = runtime::compile(model, &pooled, cal, opt);
+    const float acc = runtime::evaluate_accuracy(net, test);
+    const runtime::LatencyReport r = runtime::estimate_latency(net, mcu, sample);
+    if (bits == 8) {
+      t8 = r.seconds;
+      acc8 = acc;
+    }
+    const char* note = acc >= acc8 - 1.0f ? "< 1% drop" : "";
+    std::printf("%-8d %9.2f%% %10.2fms %11.2fx   %s\n", bits, acc, 1e3 * r.seconds,
+                t8 / r.seconds, note);
+  }
+  std::printf(
+      "\nRuntime shrinks with bitwidth because the bit-serial loop truncates\n"
+      "(paper §3.3); accuracy holds until ~4-5 bits, then degrades. Pick the\n"
+      "last row with '< 1%% drop' for deployment.\n");
+  return 0;
+}

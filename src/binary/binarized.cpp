@@ -1,0 +1,141 @@
+#include "binary/binarized.h"
+
+#include <bit>
+#include <cmath>
+
+namespace bswp::binary {
+
+using sim::Event;
+
+void binarize_weights(nn::Graph& g, bool skip_first_conv, bool skip_classifier) {
+  bool first_conv_seen = false;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    nn::Node& n = g.node(i);
+    if (n.op == nn::Op::kConv2d) {
+      if (!first_conv_seen) {
+        first_conv_seen = true;
+        if (skip_first_conv) continue;
+      }
+      const int out_ch = n.conv.out_ch;
+      const std::size_t per_filter = n.weight.size() / static_cast<std::size_t>(out_ch);
+      for (int o = 0; o < out_ch; ++o) {
+        float* wf = n.weight.data() + static_cast<std::size_t>(o) * per_filter;
+        double mean_abs = 0.0;
+        for (std::size_t j = 0; j < per_filter; ++j) mean_abs += std::fabs(wf[j]);
+        const float alpha = static_cast<float>(mean_abs / static_cast<double>(per_filter));
+        for (std::size_t j = 0; j < per_filter; ++j) wf[j] = wf[j] >= 0.0f ? alpha : -alpha;
+      }
+    } else if (n.op == nn::Op::kLinear && !skip_classifier) {
+      const int out = n.weight.dim(0), in = n.weight.dim(1);
+      for (int o = 0; o < out; ++o) {
+        float* wf = n.weight.data() + static_cast<std::size_t>(o) * in;
+        double mean_abs = 0.0;
+        for (int j = 0; j < in; ++j) mean_abs += std::fabs(wf[j]);
+        const float alpha = static_cast<float>(mean_abs / in);
+        for (int j = 0; j < in; ++j) wf[j] = wf[j] >= 0.0f ? alpha : -alpha;
+      }
+    }
+  }
+}
+
+PackedBinaryConv pack_binary_conv(const Tensor& w, const nn::ConvSpec& spec) {
+  check(spec.groups == 1, "pack_binary_conv: grouped convs unsupported");
+  PackedBinaryConv p;
+  p.spec = spec;
+  p.words_per_tap = (spec.in_ch + 31) / 32;
+  p.weight_bits.assign(
+      static_cast<std::size_t>(spec.out_ch) * spec.kh * spec.kw * p.words_per_tap, 0);
+  p.alpha.assign(static_cast<std::size_t>(spec.out_ch), 0.0f);
+  for (int o = 0; o < spec.out_ch; ++o) {
+    p.alpha[static_cast<std::size_t>(o)] = std::fabs(w.at(o, 0, 0, 0));
+    for (int ky = 0; ky < spec.kh; ++ky) {
+      for (int kx = 0; kx < spec.kw; ++kx) {
+        for (int c = 0; c < spec.in_ch; ++c) {
+          if (w.at(o, c, ky, kx) >= 0.0f) {
+            const std::size_t word =
+                ((static_cast<std::size_t>(o) * spec.kh + ky) * spec.kw + kx) * p.words_per_tap +
+                static_cast<std::size_t>(c) / 32;
+            p.weight_bits[word] |= 1u << (c % 32);
+          }
+        }
+      }
+    }
+  }
+  return p;
+}
+
+PackedBinaryInput pack_binary_input(const Tensor& x) {
+  check(x.rank() == 4 && x.dim(0) == 1, "pack_binary_input: input must be 1xCxHxW");
+  PackedBinaryInput p;
+  p.channels = x.dim(1);
+  p.h = x.dim(2);
+  p.w = x.dim(3);
+  p.words = (p.channels + 31) / 32;
+  p.bits.assign(static_cast<std::size_t>(p.h) * p.w * p.words, 0);
+  for (int c = 0; c < p.channels; ++c) {
+    for (int y = 0; y < p.h; ++y) {
+      for (int xx = 0; xx < p.w; ++xx) {
+        if (x.at(0, c, y, xx) >= 0.0f) {
+          p.bits[(static_cast<std::size_t>(y) * p.w + xx) * p.words +
+                 static_cast<std::size_t>(c) / 32] |= 1u << (c % 32);
+        }
+      }
+    }
+  }
+  return p;
+}
+
+Tensor xnor_conv2d(const PackedBinaryInput& input, const PackedBinaryConv& conv,
+                   sim::CostCounter* counter) {
+  const nn::ConvSpec& spec = conv.spec;
+  check(input.channels == spec.in_ch, "xnor_conv2d: channel mismatch");
+  const int oh = spec.out_h(input.h), ow = spec.out_w(input.w);
+  Tensor out({1, spec.out_ch, oh, ow});
+  // Lanes beyond in_ch inside the last word must not contribute: build a mask.
+  const uint32_t tail_mask =
+      spec.in_ch % 32 == 0 ? 0xffffffffu : ((1u << (spec.in_ch % 32)) - 1u);
+
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      for (int o = 0; o < spec.out_ch; ++o) {
+        int matches = 0, total_lanes = 0;
+        for (int ky = 0; ky < spec.kh; ++ky) {
+          const int iy = oy * spec.stride + ky - spec.pad;
+          for (int kx = 0; kx < spec.kw; ++kx) {
+            const int ix = ox * spec.stride + kx - spec.pad;
+            const std::size_t wbase =
+                ((static_cast<std::size_t>(o) * spec.kh + ky) * spec.kw + kx) *
+                conv.words_per_tap;
+            for (int wd = 0; wd < conv.words_per_tap; ++wd) {
+              const uint32_t mask = wd == conv.words_per_tap - 1 ? tail_mask : 0xffffffffu;
+              // Padding encodes as activation bits 0 (-1); still counted
+              // lanes, matching a zero-padded packed buffer on the MCU.
+              uint32_t a = 0;
+              if (iy >= 0 && iy < input.h && ix >= 0 && ix < input.w) {
+                a = input.bits[(static_cast<std::size_t>(iy) * input.w + ix) * input.words + wd];
+              }
+              const uint32_t wbits = conv.weight_bits[wbase + wd];
+              matches += std::popcount(~(a ^ wbits) & mask);
+              total_lanes += std::popcount(mask);
+            }
+          }
+        }
+        // matches - mismatches = 2*matches - total.
+        out.at(0, o, oy, ox) =
+            conv.alpha[static_cast<std::size_t>(o)] * static_cast<float>(2 * matches - total_lanes);
+      }
+    }
+  }
+  if (counter != nullptr) {
+    const uint64_t inner = static_cast<uint64_t>(oh) * ow * spec.out_ch * spec.kh * spec.kw *
+                           static_cast<uint64_t>(conv.words_per_tap);
+    counter->add(Event::kSramRead, inner);        // packed activations
+    counter->add(Event::kFlashSeqWord, inner);    // packed weights
+    counter->add(Event::kAlu, 3 * inner);         // xor + popcount + accumulate
+    counter->add(Event::kRequant, static_cast<uint64_t>(oh) * ow * spec.out_ch);
+    counter->add(Event::kSramWrite, static_cast<uint64_t>(oh) * ow * spec.out_ch);
+  }
+  return out;
+}
+
+}  // namespace bswp::binary

@@ -1,0 +1,56 @@
+// Binarized-network baseline (paper §5.5, comparison against 3PXNet-style
+// XNOR networks).
+//
+// Training: keep float shadow weights in the graph and, after every optimizer
+// step, project conv/linear weights to sign(w) * alpha with a per-filter
+// scale alpha = mean|w| (XNOR-Net). Activations binarize through
+// Graph::binarize nodes (STE backward).
+//
+// Inference: weights and activations packed one-bit-per-lane into 32-bit
+// words; the convolution inner loop is XNOR + popcount, instrumented with the
+// same sim::CostCounter events as the other kernels so the speedup-vs-CMSIS
+// comparison of (Romaszkan et al., 2020) can be replayed on the cost model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.h"
+#include "nn/graph.h"
+#include "sim/cost_counter.h"
+
+namespace bswp::binary {
+
+/// Project all conv/linear weights (optionally skipping the first conv and
+/// the classifier, both standard in BNN practice) to sign(w) * mean|w|.
+void binarize_weights(nn::Graph& g, bool skip_first_conv = true, bool skip_classifier = true);
+
+/// One packed binarized conv layer. Weights are stored as sign bits
+/// (bit = 1 for +1) packed along the input-channel axis.
+struct PackedBinaryConv {
+  nn::ConvSpec spec;
+  int words_per_tap = 0;  // ceil(in_ch / 32)
+  std::vector<uint32_t> weight_bits;  // [o][ky][kx][word]
+  std::vector<float> alpha;           // per-filter scale
+
+  std::size_t storage_bytes() const { return weight_bits.size() * 4 + alpha.size() * 4; }
+};
+
+/// Pack a float weight tensor whose entries are +-alpha_o.
+PackedBinaryConv pack_binary_conv(const Tensor& w, const nn::ConvSpec& spec);
+
+/// Packed +-1 activation map: channels packed into words per (y, x).
+struct PackedBinaryInput {
+  int channels = 0, h = 0, w = 0, words = 0;
+  std::vector<uint32_t> bits;  // [y][x][word]
+};
+
+/// Pack a float activation tensor (1xCxHxW, entries +-1).
+PackedBinaryInput pack_binary_input(const Tensor& x);
+
+/// XNOR-popcount convolution. Returns float outputs alpha_o * (+-counts).
+/// Padding uses -1 (matching the packed zero bit).
+Tensor xnor_conv2d(const PackedBinaryInput& input, const PackedBinaryConv& conv,
+                   sim::CostCounter* counter);
+
+}  // namespace bswp::binary

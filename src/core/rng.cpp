@@ -1,0 +1,92 @@
+#include "core/rng.h"
+
+#include <cmath>
+
+#include "core/tensor.h"
+
+namespace bswp {
+
+namespace {
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+uint64_t Rng::next_u64() {
+  const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+uint64_t Rng::uniform_int(uint64_t n) {
+  if (n == 0) return 0;
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+  uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+double Rng::normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  double u1, u2;
+  do {
+    u1 = uniform();
+  } while (u1 <= 1e-300);
+  u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+Rng Rng::split() { return Rng(next_u64()); }
+
+void Rng::shuffle(std::vector<int>& v) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    std::size_t j = static_cast<std::size_t>(uniform_int(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+void Rng::fill_normal(Tensor& t, float stddev) {
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(normal(0.0, stddev));
+}
+
+void Rng::fill_kaiming(Tensor& t, int fan_in) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(fan_in > 0 ? fan_in : 1));
+  fill_normal(t, stddev);
+}
+
+}  // namespace bswp

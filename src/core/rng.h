@@ -1,0 +1,48 @@
+// Deterministic random number generation. Every stochastic component in the
+// repo (datasets, weight init, k-means seeding, training shuffles) takes an
+// explicit Rng so experiments are reproducible from a single seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bswp {
+
+class Tensor;
+
+/// SplitMix64-seeded xoshiro256** generator. Not cryptographic; chosen for
+/// speed and reproducibility across platforms (no libstdc++ distribution
+/// dependence).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  uint64_t next_u64();
+  /// Uniform in [0, 1).
+  double uniform();
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [0, n).
+  uint64_t uniform_int(uint64_t n);
+  /// Standard normal via Box-Muller.
+  double normal();
+  double normal(double mean, double stddev);
+
+  /// Derive an independent child stream (for per-worker / per-dataset seeds).
+  Rng split();
+
+  /// Fisher-Yates shuffle of an index vector.
+  void shuffle(std::vector<int>& v);
+
+  /// Fill a tensor with N(0, stddev).
+  void fill_normal(Tensor& t, float stddev);
+  /// Kaiming/He normal init for a weight tensor with given fan-in.
+  void fill_kaiming(Tensor& t, int fan_in);
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace bswp

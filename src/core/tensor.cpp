@@ -1,0 +1,117 @@
+#include "core/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace bswp {
+
+std::size_t shape_numel(const std::vector<int>& shape) {
+  std::size_t n = 1;
+  for (int d : shape) {
+    check(d >= 0, "negative dimension in shape");
+    n *= static_cast<std::size_t>(d);
+  }
+  return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(std::vector<int> shape) : shape_(std::move(shape)), data_(shape_numel(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<int> shape, float fill)
+    : shape_(std::move(shape)), data_(shape_numel(shape_), fill) {}
+
+Tensor::Tensor(std::vector<int> shape, std::vector<float> values)
+    : shape_(std::move(shape)), data_(std::move(values)) {
+  check(data_.size() == shape_numel(shape_), "value count does not match shape");
+}
+
+int Tensor::dim(int i) const {
+  check(i >= 0 && i < rank(), "dim index out of range");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+std::size_t Tensor::index4(int a, int b, int c, int d) const {
+  check(rank() == 4, "rank-4 accessor on tensor of rank " + std::to_string(rank()));
+  check(a >= 0 && a < shape_[0] && b >= 0 && b < shape_[1] && c >= 0 && c < shape_[2] && d >= 0 &&
+            d < shape_[3],
+        "index out of range");
+  return ((static_cast<std::size_t>(a) * shape_[1] + b) * shape_[2] + c) * shape_[3] + d;
+}
+
+float& Tensor::at(int a, int b, int c, int d) { return data_[index4(a, b, c, d)]; }
+float Tensor::at(int a, int b, int c, int d) const { return data_[index4(a, b, c, d)]; }
+
+float& Tensor::at(int a, int b) {
+  check(rank() == 2, "rank-2 accessor on tensor of rank " + std::to_string(rank()));
+  return data_[static_cast<std::size_t>(a) * shape_[1] + b];
+}
+float Tensor::at(int a, int b) const {
+  check(rank() == 2, "rank-2 accessor on tensor of rank " + std::to_string(rank()));
+  return data_[static_cast<std::size_t>(a) * shape_[1] + b];
+}
+
+void Tensor::reshape(std::vector<int> shape) {
+  check(shape_numel(shape) == data_.size(), "reshape changes element count");
+  shape_ = std::move(shape);
+}
+
+void Tensor::fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::add_(const Tensor& other) {
+  check(other.size() == size(), "add_: size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::axpy_(float alpha, const Tensor& other) {
+  check(other.size() == size(), "axpy_: size mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+void Tensor::scale_(float alpha) {
+  for (float& v : data_) v *= alpha;
+}
+
+float Tensor::min() const {
+  check(!data_.empty(), "min of empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  check(!data_.empty(), "max of empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+float Tensor::abs_max() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+float Tensor::mean() const {
+  if (data_.empty()) return 0.0f;
+  double s = std::accumulate(data_.begin(), data_.end(), 0.0);
+  return static_cast<float>(s / static_cast<double>(data_.size()));
+}
+
+float Tensor::l2_norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(s));
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < shape_.size(); ++i) os << (i ? "," : "") << shape_[i];
+  os << "]";
+  return os.str();
+}
+
+Tensor QTensor::dequantize() const {
+  Tensor t(shape);
+  for (std::size_t i = 0; i < data.size(); ++i) t[i] = real(i);
+  return t;
+}
+
+}  // namespace bswp

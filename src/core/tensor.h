@@ -1,0 +1,111 @@
+// Core dense tensor types for the bit-serial weight-pool framework.
+//
+// `Tensor` is a simple float32, row-major, arbitrary-rank tensor with NCHW
+// helpers — it is the currency of the training/accuracy side of the repo.
+// `QTensor` carries integer data plus quantization metadata and is the
+// currency of the microcontroller-style kernels.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace bswp {
+
+/// Row-major float32 tensor. Rank is dynamic (vector<int> shape); most of the
+/// library uses rank-4 NCHW (activations) or OIHW (conv weights), rank-2
+/// (linear weights) and rank-1 (bias) tensors.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape);
+  Tensor(std::vector<int> shape, float fill);
+  Tensor(std::vector<int> shape, std::vector<float> values);
+
+  static Tensor zeros(std::vector<int> shape) { return Tensor(std::move(shape)); }
+  static Tensor full(std::vector<int> shape, float v) { return Tensor(std::move(shape), v); }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int dim(int i) const;
+  int rank() const { return static_cast<int>(shape_.size()); }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  /// Rank-4 accessor (NCHW / OIHW).
+  float& at(int a, int b, int c, int d);
+  float at(int a, int b, int c, int d) const;
+  /// Rank-2 accessor.
+  float& at(int a, int b);
+  float at(int a, int b) const;
+
+  /// Reshape in place; the total element count must be preserved.
+  void reshape(std::vector<int> shape);
+
+  /// Elementwise helpers used throughout training code.
+  void fill(float v);
+  void add_(const Tensor& other);               // this += other
+  void axpy_(float alpha, const Tensor& other); // this += alpha * other
+  void scale_(float alpha);                     // this *= alpha
+
+  float min() const;
+  float max() const;
+  float abs_max() const;
+  float mean() const;
+  float l2_norm() const;
+
+  std::string shape_str() const;
+
+ private:
+  std::size_t index4(int a, int b, int c, int d) const;
+  std::vector<int> shape_;
+  std::vector<float> data_;
+};
+
+/// Number of elements implied by a shape.
+std::size_t shape_numel(const std::vector<int>& shape);
+
+/// Quantized tensor. `bits` <= 8; data is stored widened to int16 so signed
+/// int8 weights and unsigned sub-byte activations share one container.
+/// Quantization convention:
+///   real  ~=  scale * (q - zero_point)
+/// Weights are symmetric (`zero_point == 0`, signed range). Activations after
+/// ReLU are unsigned with `zero_point == 0` and q in [0, 2^bits - 1].
+struct QTensor {
+  std::vector<int> shape;
+  std::vector<int16_t> data;
+  float scale = 1.0f;
+  int zero_point = 0;
+  int bits = 8;
+  bool is_signed = true;
+
+  QTensor() = default;
+  QTensor(std::vector<int> s, int bits_, bool is_signed_)
+      : shape(std::move(s)), data(shape_numel(shape), 0), bits(bits_), is_signed(is_signed_) {}
+
+  std::size_t size() const { return data.size(); }
+  int dim(int i) const { return shape.at(static_cast<std::size_t>(i)); }
+  int qmin() const { return is_signed ? -(1 << (bits - 1)) : 0; }
+  int qmax() const { return is_signed ? (1 << (bits - 1)) - 1 : (1 << bits) - 1; }
+
+  /// Dequantize element i.
+  float real(std::size_t i) const { return scale * static_cast<float>(data[i] - zero_point); }
+  Tensor dequantize() const;
+};
+
+/// Throwing check used by constructors and accessors (library code should
+/// fail loudly on shape bugs rather than corrupt memory).
+inline void check(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+}  // namespace bswp

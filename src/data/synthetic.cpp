@@ -1,0 +1,187 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace bswp::data {
+
+Batch Dataset::batch(int start, int count) const {
+  std::vector<int> idx(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) idx[static_cast<std::size_t>(i)] = start + i;
+  return gather(idx);
+}
+
+Batch Dataset::gather(const std::vector<int>& indices) const {
+  const int n = static_cast<int>(indices.size());
+  Batch b;
+  b.images = Tensor({n, channels(), height(), width()});
+  b.labels.resize(static_cast<std::size_t>(n));
+  const std::size_t stride =
+      static_cast<std::size_t>(channels()) * height() * width();
+  for (int i = 0; i < n; ++i) {
+    b.labels[static_cast<std::size_t>(i)] =
+        sample(indices[static_cast<std::size_t>(i)], b.images.data() + stride * i);
+  }
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// SyntheticCifar
+// ---------------------------------------------------------------------------
+
+SyntheticCifar::SyntheticCifar(const SyntheticCifarOptions& opt, bool train)
+    : opt_(opt), train_(train), size_(train ? opt.train_size : opt.test_size) {
+  Rng rng(opt_.seed);  // class templates are shared between train and test
+  class_templates_.resize(static_cast<std::size_t>(opt_.num_classes));
+  for (int c = 0; c < opt_.num_classes; ++c) {
+    auto& bank = class_templates_[static_cast<std::size_t>(c)];
+    bank.resize(static_cast<std::size_t>(opt_.templates_per_class));
+    for (auto& tmpl : bank) {
+      const int num_gabors = 2 + static_cast<int>(rng.uniform_int(3));
+      tmpl.gabors.resize(static_cast<std::size_t>(num_gabors));
+      for (auto& g : tmpl.gabors) {
+        g.cx = static_cast<float>(rng.uniform(0.2, 0.8));
+        g.cy = static_cast<float>(rng.uniform(0.2, 0.8));
+        g.sigma = static_cast<float>(rng.uniform(0.10, 0.30));
+        g.freq = static_cast<float>(rng.uniform(2.0, 7.0));
+        g.theta = static_cast<float>(rng.uniform(0.0, M_PI));
+        g.amp = static_cast<float>(rng.uniform(0.5, 1.0));
+        for (float& ch : g.color) ch = static_cast<float>(rng.uniform(0.2, 1.0));
+      }
+    }
+  }
+}
+
+int SyntheticCifar::sample(int index, float* out) const {
+  const int H = opt_.image_size, W = opt_.image_size;
+  // Per-sample stream: decorrelate train/test and make samples deterministic.
+  Rng rng(opt_.seed * 0x51ed2701ULL + static_cast<uint64_t>(index) * 2 +
+          (train_ ? 0 : 1));
+  const int label = static_cast<int>(rng.uniform_int(static_cast<uint64_t>(opt_.num_classes)));
+  const auto& bank = class_templates_[static_cast<std::size_t>(label)];
+  const auto& tmpl = bank[rng.uniform_int(bank.size())];
+
+  // Random small affine jitter (rotation + translation + scale).
+  const float rot = static_cast<float>(rng.uniform(-0.3, 0.3));
+  const float scale = static_cast<float>(rng.uniform(0.85, 1.15));
+  const float tx = static_cast<float>(rng.uniform(-0.08, 0.08));
+  const float ty = static_cast<float>(rng.uniform(-0.08, 0.08));
+  const float cr = std::cos(rot) * scale, sr = std::sin(rot) * scale;
+  // Per-sample color cast.
+  float cast[3];
+  for (float& c : cast) c = static_cast<float>(rng.uniform(0.8, 1.2));
+
+  std::fill(out, out + 3 * H * W, 0.0f);
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      // Map pixel to [0,1]^2 then apply inverse affine around center.
+      const float u0 = (static_cast<float>(x) + 0.5f) / W - 0.5f;
+      const float v0 = (static_cast<float>(y) + 0.5f) / H - 0.5f;
+      const float u = cr * u0 - sr * v0 + 0.5f + tx;
+      const float v = sr * u0 + cr * v0 + 0.5f + ty;
+      float intensity[3] = {0.0f, 0.0f, 0.0f};
+      for (const auto& g : tmpl.gabors) {
+        const float du = u - g.cx, dv = v - g.cy;
+        const float r2 = du * du + dv * dv;
+        const float envelope = std::exp(-r2 / (2.0f * g.sigma * g.sigma));
+        const float phase = g.freq * 2.0f * static_cast<float>(M_PI) *
+                            (du * std::cos(g.theta) + dv * std::sin(g.theta));
+        const float val = g.amp * envelope * (0.5f + 0.5f * std::cos(phase));
+        for (int c = 0; c < 3; ++c) intensity[c] += val * g.color[c];
+      }
+      for (int c = 0; c < 3; ++c) {
+        float px = intensity[c] * cast[c] +
+                   static_cast<float>(rng.normal(0.0, opt_.noise_stddev));
+        out[(c * H + y) * W + x] = std::clamp(px, 0.0f, 1.5f);
+      }
+    }
+  }
+  return label;
+}
+
+// ---------------------------------------------------------------------------
+// SyntheticQuickdraw
+// ---------------------------------------------------------------------------
+
+SyntheticQuickdraw::SyntheticQuickdraw(const SyntheticQuickdrawOptions& opt, bool train)
+    : opt_(opt), train_(train), size_(train ? opt.train_size : opt.test_size) {
+  Rng rng(opt_.seed);
+  programs_.resize(static_cast<std::size_t>(opt_.num_classes));
+  for (auto& prog : programs_) {
+    const int num_strokes = 2 + static_cast<int>(rng.uniform_int(
+                                    static_cast<uint64_t>(opt_.strokes_per_class - 1)));
+    prog.strokes.resize(static_cast<std::size_t>(num_strokes));
+    for (auto& stroke : prog.strokes) {
+      const int pts = 3 + static_cast<int>(rng.uniform_int(4));
+      stroke.resize(static_cast<std::size_t>(pts));
+      // Random walk of control points, kept inside the canvas.
+      float px = static_cast<float>(rng.uniform(0.15, 0.85));
+      float py = static_cast<float>(rng.uniform(0.15, 0.85));
+      for (auto& p : stroke) {
+        p = {px, py};
+        px = std::clamp(px + static_cast<float>(rng.uniform(-0.35, 0.35)), 0.05f, 0.95f);
+        py = std::clamp(py + static_cast<float>(rng.uniform(-0.35, 0.35)), 0.05f, 0.95f);
+      }
+    }
+  }
+}
+
+namespace {
+/// Accumulate an anti-aliased line segment into a 1-channel canvas.
+void draw_segment(float* img, int H, int W, float x0, float y0, float x1, float y1,
+                  float thickness) {
+  const int steps = std::max(2, static_cast<int>(std::hypot((x1 - x0) * W, (y1 - y0) * H) * 2));
+  for (int s = 0; s <= steps; ++s) {
+    const float t = static_cast<float>(s) / steps;
+    const float cx = (x0 + t * (x1 - x0)) * W;
+    const float cy = (y0 + t * (y1 - y0)) * H;
+    const int r = static_cast<int>(std::ceil(thickness)) + 1;
+    const int ix = static_cast<int>(cx), iy = static_cast<int>(cy);
+    for (int dy = -r; dy <= r; ++dy) {
+      for (int dx = -r; dx <= r; ++dx) {
+        const int x = ix + dx, y = iy + dy;
+        if (x < 0 || x >= W || y < 0 || y >= H) continue;
+        const float d2 = (cx - x) * (cx - x) + (cy - y) * (cy - y);
+        const float v = std::exp(-d2 / (2.0f * thickness * thickness));
+        float& px = img[y * W + x];
+        px = std::max(px, v);
+      }
+    }
+  }
+}
+}  // namespace
+
+int SyntheticQuickdraw::sample(int index, float* out) const {
+  const int H = opt_.image_size, W = opt_.image_size;
+  Rng rng(opt_.seed * 0x9d5f3a21ULL + static_cast<uint64_t>(index) * 2 +
+          (train_ ? 0 : 1));
+  const int label = static_cast<int>(rng.uniform_int(static_cast<uint64_t>(opt_.num_classes)));
+  const auto& prog = programs_[static_cast<std::size_t>(label)];
+
+  std::fill(out, out + H * W, 0.0f);
+  const float thickness = static_cast<float>(rng.uniform(0.7, 1.3));
+  const float dx = static_cast<float>(rng.uniform(-0.05, 0.05));
+  const float dy = static_cast<float>(rng.uniform(-0.05, 0.05));
+  for (const auto& stroke : prog.strokes) {
+    for (std::size_t i = 0; i + 1 < stroke.size(); ++i) {
+      auto jitter = [&](std::pair<float, float> p) {
+        return std::pair<float, float>{
+            std::clamp(p.first + dx + static_cast<float>(rng.normal(0.0, opt_.jitter)), 0.0f, 1.0f),
+            std::clamp(p.second + dy + static_cast<float>(rng.normal(0.0, opt_.jitter)), 0.0f,
+                       1.0f)};
+      };
+      const auto a = jitter(stroke[i]);
+      const auto b = jitter(stroke[i + 1]);
+      draw_segment(out, H, W, a.first, a.second, b.first, b.second, thickness);
+    }
+  }
+  // Light pixel noise so the dataset is not exactly binary.
+  for (int i = 0; i < H * W; ++i) {
+    out[i] = std::clamp(out[i] + static_cast<float>(rng.normal(0.0, 0.03)), 0.0f, 1.0f);
+  }
+  return label;
+}
+
+}  // namespace bswp::data

@@ -1,0 +1,189 @@
+#include "kernels/baseline_conv.h"
+
+#include <algorithm>
+
+namespace bswp::kernels {
+
+using sim::Event;
+using sim::tally;
+
+QTensor baseline_conv2d(const QTensor& input, const QTensor& weights, const nn::ConvSpec& spec,
+                        const Requant& rq, sim::CostCounter* counter) {
+  check(input.shape.size() == 4 && input.shape[0] == 1, "baseline_conv2d: input must be 1xCxHxW");
+  check(input.dim(1) == spec.in_ch, "baseline_conv2d: channel mismatch");
+  const int h = input.dim(2), w = input.dim(3);
+  const int oh = spec.out_h(h), ow = spec.out_w(w);
+  const int cg = spec.in_ch / spec.groups;
+  const int og = spec.out_ch / spec.groups;
+  const std::size_t wstride = static_cast<std::size_t>(cg) * spec.kh * spec.kw;
+
+  QTensor out({1, spec.out_ch, oh, ow}, rq.out_bits, rq.out_signed);
+  out.scale = rq.out_scale;
+  out.zero_point = rq.out_zero_point;
+  const int32_t in_zp = input.zero_point;
+
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      // Count the spatially valid kernel taps once per position (identical
+      // for every channel and group).
+      uint64_t spatial_valid = 0;
+      for (int ky = 0; ky < spec.kh; ++ky) {
+        const int iy = oy * spec.stride + ky - spec.pad;
+        if (iy < 0 || iy >= h) continue;
+        for (int kx = 0; kx < spec.kw; ++kx) {
+          const int ix = ox * spec.stride + kx - spec.pad;
+          if (ix >= 0 && ix < w) ++spatial_valid;
+        }
+      }
+      for (int g = 0; g < spec.groups; ++g) {
+        for (int oc = 0; oc < og; ++oc) {
+          const int o = g * og + oc;
+          int32_t acc = 0;
+          const int16_t* wrow = weights.data.data() + static_cast<std::size_t>(o) * wstride;
+          std::size_t widx = 0;
+          for (int c = 0; c < cg; ++c) {
+            const int in_c = g * cg + c;
+            for (int ky = 0; ky < spec.kh; ++ky) {
+              const int iy = oy * spec.stride + ky - spec.pad;
+              for (int kx = 0; kx < spec.kw; ++kx, ++widx) {
+                const int ix = ox * spec.stride + kx - spec.pad;
+                if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
+                const int16_t a =
+                    input.data[(static_cast<std::size_t>(in_c) * h + iy) * w + ix];
+                acc += (static_cast<int32_t>(a) - in_zp) * wrow[widx];
+              }
+            }
+          }
+          out.data[(static_cast<std::size_t>(o) * oh + oy) * ow + ox] = rq.apply(acc, o);
+        }
+      }
+      if (counter != nullptr) {
+        // Valid taps per filter: each filter reads its own group's channels.
+        const uint64_t taps_per_filter = spatial_valid * static_cast<uint64_t>(cg);
+        // im2col copy: the full patch (all input channels) is staged once
+        // per output position, read from the activation map and written to
+        // the column buffer.
+        const uint64_t patch = spatial_valid * static_cast<uint64_t>(spec.in_ch);
+        counter->add(Event::kSramRead, patch);
+        counter->add(Event::kSramWrite, patch);
+        // MAC loop per filter: sequential weight stream from flash, column
+        // buffer reads from SRAM, one MAC per tap plus the q7
+        // sign-extension, pointer-update and loop-compare ALU work a
+        // Cortex-M3 (no DSP extension) pays per element.
+        const uint64_t work = taps_per_filter * static_cast<uint64_t>(spec.out_ch);
+        counter->add(Event::kFlashSeqByte, work);
+        counter->add(Event::kSramRead, work);
+        counter->add(Event::kMac, work);
+        counter->add(Event::kAlu, 3 * work);
+        counter->add(Event::kBranch, static_cast<uint64_t>(spec.out_ch));
+        counter->add(Event::kRequant, static_cast<uint64_t>(spec.out_ch));
+        counter->add(Event::kSramWrite, static_cast<uint64_t>(spec.out_ch));
+      }
+    }
+  }
+  return out;
+}
+
+QTensor baseline_linear(const QTensor& input, const QTensor& weights, const Requant& rq,
+                        sim::CostCounter* counter) {
+  check(input.shape.size() == 2 && input.shape[0] == 1, "baseline_linear: input must be 1xF");
+  const int fin = input.dim(1), fout = weights.dim(0);
+  check(weights.dim(1) == fin, "baseline_linear: shape mismatch");
+  QTensor out({1, fout}, rq.out_bits, rq.out_signed);
+  out.scale = rq.out_scale;
+  out.zero_point = rq.out_zero_point;
+  const int32_t in_zp = input.zero_point;
+  for (int o = 0; o < fout; ++o) {
+    int32_t acc = 0;
+    const int16_t* wrow = weights.data.data() + static_cast<std::size_t>(o) * fin;
+    for (int i = 0; i < fin; ++i)
+      acc += (static_cast<int32_t>(input.data[static_cast<std::size_t>(i)]) - in_zp) * wrow[i];
+    out.data[static_cast<std::size_t>(o)] = rq.apply(acc, o);
+  }
+  if (counter != nullptr) {
+    const uint64_t taps = static_cast<uint64_t>(fin) * fout;
+    counter->add(Event::kFlashSeqByte, taps);
+    counter->add(Event::kSramRead, taps);
+    counter->add(Event::kMac, taps);
+    counter->add(Event::kAlu, 3 * taps);
+    counter->add(Event::kRequant, static_cast<uint64_t>(fout));
+    counter->add(Event::kSramWrite, static_cast<uint64_t>(fout));
+  }
+  return out;
+}
+
+QTensor maxpool_q(const QTensor& input, int k, int stride, sim::CostCounter* counter) {
+  const int c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int oh = (h - k) / stride + 1, ow = (w - k) / stride + 1;
+  QTensor out({1, c, oh, ow}, input.bits, input.is_signed);
+  out.scale = input.scale;
+  out.zero_point = input.zero_point;
+  for (int ch = 0; ch < c; ++ch) {
+    for (int oy = 0; oy < oh; ++oy) {
+      for (int ox = 0; ox < ow; ++ox) {
+        int16_t m = input.data[(static_cast<std::size_t>(ch) * h + oy * stride) * w + ox * stride];
+        for (int ky = 0; ky < k; ++ky)
+          for (int kx = 0; kx < k; ++kx)
+            m = std::max(m, input.data[(static_cast<std::size_t>(ch) * h + oy * stride + ky) * w +
+                                       ox * stride + kx]);
+        out.data[(static_cast<std::size_t>(ch) * oh + oy) * ow + ox] = m;
+      }
+    }
+  }
+  if (counter != nullptr) {
+    const uint64_t outs = static_cast<uint64_t>(c) * oh * ow;
+    counter->add(Event::kSramRead, outs * static_cast<uint64_t>(k) * k);
+    counter->add(Event::kAlu, outs * static_cast<uint64_t>(k) * k);
+    counter->add(Event::kSramWrite, outs);
+  }
+  return out;
+}
+
+QTensor global_avgpool_q(const QTensor& input, const Requant& rq, sim::CostCounter* counter) {
+  const int c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  QTensor out({1, c}, rq.out_bits, rq.out_signed);
+  out.scale = rq.out_scale;
+  for (int ch = 0; ch < c; ++ch) {
+    int32_t acc = 0;
+    const int16_t* src = input.data.data() + static_cast<std::size_t>(ch) * h * w;
+    for (int i = 0; i < h * w; ++i) acc += src[i];
+    out.data[static_cast<std::size_t>(ch)] = rq.apply(acc, ch);
+  }
+  if (counter != nullptr) {
+    counter->add(Event::kSramRead, static_cast<uint64_t>(c) * h * w);
+    counter->add(Event::kAlu, static_cast<uint64_t>(c) * h * w);
+    counter->add(Event::kRequant, static_cast<uint64_t>(c));
+    counter->add(Event::kSramWrite, static_cast<uint64_t>(c));
+  }
+  return out;
+}
+
+QTensor add_q(const QTensor& a, const QTensor& b, const Requant& rq, sim::CostCounter* counter) {
+  check(a.shape == b.shape, "add_q: shape mismatch");
+  QTensor out(a.shape, rq.out_bits, rq.out_signed);
+  out.scale = rq.out_scale;
+  out.zero_point = rq.out_zero_point;
+  const int32_t lo = rq.qmin(), hi = rq.qmax();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    float real = a.scale * static_cast<float>(a.data[i] - a.zero_point) +
+                 b.scale * static_cast<float>(b.data[i] - b.zero_point);
+    if (rq.fuse_relu && real < 0.0f) real = 0.0f;
+    auto q = static_cast<int32_t>(std::lround(real / rq.out_scale)) + rq.out_zero_point;
+    out.data[i] = static_cast<int16_t>(q < lo ? lo : (q > hi ? hi : q));
+  }
+  if (counter != nullptr) {
+    counter->add(Event::kSramRead, 2 * a.size());
+    counter->add(Event::kMac, 2 * a.size());  // two scale multiplies per element
+    counter->add(Event::kAlu, a.size());
+    counter->add(Event::kSramWrite, a.size());
+  }
+  return out;
+}
+
+std::size_t baseline_conv_scratch_bytes(const nn::ConvSpec& spec) {
+  // CMSIS keeps a 2-column q15 im2col buffer: 2 * (in_ch/groups * kh * kw) int16.
+  return 2 * sizeof(int16_t) * static_cast<std::size_t>(spec.in_ch / spec.groups) * spec.kh *
+         spec.kw * 2;
+}
+
+}  // namespace bswp::kernels

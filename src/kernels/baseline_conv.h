@@ -1,0 +1,35 @@
+// CMSIS-NN-style int8 reference kernels (the paper's Table 7 baseline).
+//
+// Functionally these are plain integer convolution / linear / pooling
+// kernels; their instrumentation mirrors arm_convolve_HWC_q7_basic on a
+// Cortex-M3: an im2col copy of each input patch into an SRAM column buffer,
+// then a MAC loop streaming weights sequentially from flash.
+#pragma once
+
+#include "kernels/common.h"
+
+namespace bswp::kernels {
+
+/// int8 convolution. `input` is 1xCxHxW (signed or unsigned, zero_point 0);
+/// `weights` is OIHW signed int8. Output is quantized via `rq`.
+QTensor baseline_conv2d(const QTensor& input, const QTensor& weights, const nn::ConvSpec& spec,
+                        const Requant& rq, sim::CostCounter* counter);
+
+/// int8 fully-connected layer; `input` is flat (1xF), `weights` out x in.
+QTensor baseline_linear(const QTensor& input, const QTensor& weights, const Requant& rq,
+                        sim::CostCounter* counter);
+
+/// Max pooling in the quantized domain (scale-preserving).
+QTensor maxpool_q(const QTensor& input, int k, int stride, sim::CostCounter* counter);
+
+/// Global average pooling with requantization.
+QTensor global_avgpool_q(const QTensor& input, const Requant& rq, sim::CostCounter* counter);
+
+/// Residual add: out = requantize(a.scale*qa + b.scale*qb). `rq.scale` is
+/// ignored; input scales are used directly (per-tensor).
+QTensor add_q(const QTensor& a, const QTensor& b, const Requant& rq, sim::CostCounter* counter);
+
+/// Scratch SRAM the baseline conv needs (im2col column buffer), in bytes.
+std::size_t baseline_conv_scratch_bytes(const nn::ConvSpec& spec);
+
+}  // namespace bswp::kernels

@@ -1,0 +1,33 @@
+#include "kernels/bit_unpack.h"
+
+namespace bswp::kernels {
+
+void unpack_bits(const int16_t* vals, int group_size, int bits, uint32_t* out,
+                 sim::CostCounter* counter) {
+  for (int j = 0; j < bits; ++j) out[j] = 0;
+  for (int i = 0; i < group_size; ++i) {
+    const uint32_t v = static_cast<uint32_t>(vals[i]);
+    for (int j = 0; j < bits; ++j) {
+      out[j] |= ((v >> j) & 1u) << i;
+    }
+  }
+  if (counter != nullptr) {
+    // One activation load per element; ~2 ALU ops (shift+mask / or) per
+    // (element, bit) pair; one store per produced bit-vector. This is the
+    // G*M-iteration inner loop of §4.1 whose cost input reuse amortizes.
+    counter->add(sim::Event::kSramRead, static_cast<uint64_t>(group_size));
+    counter->add(sim::Event::kAlu, 2ull * static_cast<uint64_t>(group_size) * bits);
+    counter->add(sim::Event::kSramWrite, static_cast<uint64_t>(bits));
+    counter->add(sim::Event::kBranch, static_cast<uint64_t>(group_size));
+  }
+}
+
+int16_t recompose_element(const uint32_t* bit_vectors, int bits, int element) {
+  int16_t v = 0;
+  for (int j = 0; j < bits; ++j) {
+    v = static_cast<int16_t>(v | (((bit_vectors[j] >> element) & 1u) << j));
+  }
+  return v;
+}
+
+}  // namespace bswp::kernels

@@ -1,0 +1,27 @@
+// Bit decomposition of activation vectors (paper §3.1, Figure 5; overhead
+// analysis §4.1).
+//
+// An M-bit, G-element activation vector is decomposed into M bit-vectors of
+// G bits: bit-vector j packs bit j (from LSB) of every element, with element
+// i at bit position i of the result. These bit-vectors index the dot-product
+// LUT.
+#pragma once
+
+#include <cstdint>
+
+#include "core/tensor.h"
+#include "sim/cost_counter.h"
+
+namespace bswp::kernels {
+
+/// Decompose `group_size` activation values (starting at `vals`, each an
+/// M-bit unsigned quantity in an int16 slot) into `bits` bit-vectors written
+/// to `out[0..bits)`. Instrumented with the software unpacking cost the paper
+/// describes: one load per element plus shift/mask/or work per (element, bit).
+void unpack_bits(const int16_t* vals, int group_size, int bits, uint32_t* out,
+                 sim::CostCounter* counter);
+
+/// Reference re-composition (tests): rebuild element `i` from bit-vectors.
+int16_t recompose_element(const uint32_t* bit_vectors, int bits, int element);
+
+}  // namespace bswp::kernels

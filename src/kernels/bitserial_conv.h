@@ -1,0 +1,61 @@
+// Bit-serial lookup-table convolution (paper §3.1, §4, Algorithm 1).
+//
+// The convolution over a pooled layer is computed bit-serially: at each
+// (output position, kernel position, channel group) the activation vector is
+// bit-decomposed once, and for each bit plane the partial dot product with
+// the selected pool vector is *looked up* and shift-accumulated. Variants
+// correspond to the paper's implementation ablations:
+//
+//   kNaive            bit unpacking inside the filter loop (§4.1's ~9x
+//                     overhead strawman)
+//   kInputReuse       Algorithm 1 loop order: unpack once, reuse across all
+//                     filters; LUT read from flash
+//   kCached           + input-oriented LUT blocks copied flash->SRAM before
+//                     the filter loop (§4.2, Figure 6/7)
+//   kCachedPrecompute + all S distinct dot products computed once per input
+//                     vector, filter loop becomes pure lookups (§4.3,
+//                     Algorithm 1 lines 9-16)
+//   kCachedMemoize    appendix alternative: dot products memoized lazily
+//                     inside the filter loop
+//
+// All variants produce bit-identical outputs; they differ only in cost.
+#pragma once
+
+#include "kernels/common.h"
+#include "pool/lut.h"
+
+namespace bswp::kernels {
+
+enum class BitSerialVariant {
+  kNaive,
+  kInputReuse,
+  kCached,
+  kCachedPrecompute,
+  kCachedMemoize,
+};
+
+const char* variant_name(BitSerialVariant v);
+
+/// Bit-serial pooled convolution. `input` must be unsigned-quantized with
+/// `input.bits` <= the LUT's supported range (activation bitwidth M is taken
+/// from the input tensor — reducing M truncates the bit-serial loop).
+/// `spec.groups` must be 1 and `spec.in_ch` divisible by the pool group size.
+QTensor bitserial_conv2d(const QTensor& input, const PackedIndices& indices,
+                         const pool::DotLut& lut, const nn::ConvSpec& spec, const Requant& rq,
+                         BitSerialVariant variant, sim::CostCounter* counter);
+
+/// Bit-serial pooled fully-connected layer (footnote-1 configuration).
+QTensor bitserial_linear(const QTensor& input, const PackedIndices& indices,
+                         const pool::DotLut& lut, const Requant& rq, BitSerialVariant variant,
+                         sim::CostCounter* counter);
+
+/// Peak SRAM scratch for a layer under a variant: bit-vectors, LUT cache,
+/// precompute/memo buffers and the per-position accumulator array.
+std::size_t bitserial_scratch_bytes(const nn::ConvSpec& spec, const pool::DotLut& lut,
+                                    BitSerialVariant variant, int act_bits);
+
+/// The paper's layer-level policy (§4.3): precompute pays off iff the layer
+/// has more filters than the pool has vectors.
+inline bool should_precompute(int out_ch, int pool_size) { return out_ch > pool_size; }
+
+}  // namespace bswp::kernels

@@ -1,0 +1,40 @@
+#include "kernels/common.h"
+
+namespace bswp::kernels {
+
+Requant Requant::uniform(int channels, float acc_scale, const std::vector<float>& b_real,
+                         float out_scale, int out_bits, bool out_signed, bool fuse_relu) {
+  Requant r;
+  r.scale.assign(static_cast<std::size_t>(channels), acc_scale);
+  r.bias = b_real;
+  if (r.bias.empty()) r.bias.assign(static_cast<std::size_t>(channels), 0.0f);
+  check(r.bias.size() == static_cast<std::size_t>(channels), "Requant: bias size mismatch");
+  r.out_scale = out_scale;
+  r.out_bits = out_bits;
+  r.out_signed = out_signed;
+  r.fuse_relu = fuse_relu;
+  return r;
+}
+
+PackedIndices PackedIndices::pack(const pool::PooledLayer& layer) {
+  PackedIndices p;
+  p.kh = layer.kh;
+  p.kw = layer.kw;
+  p.groups = layer.channel_groups;
+  p.out_ch = layer.out_ch;
+  p.idx.assign(static_cast<std::size_t>(p.kh) * p.kw * p.groups * p.out_ch, 0);
+  for (int o = 0; o < p.out_ch; ++o) {
+    for (int g = 0; g < p.groups; ++g) {
+      for (int ky = 0; ky < p.kh; ++ky) {
+        for (int kx = 0; kx < p.kw; ++kx) {
+          const uint16_t v = layer.index(o, g, ky, kx);
+          check(v < 256, "PackedIndices: pool size must be <= 256 for uint8 indices");
+          p.idx[p.flat(ky, kx, g, o)] = static_cast<uint8_t>(v);
+        }
+      }
+    }
+  }
+  return p;
+}
+
+}  // namespace bswp::kernels

@@ -1,0 +1,64 @@
+// Shared types for the integer (microcontroller-style) kernels.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.h"
+#include "nn/layers.h"
+#include "pool/codec.h"
+#include "sim/cost_counter.h"
+
+namespace bswp::kernels {
+
+/// Per-layer requantization: maps an int32 accumulator to the next layer's
+/// quantized activation domain. Per-output-channel scale/bias absorb both the
+/// conv bias and any BatchNorm affine (BN is folded into requantization, not
+/// into the shared weights — folding into weights would break pool sharing).
+struct Requant {
+  std::vector<float> scale;  // acc -> real, per output channel
+  std::vector<float> bias;   // real-domain additive term per output channel
+  float out_scale = 1.0f;    // real -> q step of the output tensor
+  int out_bits = 8;
+  bool out_signed = false;
+  /// Offset-unsigned representation: real = out_scale * (q - out_zero_point).
+  /// Signed intermediates (residual-add outputs) use zero_point = 2^(M-1) so
+  /// the bit-serial kernels always see unsigned bit patterns.
+  int out_zero_point = 0;
+  bool fuse_relu = true;
+
+  int32_t qmin() const { return out_signed ? -(1 << (out_bits - 1)) : 0; }
+  int32_t qmax() const { return out_signed ? (1 << (out_bits - 1)) - 1 : (1 << out_bits) - 1; }
+
+  int16_t apply(int32_t acc, int ch) const {
+    float real = static_cast<float>(acc) * scale[static_cast<std::size_t>(ch)] +
+                 bias[static_cast<std::size_t>(ch)];
+    if (fuse_relu && real < 0.0f) real = 0.0f;
+    const auto q = static_cast<int32_t>(std::lround(real / out_scale)) + out_zero_point;
+    const int32_t lo = qmin(), hi = qmax();
+    return static_cast<int16_t>(q < lo ? lo : (q > hi ? hi : q));
+  }
+
+  /// Uniform scale constructor (no BN, scalar conv bias vector `b_real`).
+  static Requant uniform(int channels, float acc_scale, const std::vector<float>& b_real,
+                         float out_scale, int out_bits, bool out_signed, bool fuse_relu);
+};
+
+/// Weight-pool indices packed in the bit-serial kernel's access order:
+/// [ky][kx][g][o] so the innermost filter loop reads consecutive bytes.
+struct PackedIndices {
+  int kh = 1, kw = 1, groups = 0, out_ch = 0;
+  std::vector<uint8_t> idx;
+
+  static PackedIndices pack(const pool::PooledLayer& layer);
+
+  std::size_t flat(int ky, int kx, int g, int o) const {
+    return ((static_cast<std::size_t>(ky) * kw + kx) * groups + g) * out_ch +
+           static_cast<std::size_t>(o);
+  }
+  uint8_t at(int ky, int kx, int g, int o) const { return idx[flat(ky, kx, g, o)]; }
+  std::size_t storage_bytes() const { return idx.size(); }
+};
+
+}  // namespace bswp::kernels

@@ -1,0 +1,62 @@
+// Model zoo: the five networks of the paper's evaluation (§5.1).
+//
+//   TinyConv     — the CMSIS-NN CIFAR example network (3 conv5x5 + FC)
+//   ResNet-s     — scaled-down ResNet-18 from MLPerf Tiny (3 stages @ 16/32/64)
+//   ResNet-10    — ResNet-18 with the last two blocks truncated (2 stages @ 64/128)
+//   ResNet-14    — ResNet-18 with the last block truncated (3 stages @ 64/128/256)
+//   MobileNet-v2 — CIFAR-style MNv2 (inverted residual bottlenecks)
+//
+// Each builder accepts a width multiplier: width = 1 gives the paper-scale
+// network (used for Table 3 storage and Table 7 latency, where parameter
+// counts must match the paper); width < 1 gives a trainable variant for the
+// accuracy experiments on the synthetic datasets (channels are rounded to
+// multiples of the pool group size so z-pooling stays exact).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+
+namespace bswp::models {
+
+struct ModelOptions {
+  int in_channels = 3;
+  int image_size = 32;
+  int num_classes = 10;
+  float width = 1.0f;
+  /// Insert activation fake-quant nodes after every ReLU (QAT experiments).
+  bool fake_quant = false;
+  int fake_quant_bits = 8;
+};
+
+nn::Graph build_tinyconv(const ModelOptions& opt);
+nn::Graph build_resnet_s(const ModelOptions& opt);
+nn::Graph build_resnet10(const ModelOptions& opt);
+nn::Graph build_resnet14(const ModelOptions& opt);
+nn::Graph build_mobilenet_v2(const ModelOptions& opt);
+
+/// Generic ResNet builder used by the three ResNet variants:
+/// `blocks[i]` basic blocks at `channels[i]`, stride 2 between stages.
+nn::Graph build_resnet(const ModelOptions& opt, const std::vector<int>& blocks,
+                       const std::vector<int>& channels);
+
+/// Binarized TinyConv for the §5.5 comparison: weights are projected to
+/// per-filter-scaled signs after every step (use binary::binarize_weights as
+/// the trainer post-step hook) and activations pass through sign nodes.
+nn::Graph build_binarized_tinyconv(const ModelOptions& opt);
+
+struct NamedModel {
+  std::string name;
+  std::function<nn::Graph(const ModelOptions&)> build;
+  bool on_cifar = true;  // paper: ResNets on CIFAR-10, TinyConv/MNv2 on Quickdraw
+};
+
+/// The paper's five network-dataset combinations, in Table 3 order.
+std::vector<NamedModel> paper_models();
+
+/// Round a scaled channel count to a multiple of `multiple` (>= multiple).
+int scale_channels(int ch, float width, int multiple = 8);
+
+}  // namespace bswp::models

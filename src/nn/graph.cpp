@@ -1,0 +1,418 @@
+#include "nn/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bswp::nn {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kInput: return "input";
+    case Op::kConv2d: return "conv2d";
+    case Op::kLinear: return "linear";
+    case Op::kReLU: return "relu";
+    case Op::kMaxPool: return "maxpool";
+    case Op::kGlobalAvgPool: return "gap";
+    case Op::kAdd: return "add";
+    case Op::kFlatten: return "flatten";
+    case Op::kBatchNorm: return "batchnorm";
+    case Op::kFakeQuant: return "fakequant";
+    case Op::kBinarize: return "binarize";
+  }
+  return "?";
+}
+
+int Graph::add_node(Node n) {
+  for (int in : n.inputs) {
+    check(in >= 0 && in < num_nodes(), "graph: input node does not exist yet");
+  }
+  n.out_chw = infer_shape(n);
+  nodes_.push_back(std::move(n));
+  return num_nodes() - 1;
+}
+
+std::vector<int> Graph::infer_shape(const Node& n) const {
+  auto in_shape = [&](int i) { return nodes_[static_cast<std::size_t>(n.inputs[i])].out_chw; };
+  switch (n.op) {
+    case Op::kInput:
+      return n.out_chw;  // set by input()
+    case Op::kConv2d: {
+      auto s = in_shape(0);
+      check(s.size() == 3, "conv2d input must be CHW");
+      check(s[0] == n.conv.in_ch, "conv2d: in_ch mismatch");
+      return {n.conv.out_ch, n.conv.out_h(s[1]), n.conv.out_w(s[2])};
+    }
+    case Op::kLinear: {
+      auto s = in_shape(0);
+      check(s.size() == 1, "linear input must be flat");
+      return {n.weight.dim(0)};
+    }
+    case Op::kReLU:
+    case Op::kBatchNorm:
+    case Op::kFakeQuant:
+    case Op::kBinarize:
+      return in_shape(0);
+    case Op::kMaxPool: {
+      auto s = in_shape(0);
+      return {s[0], (s[1] - n.pool_k) / n.pool_stride + 1, (s[2] - n.pool_k) / n.pool_stride + 1};
+    }
+    case Op::kGlobalAvgPool: {
+      auto s = in_shape(0);
+      return {s[0]};
+    }
+    case Op::kAdd: {
+      auto a = in_shape(0), b = in_shape(1);
+      check(a == b, "add: shape mismatch");
+      return a;
+    }
+    case Op::kFlatten: {
+      auto s = in_shape(0);
+      int total = 1;
+      for (int d : s) total *= d;
+      return {total};
+    }
+  }
+  return {};
+}
+
+int Graph::input(int c, int h, int w) {
+  check(nodes_.empty(), "graph: input must be the first node");
+  Node n;
+  n.op = Op::kInput;
+  n.name = "input";
+  n.out_chw = {c, h, w};
+  nodes_.push_back(std::move(n));
+  return 0;
+}
+
+int Graph::conv2d(int in, int out_ch, int k, int stride, int pad, int groups, bool bias,
+                  const std::string& name) {
+  check(in >= 0 && in < num_nodes(), "conv2d: input node does not exist yet");
+  Node n;
+  n.op = Op::kConv2d;
+  n.inputs = {in};
+  const auto& s = nodes_.at(static_cast<std::size_t>(in)).out_chw;
+  check(s.size() == 3, "conv2d: input node is not spatial");
+  n.conv = ConvSpec{s[0], out_ch, k, k, stride, pad, groups};
+  n.weight = Tensor(n.conv.weight_shape());
+  n.wgrad = Tensor(n.conv.weight_shape());
+  n.has_bias = bias;
+  if (bias) {
+    n.bias = Tensor({out_ch});
+    n.bgrad = Tensor({out_ch});
+  }
+  n.name = name.empty() ? ("conv" + std::to_string(num_nodes())) : name;
+  return add_node(std::move(n));
+}
+
+int Graph::linear(int in, int out_features, bool bias, const std::string& name) {
+  check(in >= 0 && in < num_nodes(), "linear: input node does not exist yet");
+  Node n;
+  n.op = Op::kLinear;
+  n.inputs = {in};
+  const auto& s = nodes_.at(static_cast<std::size_t>(in)).out_chw;
+  check(s.size() == 1, "linear: flatten or pool the input first");
+  n.weight = Tensor({out_features, s[0]});
+  n.wgrad = Tensor({out_features, s[0]});
+  n.has_bias = bias;
+  if (bias) {
+    n.bias = Tensor({out_features});
+    n.bgrad = Tensor({out_features});
+  }
+  n.name = name.empty() ? ("fc" + std::to_string(num_nodes())) : name;
+  return add_node(std::move(n));
+}
+
+int Graph::relu(int in) {
+  Node n;
+  n.op = Op::kReLU;
+  n.inputs = {in};
+  n.name = "relu";
+  return add_node(std::move(n));
+}
+
+int Graph::maxpool(int in, int k, int stride) {
+  Node n;
+  n.op = Op::kMaxPool;
+  n.inputs = {in};
+  n.pool_k = k;
+  n.pool_stride = stride;
+  n.name = "maxpool";
+  return add_node(std::move(n));
+}
+
+int Graph::global_avgpool(int in) {
+  Node n;
+  n.op = Op::kGlobalAvgPool;
+  n.inputs = {in};
+  n.name = "gap";
+  return add_node(std::move(n));
+}
+
+int Graph::add(int a, int b) {
+  Node n;
+  n.op = Op::kAdd;
+  n.inputs = {a, b};
+  n.name = "add";
+  return add_node(std::move(n));
+}
+
+int Graph::flatten(int in) {
+  Node n;
+  n.op = Op::kFlatten;
+  n.inputs = {in};
+  n.name = "flatten";
+  return add_node(std::move(n));
+}
+
+int Graph::batchnorm(int in, const std::string& name) {
+  check(in >= 0 && in < num_nodes(), "batchnorm: input node does not exist yet");
+  Node n;
+  n.op = Op::kBatchNorm;
+  n.inputs = {in};
+  const auto& s = nodes_.at(static_cast<std::size_t>(in)).out_chw;
+  check(s.size() == 3, "batchnorm: input must be spatial");
+  n.bn = BatchNormState(s[0]);
+  n.ggrad = Tensor({s[0]});
+  n.betagrad = Tensor({s[0]});
+  n.name = name.empty() ? ("bn" + std::to_string(num_nodes())) : name;
+  return add_node(std::move(n));
+}
+
+int Graph::fake_quant(int in, int bits) {
+  Node n;
+  n.op = Op::kFakeQuant;
+  n.inputs = {in};
+  n.fq_bits = bits;
+  n.name = "fq";
+  return add_node(std::move(n));
+}
+
+int Graph::binarize(int in) {
+  Node n;
+  n.op = Op::kBinarize;
+  n.inputs = {in};
+  n.name = "binarize";
+  return add_node(std::move(n));
+}
+
+void Graph::init_weights(Rng& rng) {
+  for (auto& n : nodes_) {
+    if (n.op == Op::kConv2d) {
+      rng.fill_kaiming(n.weight, (n.conv.in_ch / n.conv.groups) * n.conv.kh * n.conv.kw);
+      if (n.has_bias) n.bias.fill(0.0f);
+    } else if (n.op == Op::kLinear) {
+      rng.fill_kaiming(n.weight, n.weight.dim(1));
+      if (n.has_bias) n.bias.fill(0.0f);
+    }
+  }
+}
+
+const Tensor& Graph::forward(const Tensor& x, bool training) {
+  training_ = training;
+  acts_.assign(nodes_.size(), Tensor());
+  const int batch = x.dim(0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& n = nodes_[i];
+    auto in = [&](int j) -> const Tensor& { return acts_[static_cast<std::size_t>(n.inputs[static_cast<std::size_t>(j)])]; };
+    switch (n.op) {
+      case Op::kInput:
+        acts_[i] = x;
+        break;
+      case Op::kConv2d:
+        acts_[i] = conv2d_forward(in(0), n.weight, n.has_bias ? &n.bias : nullptr, n.conv);
+        break;
+      case Op::kLinear:
+        acts_[i] = linear_forward(in(0), n.weight, n.has_bias ? &n.bias : nullptr);
+        break;
+      case Op::kReLU:
+        acts_[i] = relu_forward(in(0));
+        break;
+      case Op::kMaxPool:
+        acts_[i] = maxpool_forward(in(0), n.pool_k, n.pool_stride);
+        break;
+      case Op::kGlobalAvgPool:
+        acts_[i] = global_avgpool_forward(in(0));
+        break;
+      case Op::kAdd:
+        acts_[i] = add_forward(in(0), in(1));
+        break;
+      case Op::kFlatten: {
+        acts_[i] = in(0);
+        int total = 1;
+        for (int d : n.out_chw) total *= d;
+        acts_[i].reshape({batch, total});
+        break;
+      }
+      case Op::kBatchNorm:
+        acts_[i] = batchnorm_forward(in(0), n.bn, training);
+        break;
+      case Op::kFakeQuant: {
+        if (training && n.fq_update_range) {
+          // Exponential moving max keeps the clip range tracking activations.
+          const float batch_max = in(0).size() ? std::max(0.0f, in(0).max()) : 0.0f;
+          n.fq_range = n.fq_range <= 0.0f ? batch_max : 0.95f * n.fq_range + 0.05f * batch_max;
+        }
+        acts_[i] = fake_quant_forward(in(0), n.fq_bits, n.fq_range);
+        break;
+      }
+      case Op::kBinarize: {
+        acts_[i] = in(0);
+        for (std::size_t j = 0; j < acts_[i].size(); ++j) {
+          acts_[i][j] = acts_[i][j] >= 0.0f ? 1.0f : -1.0f;
+        }
+        break;
+      }
+    }
+  }
+  return acts_.back();
+}
+
+void Graph::backward(const Tensor& dlogits) {
+  grads_.assign(nodes_.size(), Tensor());
+  grads_.back() = dlogits;
+  for (int i = num_nodes() - 1; i >= 0; --i) {
+    Node& n = nodes_[static_cast<std::size_t>(i)];
+    Tensor& dout = grads_[static_cast<std::size_t>(i)];
+    if (dout.empty()) continue;  // node not on any path to the loss
+    auto in_act = [&](int j) -> const Tensor& {
+      return acts_[static_cast<std::size_t>(n.inputs[static_cast<std::size_t>(j)])];
+    };
+    auto in_grad = [&](int j) -> Tensor& {
+      Tensor& g = grads_[static_cast<std::size_t>(n.inputs[static_cast<std::size_t>(j)])];
+      if (g.empty()) g = Tensor(in_act(j).shape());
+      return g;
+    };
+    switch (n.op) {
+      case Op::kInput:
+        break;
+      case Op::kConv2d: {
+        Tensor dx(in_act(0).shape());
+        conv2d_backward(in_act(0), n.weight, n.conv, dout, &dx, &n.wgrad,
+                        n.has_bias ? &n.bgrad : nullptr);
+        in_grad(0).add_(dx);
+        break;
+      }
+      case Op::kLinear: {
+        Tensor dx(in_act(0).shape());
+        linear_backward(in_act(0), n.weight, dout, &dx, &n.wgrad,
+                        n.has_bias ? &n.bgrad : nullptr);
+        in_grad(0).add_(dx);
+        break;
+      }
+      case Op::kReLU: {
+        Tensor dx(in_act(0).shape());
+        relu_backward(in_act(0), dout, &dx);
+        in_grad(0).add_(dx);
+        break;
+      }
+      case Op::kMaxPool: {
+        Tensor dx(in_act(0).shape());
+        maxpool_backward(in_act(0), n.pool_k, n.pool_stride, dout, &dx);
+        in_grad(0).add_(dx);
+        break;
+      }
+      case Op::kGlobalAvgPool: {
+        Tensor dx(in_act(0).shape());
+        global_avgpool_backward(in_act(0), dout, &dx);
+        in_grad(0).add_(dx);
+        break;
+      }
+      case Op::kAdd:
+        in_grad(0).add_(dout);
+        in_grad(1).add_(dout);
+        break;
+      case Op::kFlatten: {
+        Tensor dx = dout;
+        dx.reshape(in_act(0).shape());
+        in_grad(0).add_(dx);
+        break;
+      }
+      case Op::kBatchNorm: {
+        Tensor dx(in_act(0).shape());
+        batchnorm_backward(in_act(0), n.bn, dout, &dx, &n.ggrad, &n.betagrad);
+        in_grad(0).add_(dx);
+        break;
+      }
+      case Op::kFakeQuant: {
+        Tensor dx(in_act(0).shape());
+        fake_quant_backward(in_act(0), n.fq_range, dout, &dx);
+        in_grad(0).add_(dx);
+        break;
+      }
+      case Op::kBinarize: {
+        // Straight-through estimator clipped to |x| <= 1 (XNOR-Net style).
+        Tensor dx(in_act(0).shape());
+        const Tensor& x = in_act(0);
+        for (std::size_t j = 0; j < x.size(); ++j) {
+          dx[j] = std::fabs(x[j]) <= 1.0f ? dout[j] : 0.0f;
+        }
+        in_grad(0).add_(dx);
+        break;
+      }
+    }
+  }
+}
+
+void Graph::zero_grad() {
+  for (auto& n : nodes_) {
+    n.wgrad.fill(0.0f);
+    n.bgrad.fill(0.0f);
+    n.ggrad.fill(0.0f);
+    n.betagrad.fill(0.0f);
+  }
+}
+
+std::vector<Graph::ParamRef> Graph::params() {
+  std::vector<ParamRef> out;
+  for (auto& n : nodes_) {
+    if (n.op == Op::kConv2d || n.op == Op::kLinear) {
+      out.push_back({&n.weight, &n.wgrad, true});
+      if (n.has_bias) out.push_back({&n.bias, &n.bgrad, false});
+    } else if (n.op == Op::kBatchNorm) {
+      out.push_back({&n.bn.gamma, &n.ggrad, false});
+      out.push_back({&n.bn.beta, &n.betagrad, false});
+    }
+  }
+  return out;
+}
+
+std::vector<int> Graph::conv_nodes(bool include_grouped) const {
+  std::vector<int> out;
+  for (int i = 0; i < num_nodes(); ++i) {
+    const Node& n = nodes_[static_cast<std::size_t>(i)];
+    if (n.op == Op::kConv2d && (include_grouped || n.conv.groups == 1)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> Graph::linear_nodes() const {
+  std::vector<int> out;
+  for (int i = 0; i < num_nodes(); ++i) {
+    if (nodes_[static_cast<std::size_t>(i)].op == Op::kLinear) out.push_back(i);
+  }
+  return out;
+}
+
+std::size_t Graph::param_count() const {
+  std::size_t total = 0;
+  for (const auto& n : nodes_) {
+    total += n.weight.size() + n.bias.size();
+    if (n.op == Op::kBatchNorm) total += n.bn.gamma.size() + n.bn.beta.size();
+  }
+  return total;
+}
+
+void Graph::set_activation_bits(int bits) {
+  for (auto& n : nodes_) {
+    if (n.op == Op::kFakeQuant) n.fq_bits = bits;
+  }
+}
+
+void Graph::set_fq_range_tracking(bool on) {
+  for (auto& n : nodes_) {
+    if (n.op == Op::kFakeQuant) n.fq_update_range = on;
+  }
+}
+
+}  // namespace bswp::nn

@@ -1,0 +1,131 @@
+// SSA-style computation graph with reverse-mode autodiff.
+//
+// Nodes are appended in topological order (every input id must already
+// exist), so forward is a single pass over the node list and backward is the
+// reverse pass. The graph owns all parameters; `params()` exposes them to
+// the optimizer, and compression code (pool/codec, BN folding) mutates conv
+// weights in place through the node API.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "nn/layers.h"
+
+namespace bswp::nn {
+
+enum class Op {
+  kInput,
+  kConv2d,
+  kLinear,
+  kReLU,
+  kMaxPool,
+  kGlobalAvgPool,
+  kAdd,
+  kFlatten,
+  kBatchNorm,
+  kFakeQuant,
+  /// Sign binarization (+1/-1) with straight-through gradient inside |x|<=1;
+  /// used by the binarized-network baseline (paper §5.5).
+  kBinarize,
+};
+
+const char* op_name(Op op);
+
+struct Node {
+  Op op = Op::kInput;
+  std::string name;
+  std::vector<int> inputs;        // node ids
+  std::vector<int> out_chw;       // output shape per sample (C,H,W) or (F)
+
+  // Conv / linear parameters.
+  ConvSpec conv;
+  bool has_bias = false;
+  Tensor weight, bias;
+  Tensor wgrad, bgrad;
+
+  // Pooling.
+  int pool_k = 2, pool_stride = 2;
+
+  // BatchNorm.
+  BatchNormState bn;
+  Tensor ggrad, betagrad;
+
+  // Fake quantization (QAT). `fq_range <= 0` means "not yet calibrated":
+  // the node is an identity until calibration sets the clip range.
+  int fq_bits = 8;
+  float fq_range = 0.0f;
+  bool fq_update_range = true;  // track running max during training forward
+};
+
+class Graph {
+ public:
+  // --- construction -------------------------------------------------------
+  int input(int c, int h, int w);
+  int conv2d(int in, int out_ch, int k, int stride, int pad, int groups = 1, bool bias = false,
+             const std::string& name = "");
+  int linear(int in, int out_features, bool bias = true, const std::string& name = "");
+  int relu(int in);
+  int maxpool(int in, int k, int stride);
+  int global_avgpool(int in);
+  int add(int a, int b);
+  int flatten(int in);
+  int batchnorm(int in, const std::string& name = "");
+  int fake_quant(int in, int bits);
+  int binarize(int in);
+
+  void init_weights(Rng& rng);
+
+  // --- execution -----------------------------------------------------------
+  /// Forward pass; activations are cached for backward. Returns the output of
+  /// the last node (the logits for classifier graphs).
+  const Tensor& forward(const Tensor& x, bool training);
+  /// Backward from dLoss/dLogits (same shape as the last node's output).
+  /// Parameter gradients are accumulated; call zero_grad() per step.
+  void backward(const Tensor& dlogits);
+  void zero_grad();
+
+  /// Forward and return activation of a specific node (after a forward call).
+  const Tensor& activation(int node) const { return acts_.at(static_cast<std::size_t>(node)); }
+
+  // --- introspection -------------------------------------------------------
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  Node& node(int i) { return nodes_.at(static_cast<std::size_t>(i)); }
+  const Node& node(int i) const { return nodes_.at(static_cast<std::size_t>(i)); }
+  int output_node() const { return num_nodes() - 1; }
+
+  /// All (param, grad) pairs for the optimizer.
+  struct ParamRef {
+    Tensor* value;
+    Tensor* grad;
+    bool decay;  // apply weight decay (conv/linear weights only)
+  };
+  std::vector<ParamRef> params();
+
+  /// Ids of all conv nodes (optionally excluding depthwise / grouped convs).
+  std::vector<int> conv_nodes(bool include_grouped = true) const;
+  /// Ids of all linear nodes.
+  std::vector<int> linear_nodes() const;
+  /// Total trainable parameter count.
+  std::size_t param_count() const;
+
+  /// Set every fake-quant node's bitwidth (for bitwidth sweeps). Nodes keep
+  /// their calibrated ranges.
+  void set_activation_bits(int bits);
+  /// Freeze/unfreeze fake-quant running-range updates.
+  void set_fq_range_tracking(bool on);
+
+ private:
+  int add_node(Node n);
+  std::vector<int> infer_shape(const Node& n) const;
+
+  std::vector<Node> nodes_;
+  std::vector<Tensor> acts_;   // cached activations from last forward
+  std::vector<Tensor> grads_;  // activation gradients during backward
+  bool training_ = false;
+};
+
+}  // namespace bswp::nn

@@ -1,0 +1,489 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace bswp::nn {
+
+// ---------------------------------------------------------------------------
+// Small matmul kernels. ikj loop order keeps the inner loop contiguous in B
+// and C; good enough for the layer sizes trained in this repo.
+// ---------------------------------------------------------------------------
+
+void matmul(const float* a, const float* b, float* c, int m, int k, int n) {
+  std::memset(c, 0, sizeof(float) * static_cast<std::size_t>(m) * n);
+  for (int i = 0; i < m; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const float av = a[i * k + p];
+      if (av == 0.0f) continue;
+      const float* brow = b + static_cast<std::size_t>(p) * n;
+      float* crow = c + static_cast<std::size_t>(i) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_at_b(const float* a, const float* b, float* c, int m, int k, int n) {
+  // c (k x n) += a^T (k x m) * b (m x n), with a given as (m x k).
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    const float* brow = b + static_cast<std::size_t>(i) * n;
+    for (int p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c + static_cast<std::size_t>(p) * n;
+      for (int j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void matmul_a_bt(const float* a, const float* b, float* c, int m, int k, int n) {
+  // c (m x n) = a (m x k) * b^T with b given as (n x k).
+  for (int i = 0; i < m; ++i) {
+    const float* arow = a + static_cast<std::size_t>(i) * k;
+    for (int j = 0; j < n; ++j) {
+      const float* brow = b + static_cast<std::size_t>(j) * k;
+      float acc = 0.0f;
+      for (int p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      c[static_cast<std::size_t>(i) * n + j] = acc;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// im2col / col2im
+// ---------------------------------------------------------------------------
+
+void im2col(const float* img, int c, int h, int w, const ConvSpec& spec, float* cols) {
+  const int oh = spec.out_h(h), ow = spec.out_w(w);
+  const int span = oh * ow;
+  int row = 0;
+  for (int ch = 0; ch < c; ++ch) {
+    for (int ky = 0; ky < spec.kh; ++ky) {
+      for (int kx = 0; kx < spec.kw; ++kx, ++row) {
+        float* out_row = cols + static_cast<std::size_t>(row) * span;
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * spec.stride + ky - spec.pad;
+          if (iy < 0 || iy >= h) {
+            std::memset(out_row + oy * ow, 0, sizeof(float) * static_cast<std::size_t>(ow));
+            continue;
+          }
+          const float* src = img + (static_cast<std::size_t>(ch) * h + iy) * w;
+          for (int ox = 0; ox < ow; ++ox) {
+            const int ix = ox * spec.stride + kx - spec.pad;
+            out_row[oy * ow + ox] = (ix >= 0 && ix < w) ? src[ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const float* cols, int c, int h, int w, const ConvSpec& spec, float* img) {
+  const int oh = spec.out_h(h), ow = spec.out_w(w);
+  const int span = oh * ow;
+  int row = 0;
+  for (int ch = 0; ch < c; ++ch) {
+    for (int ky = 0; ky < spec.kh; ++ky) {
+      for (int kx = 0; kx < spec.kw; ++kx, ++row) {
+        const float* in_row = cols + static_cast<std::size_t>(row) * span;
+        for (int oy = 0; oy < oh; ++oy) {
+          const int iy = oy * spec.stride + ky - spec.pad;
+          if (iy < 0 || iy >= h) continue;
+          float* dst = img + (static_cast<std::size_t>(ch) * h + iy) * w;
+          for (int ox = 0; ox < ow; ++ox) {
+            const int ix = ox * spec.stride + kx - spec.pad;
+            if (ix >= 0 && ix < w) dst[ix] += in_row[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Conv2d
+// ---------------------------------------------------------------------------
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor* bias,
+                      const ConvSpec& spec) {
+  check(x.rank() == 4, "conv2d: input must be NCHW");
+  check(x.dim(1) == spec.in_ch, "conv2d: channel mismatch");
+  check(spec.in_ch % spec.groups == 0 && spec.out_ch % spec.groups == 0,
+        "conv2d: groups must divide channels");
+  const int n = x.dim(0), h = x.dim(2), ww = x.dim(3);
+  const int oh = spec.out_h(h), ow = spec.out_w(ww);
+  const int cg = spec.in_ch / spec.groups;      // input channels per group
+  const int og = spec.out_ch / spec.groups;     // output channels per group
+  const int krows = cg * spec.kh * spec.kw;
+  Tensor y({n, spec.out_ch, oh, ow});
+  std::vector<float> cols(static_cast<std::size_t>(krows) * oh * ow);
+
+  for (int img = 0; img < n; ++img) {
+    for (int g = 0; g < spec.groups; ++g) {
+      const float* xin =
+          x.data() + ((static_cast<std::size_t>(img) * spec.in_ch + g * cg) * h) * ww;
+      im2col(xin, cg, h, ww, spec, cols.data());
+      const float* wgrp = w.data() + static_cast<std::size_t>(g) * og * krows;
+      float* yout = y.data() + ((static_cast<std::size_t>(img) * spec.out_ch + g * og) * oh) * ow;
+      matmul(wgrp, cols.data(), yout, og, krows, oh * ow);
+    }
+  }
+  if (bias != nullptr && !bias->empty()) {
+    const int span = oh * ow;
+    for (int img = 0; img < n; ++img) {
+      for (int oc = 0; oc < spec.out_ch; ++oc) {
+        float* row = y.data() + (static_cast<std::size_t>(img) * spec.out_ch + oc) * span;
+        const float b = (*bias)[static_cast<std::size_t>(oc)];
+        for (int i = 0; i < span; ++i) row[i] += b;
+      }
+    }
+  }
+  return y;
+}
+
+void conv2d_backward(const Tensor& x, const Tensor& w, const ConvSpec& spec, const Tensor& dout,
+                     Tensor* dx, Tensor* dw, Tensor* db) {
+  const int n = x.dim(0), h = x.dim(2), ww = x.dim(3);
+  const int oh = spec.out_h(h), ow = spec.out_w(ww);
+  const int cg = spec.in_ch / spec.groups;
+  const int og = spec.out_ch / spec.groups;
+  const int krows = cg * spec.kh * spec.kw;
+  const int span = oh * ow;
+  std::vector<float> cols(static_cast<std::size_t>(krows) * span);
+  std::vector<float> dcols(static_cast<std::size_t>(krows) * span);
+
+  if (dx != nullptr) dx->fill(0.0f);
+  for (int img = 0; img < n; ++img) {
+    for (int g = 0; g < spec.groups; ++g) {
+      const float* xin =
+          x.data() + ((static_cast<std::size_t>(img) * spec.in_ch + g * cg) * h) * ww;
+      const float* doutg =
+          dout.data() + ((static_cast<std::size_t>(img) * spec.out_ch + g * og) * oh) * ow;
+      if (dw != nullptr) {
+        im2col(xin, cg, h, ww, spec, cols.data());
+        // dW (og x krows) += dOut (og x span) * cols^T (span x krows)
+        float* dwg = dw->data() + static_cast<std::size_t>(g) * og * krows;
+        for (int oc = 0; oc < og; ++oc) {
+          const float* drow = doutg + static_cast<std::size_t>(oc) * span;
+          float* dwrow = dwg + static_cast<std::size_t>(oc) * krows;
+          for (int r = 0; r < krows; ++r) {
+            const float* crow = cols.data() + static_cast<std::size_t>(r) * span;
+            float acc = 0.0f;
+            for (int i = 0; i < span; ++i) acc += drow[i] * crow[i];
+            dwrow[r] += acc;
+          }
+        }
+      }
+      if (dx != nullptr) {
+        // dcols (krows x span) = W^T (krows x og) * dOut (og x span)
+        const float* wgrp = w.data() + static_cast<std::size_t>(g) * og * krows;
+        std::memset(dcols.data(), 0, sizeof(float) * dcols.size());
+        matmul_at_b(wgrp, doutg, dcols.data(), og, krows, span);
+        float* dxg = dx->data() + ((static_cast<std::size_t>(img) * spec.in_ch + g * cg) * h) * ww;
+        col2im(dcols.data(), cg, h, ww, spec, dxg);
+      }
+    }
+  }
+  if (db != nullptr && db->size() == static_cast<std::size_t>(spec.out_ch)) {
+    for (int img = 0; img < n; ++img) {
+      for (int oc = 0; oc < spec.out_ch; ++oc) {
+        const float* row = dout.data() + (static_cast<std::size_t>(img) * spec.out_ch + oc) * span;
+        float acc = 0.0f;
+        for (int i = 0; i < span; ++i) acc += row[i];
+        (*db)[static_cast<std::size_t>(oc)] += acc;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor* bias) {
+  check(x.rank() == 2, "linear: input must be N x F");
+  const int n = x.dim(0), fin = x.dim(1), fout = w.dim(0);
+  check(w.dim(1) == fin, "linear: weight shape mismatch");
+  Tensor y({n, fout});
+  matmul_a_bt(x.data(), w.data(), y.data(), n, fin, fout);
+  if (bias != nullptr && !bias->empty()) {
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < fout; ++j) y.at(i, j) += (*bias)[static_cast<std::size_t>(j)];
+  }
+  return y;
+}
+
+void linear_backward(const Tensor& x, const Tensor& w, const Tensor& dout, Tensor* dx, Tensor* dw,
+                     Tensor* db) {
+  const int n = x.dim(0), fin = x.dim(1), fout = w.dim(0);
+  if (dw != nullptr) {
+    // dW (fout x fin) += dOut^T (fout x n) * x (n x fin)
+    matmul_at_b(dout.data(), x.data(), dw->data(), n, fout, fin);
+  }
+  if (db != nullptr && !db->empty()) {
+    for (int i = 0; i < n; ++i)
+      for (int j = 0; j < fout; ++j) (*db)[static_cast<std::size_t>(j)] += dout.at(i, j);
+  }
+  if (dx != nullptr) {
+    // dX (n x fin) = dOut (n x fout) * W (fout x fin)
+    matmul(dout.data(), w.data(), dx->data(), n, fout, fin);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Activations / pooling
+// ---------------------------------------------------------------------------
+
+Tensor relu_forward(const Tensor& x) {
+  Tensor y = x;
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] = std::max(0.0f, y[i]);
+  return y;
+}
+
+void relu_backward(const Tensor& x, const Tensor& dout, Tensor* dx) {
+  for (std::size_t i = 0; i < x.size(); ++i) (*dx)[i] = x[i] > 0.0f ? dout[i] : 0.0f;
+}
+
+Tensor maxpool_forward(const Tensor& x, int k, int stride) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = (h - k) / stride + 1, ow = (w - k) / stride + 1;
+  Tensor y({n, c, oh, ow});
+  for (int img = 0; img < n; ++img) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float m = -1e30f;
+          for (int ky = 0; ky < k; ++ky)
+            for (int kx = 0; kx < k; ++kx)
+              m = std::max(m, x.at(img, ch, oy * stride + ky, ox * stride + kx));
+          y.at(img, ch, oy, ox) = m;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+void maxpool_backward(const Tensor& x, int k, int stride, const Tensor& dout, Tensor* dx) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const int oh = (h - k) / stride + 1, ow = (w - k) / stride + 1;
+  dx->fill(0.0f);
+  for (int img = 0; img < n; ++img) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int oy = 0; oy < oh; ++oy) {
+        for (int ox = 0; ox < ow; ++ox) {
+          float m = -1e30f;
+          int my = 0, mx = 0;
+          for (int ky = 0; ky < k; ++ky) {
+            for (int kx = 0; kx < k; ++kx) {
+              const float v = x.at(img, ch, oy * stride + ky, ox * stride + kx);
+              if (v > m) {
+                m = v;
+                my = oy * stride + ky;
+                mx = ox * stride + kx;
+              }
+            }
+          }
+          dx->at(img, ch, my, mx) += dout.at(img, ch, oy, ox);
+        }
+      }
+    }
+  }
+}
+
+Tensor global_avgpool_forward(const Tensor& x) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  Tensor y({n, c});
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int img = 0; img < n; ++img) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float* src = x.data() + (static_cast<std::size_t>(img) * c + ch) * h * w;
+      float acc = 0.0f;
+      for (int i = 0; i < h * w; ++i) acc += src[i];
+      y.at(img, ch) = acc * inv;
+    }
+  }
+  return y;
+}
+
+void global_avgpool_backward(const Tensor& x, const Tensor& dout, Tensor* dx) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const float inv = 1.0f / static_cast<float>(h * w);
+  for (int img = 0; img < n; ++img) {
+    for (int ch = 0; ch < c; ++ch) {
+      const float g = dout.at(img, ch) * inv;
+      float* dst = dx->data() + (static_cast<std::size_t>(img) * c + ch) * h * w;
+      for (int i = 0; i < h * w; ++i) dst[i] = g;
+    }
+  }
+}
+
+Tensor add_forward(const Tensor& a, const Tensor& b) {
+  check(a.size() == b.size(), "add: size mismatch");
+  Tensor y = a;
+  y.add_(b);
+  return y;
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm
+// ---------------------------------------------------------------------------
+
+BatchNormState::BatchNormState(int channels)
+    : gamma({channels}, 1.0f),
+      beta({channels}, 0.0f),
+      running_mean({channels}, 0.0f),
+      running_var({channels}, 1.0f),
+      saved_mean({channels}, 0.0f),
+      saved_inv_std({channels}, 1.0f) {}
+
+Tensor batchnorm_forward(const Tensor& x, BatchNormState& bn, bool training) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t span = static_cast<std::size_t>(h) * w;
+  const float count = static_cast<float>(n) * span;
+  Tensor y(x.shape());
+  for (int ch = 0; ch < c; ++ch) {
+    float mean, inv_std;
+    if (training) {
+      double s = 0.0, s2 = 0.0;
+      for (int img = 0; img < n; ++img) {
+        const float* src = x.data() + (static_cast<std::size_t>(img) * c + ch) * span;
+        for (std::size_t i = 0; i < span; ++i) {
+          s += src[i];
+          s2 += static_cast<double>(src[i]) * src[i];
+        }
+      }
+      mean = static_cast<float>(s / count);
+      const float var = std::max(0.0f, static_cast<float>(s2 / count) - mean * mean);
+      inv_std = 1.0f / std::sqrt(var + bn.eps);
+      bn.saved_mean[static_cast<std::size_t>(ch)] = mean;
+      bn.saved_inv_std[static_cast<std::size_t>(ch)] = inv_std;
+      bn.running_mean[static_cast<std::size_t>(ch)] =
+          (1 - bn.momentum) * bn.running_mean[static_cast<std::size_t>(ch)] + bn.momentum * mean;
+      bn.running_var[static_cast<std::size_t>(ch)] =
+          (1 - bn.momentum) * bn.running_var[static_cast<std::size_t>(ch)] + bn.momentum * var;
+    } else {
+      mean = bn.running_mean[static_cast<std::size_t>(ch)];
+      inv_std = 1.0f / std::sqrt(bn.running_var[static_cast<std::size_t>(ch)] + bn.eps);
+    }
+    const float g = bn.gamma[static_cast<std::size_t>(ch)];
+    const float b = bn.beta[static_cast<std::size_t>(ch)];
+    for (int img = 0; img < n; ++img) {
+      const float* src = x.data() + (static_cast<std::size_t>(img) * c + ch) * span;
+      float* dst = y.data() + (static_cast<std::size_t>(img) * c + ch) * span;
+      for (std::size_t i = 0; i < span; ++i) dst[i] = g * (src[i] - mean) * inv_std + b;
+    }
+  }
+  return y;
+}
+
+void batchnorm_backward(const Tensor& x, const BatchNormState& bn, const Tensor& dout, Tensor* dx,
+                        Tensor* dgamma, Tensor* dbeta) {
+  const int n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  const std::size_t span = static_cast<std::size_t>(h) * w;
+  const float count = static_cast<float>(n) * span;
+  for (int ch = 0; ch < c; ++ch) {
+    const float mean = bn.saved_mean[static_cast<std::size_t>(ch)];
+    const float inv_std = bn.saved_inv_std[static_cast<std::size_t>(ch)];
+    const float g = bn.gamma[static_cast<std::size_t>(ch)];
+    // Accumulate sum(dout) and sum(dout * xhat).
+    double sum_dout = 0.0, sum_dout_xhat = 0.0;
+    for (int img = 0; img < n; ++img) {
+      const float* xs = x.data() + (static_cast<std::size_t>(img) * c + ch) * span;
+      const float* ds = dout.data() + (static_cast<std::size_t>(img) * c + ch) * span;
+      for (std::size_t i = 0; i < span; ++i) {
+        const float xhat = (xs[i] - mean) * inv_std;
+        sum_dout += ds[i];
+        sum_dout_xhat += static_cast<double>(ds[i]) * xhat;
+      }
+    }
+    if (dgamma != nullptr) (*dgamma)[static_cast<std::size_t>(ch)] += static_cast<float>(sum_dout_xhat);
+    if (dbeta != nullptr) (*dbeta)[static_cast<std::size_t>(ch)] += static_cast<float>(sum_dout);
+    if (dx != nullptr) {
+      const float k1 = static_cast<float>(sum_dout) / count;
+      const float k2 = static_cast<float>(sum_dout_xhat) / count;
+      for (int img = 0; img < n; ++img) {
+        const float* xs = x.data() + (static_cast<std::size_t>(img) * c + ch) * span;
+        const float* ds = dout.data() + (static_cast<std::size_t>(img) * c + ch) * span;
+        float* dd = dx->data() + (static_cast<std::size_t>(img) * c + ch) * span;
+        for (std::size_t i = 0; i < span; ++i) {
+          const float xhat = (xs[i] - mean) * inv_std;
+          dd[i] = g * inv_std * (ds[i] - k1 - xhat * k2);
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loss / metrics
+// ---------------------------------------------------------------------------
+
+float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels,
+                            Tensor* dlogits) {
+  const int n = logits.dim(0), k = logits.dim(1);
+  check(static_cast<int>(labels.size()) == n, "labels size mismatch");
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const float* row = logits.data() + static_cast<std::size_t>(i) * k;
+    float m = row[0];
+    for (int j = 1; j < k; ++j) m = std::max(m, row[j]);
+    double z = 0.0;
+    for (int j = 0; j < k; ++j) z += std::exp(static_cast<double>(row[j] - m));
+    const int y = labels[static_cast<std::size_t>(i)];
+    loss += std::log(z) - static_cast<double>(row[y] - m);
+    if (dlogits != nullptr) {
+      float* drow = dlogits->data() + static_cast<std::size_t>(i) * k;
+      for (int j = 0; j < k; ++j) {
+        const float p = static_cast<float>(std::exp(static_cast<double>(row[j] - m)) / z);
+        drow[j] = (p - (j == y ? 1.0f : 0.0f)) / static_cast<float>(n);
+      }
+    }
+  }
+  return static_cast<float>(loss / n);
+}
+
+int count_correct(const Tensor& logits, const std::vector<int>& labels) {
+  const int n = logits.dim(0), k = logits.dim(1);
+  int correct = 0;
+  for (int i = 0; i < n; ++i) {
+    const float* row = logits.data() + static_cast<std::size_t>(i) * k;
+    int best = 0;
+    for (int j = 1; j < k; ++j)
+      if (row[j] > row[best]) best = j;
+    if (best == labels[static_cast<std::size_t>(i)]) ++correct;
+  }
+  return correct;
+}
+
+// ---------------------------------------------------------------------------
+// Fake quantization (QAT)
+// ---------------------------------------------------------------------------
+
+Tensor fake_quant_forward(const Tensor& x, int bits, float range) {
+  check(bits >= 1 && bits <= 16, "fake_quant: bits out of range");
+  Tensor y(x.shape());
+  if (range <= 0.0f) return x;  // uncalibrated: identity
+  const float levels = static_cast<float>((1 << bits) - 1);
+  const float step = range / levels;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float clamped = std::clamp(x[i], 0.0f, range);
+    y[i] = std::round(clamped / step) * step;
+  }
+  return y;
+}
+
+void fake_quant_backward(const Tensor& x, float range, const Tensor& dout, Tensor* dx) {
+  if (range <= 0.0f) {
+    *dx = dout;
+    return;
+  }
+  // Straight-through estimator with clipping mask.
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    (*dx)[i] = (x[i] >= 0.0f && x[i] <= range) ? dout[i] : 0.0f;
+  }
+}
+
+}  // namespace bswp::nn

@@ -1,0 +1,96 @@
+// Pure-function layer implementations (forward + backward) on float tensors.
+//
+// These are the numerical workhorses behind nn::Graph. They are stateless:
+// every function takes all of its operands explicitly, which keeps them easy
+// to test in isolation (including finite-difference gradient checks) and
+// reusable by the quantization pipeline (e.g. BN folding needs raw conv
+// arithmetic).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace bswp::nn {
+
+/// Convolution geometry. Weights are OIHW with I = in_ch / groups.
+struct ConvSpec {
+  int in_ch = 0;
+  int out_ch = 0;
+  int kh = 3;
+  int kw = 3;
+  int stride = 1;
+  int pad = 1;
+  int groups = 1;
+
+  int out_h(int in_h) const { return (in_h + 2 * pad - kh) / stride + 1; }
+  int out_w(int in_w) const { return (in_w + 2 * pad - kw) / stride + 1; }
+  std::vector<int> weight_shape() const { return {out_ch, in_ch / groups, kh, kw}; }
+  std::size_t weight_count() const {
+    return static_cast<std::size_t>(out_ch) * (in_ch / groups) * kh * kw;
+  }
+};
+
+/// C = A(m x k) * B(k x n), row-major; C is overwritten.
+void matmul(const float* a, const float* b, float* c, int m, int k, int n);
+/// C += A^T(m x k -> k x m) * B(m x n): used for weight gradients.
+void matmul_at_b(const float* a, const float* b, float* c, int m, int k, int n);
+/// C = A(m x k) * B^T(n x k): used for input gradients.
+void matmul_a_bt(const float* a, const float* b, float* c, int m, int k, int n);
+
+/// im2col for one image (single group slice): input (c x h x w) ->
+/// columns ((c*kh*kw) x (out_h*out_w)).
+void im2col(const float* img, int c, int h, int w, const ConvSpec& spec, float* cols);
+/// Transpose of im2col: scatter-add columns back into an image gradient.
+void col2im(const float* cols, int c, int h, int w, const ConvSpec& spec, float* img);
+
+Tensor conv2d_forward(const Tensor& x, const Tensor& w, const Tensor* bias, const ConvSpec& spec);
+/// Any of dx/dw/db may be null to skip that gradient. dw/db are accumulated
+/// into (caller zeroes them at step start).
+void conv2d_backward(const Tensor& x, const Tensor& w, const ConvSpec& spec, const Tensor& dout,
+                     Tensor* dx, Tensor* dw, Tensor* db);
+
+Tensor linear_forward(const Tensor& x, const Tensor& w, const Tensor* bias);
+void linear_backward(const Tensor& x, const Tensor& w, const Tensor& dout, Tensor* dx, Tensor* dw,
+                     Tensor* db);
+
+Tensor relu_forward(const Tensor& x);
+void relu_backward(const Tensor& x, const Tensor& dout, Tensor* dx);
+
+Tensor maxpool_forward(const Tensor& x, int k, int stride);
+void maxpool_backward(const Tensor& x, int k, int stride, const Tensor& dout, Tensor* dx);
+
+Tensor global_avgpool_forward(const Tensor& x);
+void global_avgpool_backward(const Tensor& x, const Tensor& dout, Tensor* dx);
+
+Tensor add_forward(const Tensor& a, const Tensor& b);
+
+/// BatchNorm running state + learned affine.
+struct BatchNormState {
+  Tensor gamma, beta, running_mean, running_var;
+  // Saved batch statistics from the last training forward (needed by backward).
+  Tensor saved_mean, saved_inv_std;
+  float momentum = 0.1f;
+  float eps = 1e-5f;
+
+  explicit BatchNormState(int channels = 0);
+};
+
+Tensor batchnorm_forward(const Tensor& x, BatchNormState& bn, bool training);
+void batchnorm_backward(const Tensor& x, const BatchNormState& bn, const Tensor& dout, Tensor* dx,
+                        Tensor* dgamma, Tensor* dbeta);
+
+/// Softmax + cross-entropy over logits (N x classes). Returns mean loss and
+/// writes dlogits (already divided by N) if non-null.
+float softmax_cross_entropy(const Tensor& logits, const std::vector<int>& labels,
+                            Tensor* dlogits);
+/// Count of argmax(logits) == label.
+int count_correct(const Tensor& logits, const std::vector<int>& labels);
+
+/// Uniform fake quantization of activations to `bits` unsigned levels over
+/// [0, range]; straight-through estimator on backward.
+Tensor fake_quant_forward(const Tensor& x, int bits, float range);
+void fake_quant_backward(const Tensor& x, float range, const Tensor& dout, Tensor* dx);
+
+}  // namespace bswp::nn

@@ -1,0 +1,79 @@
+#include "nn/trainer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace bswp::nn {
+
+TrainStats Trainer::fit(Graph& g, const data::Dataset& train, const data::Dataset& test) {
+  TrainStats stats;
+  Rng rng(cfg_.seed);
+
+  // Momentum buffers aligned with g.params() ordering.
+  auto params = g.params();
+  std::vector<Tensor> velocity;
+  velocity.reserve(params.size());
+  for (auto& p : params) velocity.emplace_back(p.value->shape());
+
+  std::vector<int> order(static_cast<std::size_t>(train.size()));
+  for (int i = 0; i < train.size(); ++i) order[static_cast<std::size_t>(i)] = i;
+
+  float lr = cfg_.lr;
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    if (cfg_.lr_step > 0 && epoch > 0 && epoch % cfg_.lr_step == 0) lr *= cfg_.lr_decay;
+    rng.shuffle(order);
+    double loss_sum = 0.0;
+    int correct = 0, seen = 0, batches = 0;
+    for (int start = 0; start + cfg_.batch_size <= train.size(); start += cfg_.batch_size) {
+      if (cfg_.max_batches_per_epoch > 0 && batches >= cfg_.max_batches_per_epoch) break;
+      std::vector<int> idx(order.begin() + start, order.begin() + start + cfg_.batch_size);
+      data::Batch b = train.gather(idx);
+
+      g.zero_grad();
+      const Tensor& logits = g.forward(b.images, /*training=*/true);
+      Tensor dlogits(logits.shape());
+      const float loss = softmax_cross_entropy(logits, b.labels, &dlogits);
+      correct += count_correct(logits, b.labels);
+      seen += cfg_.batch_size;
+      loss_sum += loss;
+      ++batches;
+      g.backward(dlogits);
+
+      // SGD with momentum + decoupled-from-loss L2 on decayable params.
+      params = g.params();
+      for (std::size_t p = 0; p < params.size(); ++p) {
+        Tensor& v = velocity[p];
+        Tensor& w = *params[p].value;
+        Tensor& dw = *params[p].grad;
+        const float wd = params[p].decay ? cfg_.weight_decay : 0.0f;
+        for (std::size_t i = 0; i < w.size(); ++i) {
+          v[i] = cfg_.momentum * v[i] + dw[i] + wd * w[i];
+          w[i] -= lr * v[i];
+        }
+      }
+      if (post_step_) post_step_(g);
+    }
+    stats.epoch_loss.push_back(batches ? static_cast<float>(loss_sum / batches) : 0.0f);
+    stats.epoch_train_acc.push_back(seen ? 100.0f * correct / seen : 0.0f);
+    if (cfg_.verbose) {
+      std::printf("  epoch %2d  loss %.4f  train-acc %.2f%%  lr %.4f\n", epoch,
+                  stats.epoch_loss.back(), stats.epoch_train_acc.back(), lr);
+    }
+  }
+  stats.final_test_acc = evaluate(g, test);
+  return stats;
+}
+
+float evaluate(Graph& g, const data::Dataset& ds, int batch_size) {
+  int correct = 0, total = 0;
+  for (int start = 0; start < ds.size(); start += batch_size) {
+    const int count = std::min(batch_size, ds.size() - start);
+    data::Batch b = ds.batch(start, count);
+    const Tensor& logits = g.forward(b.images, /*training=*/false);
+    correct += count_correct(logits, b.labels);
+    total += count;
+  }
+  return total ? 100.0f * correct / total : 0.0f;
+}
+
+}  // namespace bswp::nn

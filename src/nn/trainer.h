@@ -1,0 +1,57 @@
+// SGD trainer for nn::Graph classifiers.
+//
+// Mirrors the paper's training setup (§5.1): SGD with momentum and a step
+// learning-rate schedule. A `post_step` hook lets the weight-pool fine-tuner
+// re-project weights onto the pool after every optimizer step (the paper's
+// "forward pass reassigns indices to the nearest weight pool vector").
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "nn/graph.h"
+
+namespace bswp::nn {
+
+struct TrainConfig {
+  int epochs = 10;
+  int batch_size = 64;
+  float lr = 0.05f;
+  float momentum = 0.9f;
+  float weight_decay = 5e-4f;
+  /// Multiply lr by `lr_decay` every `lr_step` epochs (0 = no schedule).
+  int lr_step = 6;
+  float lr_decay = 0.2f;
+  uint64_t seed = 1234;
+  bool verbose = false;
+  /// Cap on batches per epoch (0 = full dataset); used to keep bench-side
+  /// fine-tuning cheap.
+  int max_batches_per_epoch = 0;
+};
+
+struct TrainStats {
+  std::vector<float> epoch_loss;
+  std::vector<float> epoch_train_acc;
+  float final_test_acc = 0.0f;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(TrainConfig cfg) : cfg_(cfg) {}
+
+  /// Hook invoked after every optimizer step (e.g. pool projection).
+  void set_post_step(std::function<void(Graph&)> hook) { post_step_ = std::move(hook); }
+
+  TrainStats fit(Graph& g, const data::Dataset& train, const data::Dataset& test);
+
+ private:
+  TrainConfig cfg_;
+  std::function<void(Graph&)> post_step_;
+};
+
+/// Top-1 accuracy (in %) of the graph on a dataset, evaluated in inference
+/// mode with the given batch size.
+float evaluate(Graph& g, const data::Dataset& ds, int batch_size = 128);
+
+}  // namespace bswp::nn

@@ -1,0 +1,277 @@
+#include "pool/codec.h"
+
+#include <algorithm>
+
+#include "pool/grouping.h"
+
+namespace bswp::pool {
+
+namespace {
+
+/// Deterministic stride-subsample of rows from an (n x dim) tensor.
+Tensor subsample_rows(const Tensor& vecs, int cap) {
+  const int n = vecs.dim(0), dim = vecs.dim(1);
+  if (cap <= 0 || n <= cap) return vecs;
+  Tensor out({cap, dim});
+  const double stride = static_cast<double>(n) / cap;
+  for (int i = 0; i < cap; ++i) {
+    const int src = std::min(n - 1, static_cast<int>(i * stride));
+    std::copy(vecs.data() + static_cast<std::size_t>(src) * dim,
+              vecs.data() + static_cast<std::size_t>(src + 1) * dim,
+              out.data() + static_cast<std::size_t>(i) * dim);
+  }
+  return out;
+}
+
+PooledLayer make_layer_entry(const nn::Graph& g, int node, int group_size) {
+  const nn::Node& n = g.node(node);
+  PooledLayer layer;
+  layer.node = node;
+  if (n.op == nn::Op::kLinear) {
+    layer.is_linear = true;
+    layer.out_ch = n.weight.dim(0);
+    layer.channel_groups = n.weight.dim(1) / group_size;
+    layer.kh = layer.kw = 1;
+  } else {
+    layer.out_ch = n.conv.out_ch;
+    layer.channel_groups = n.conv.in_ch / group_size;
+    layer.kh = n.conv.kh;
+    layer.kw = n.conv.kw;
+  }
+  layer.indices.assign(static_cast<std::size_t>(layer.out_ch) * layer.channel_groups * layer.kh *
+                           layer.kw,
+                       0);
+  return layer;
+}
+
+Tensor layer_vectors(const nn::Graph& g, const PooledLayer& layer, int group_size) {
+  const nn::Node& n = g.node(layer.node);
+  return layer.is_linear ? extract_z_vectors_linear(n.weight, group_size)
+                         : extract_z_vectors(n.weight, group_size);
+}
+
+void assign_layer(const nn::Graph& g, const WeightPool& pool, PooledLayer& layer) {
+  Tensor vecs = layer_vectors(g, layer, pool.group_size);
+  const int dim = pool.group_size;
+  for (int i = 0; i < vecs.dim(0); ++i) {
+    layer.indices[static_cast<std::size_t>(i)] = static_cast<uint16_t>(
+        nearest_centroid(vecs.data() + static_cast<std::size_t>(i) * dim, pool.vectors,
+                         pool.metric));
+  }
+}
+
+}  // namespace
+
+PooledNetwork build_weight_pool(const nn::Graph& g, const CodecOptions& opt) {
+  check(opt.pool_size >= 2 && opt.pool_size <= 65536, "pool size out of range");
+  PooledNetwork net;
+  net.pool.group_size = opt.group_size;
+  net.pool.metric = opt.metric;
+
+  // Gather candidate layers and their vectors.
+  std::vector<int> pooled_nodes;
+  std::size_t total_rows = 0;
+  std::vector<Tensor> all_vecs;
+  for (int node = 0; node < g.num_nodes(); ++node) {
+    const nn::Node& n = g.node(node);
+    if (n.op == nn::Op::kConv2d) {
+      if (!z_poolable(n.conv, opt.group_size)) {
+        net.uncompressed_nodes.push_back(node);
+        continue;
+      }
+      pooled_nodes.push_back(node);
+      all_vecs.push_back(extract_z_vectors(n.weight, opt.group_size));
+      total_rows += static_cast<std::size_t>(all_vecs.back().dim(0));
+    } else if (n.op == nn::Op::kLinear) {
+      if (opt.pool_fc && n.weight.dim(1) % opt.group_size == 0) {
+        pooled_nodes.push_back(node);
+        all_vecs.push_back(extract_z_vectors_linear(n.weight, opt.group_size));
+        total_rows += static_cast<std::size_t>(all_vecs.back().dim(0));
+      } else {
+        net.uncompressed_nodes.push_back(node);
+      }
+    }
+  }
+  check(!pooled_nodes.empty(), "build_weight_pool: no poolable layers in graph");
+
+  // Stack vectors from every pooled layer, then cluster (a deterministic
+  // subsample caps k-means cost on big networks).
+  Tensor stacked({static_cast<int>(total_rows), opt.group_size});
+  std::size_t row = 0;
+  for (const Tensor& v : all_vecs) {
+    std::copy(v.data(), v.data() + v.size(), stacked.data() + row * opt.group_size);
+    row += static_cast<std::size_t>(v.dim(0));
+  }
+  KMeansOptions ko;
+  ko.clusters = opt.pool_size;
+  ko.metric = opt.metric;
+  ko.max_iters = opt.kmeans_iters;
+  ko.seed = opt.seed;
+  const KMeansResult km = kmeans(subsample_rows(stacked, opt.max_cluster_vectors), ko);
+  net.pool.vectors = km.centroids;
+
+  // Exact assignment of every layer against the final pool.
+  for (int node : pooled_nodes) {
+    PooledLayer layer = make_layer_entry(g, node, opt.group_size);
+    assign_layer(g, net.pool, layer);
+    net.layers.push_back(std::move(layer));
+  }
+  return net;
+}
+
+void reassign_indices(const nn::Graph& g, PooledNetwork& net) {
+  for (PooledLayer& layer : net.layers) assign_layer(g, net.pool, layer);
+}
+
+void reconstruct_weights(nn::Graph& g, const PooledNetwork& net) {
+  const int gs = net.pool.group_size;
+  for (const PooledLayer& layer : net.layers) {
+    nn::Node& n = g.node(layer.node);
+    Tensor vecs({static_cast<int>(layer.indices.size()), gs});
+    for (std::size_t i = 0; i < layer.indices.size(); ++i) {
+      const float* src =
+          net.pool.vectors.data() + static_cast<std::size_t>(layer.indices[i]) * gs;
+      std::copy(src, src + gs, vecs.data() + i * gs);
+    }
+    if (layer.is_linear) {
+      scatter_z_vectors_linear(n.weight, vecs, gs);
+    } else {
+      scatter_z_vectors(n.weight, vecs, gs);
+    }
+  }
+}
+
+double pooled_weight_fraction(const nn::Graph& g, const PooledNetwork& net) {
+  std::size_t pooled = 0, total = 0;
+  for (int node = 0; node < g.num_nodes(); ++node) {
+    const nn::Node& n = g.node(node);
+    if (n.op == nn::Op::kConv2d || n.op == nn::Op::kLinear) total += n.weight.size();
+  }
+  for (const PooledLayer& l : net.layers) {
+    pooled += g.node(l.node).weight.size();
+  }
+  return total ? static_cast<double>(pooled) / static_cast<double>(total) : 0.0;
+}
+
+// ---------------------------------------------------------------------------
+// xy-dimension pooling
+// ---------------------------------------------------------------------------
+
+XyPooledNetwork build_xy_pool(const nn::Graph& g, const XyPoolOptions& opt) {
+  XyPooledNetwork net;
+  std::vector<int> nodes;
+  std::size_t total = 0;
+  int kdim = -1;
+  std::vector<Tensor> all;
+  for (int node = 0; node < g.num_nodes(); ++node) {
+    const nn::Node& n = g.node(node);
+    if (n.op != nn::Op::kConv2d || n.conv.groups != 1) continue;
+    const int kd = n.conv.kh * n.conv.kw;
+    if (kd < 4) continue;  // xy pooling of 1x1 kernels is meaningless (paper §3)
+    if (kdim == -1) kdim = kd;
+    if (kd != kdim) continue;  // pool only equal kernel sizes together
+    nodes.push_back(node);
+    all.push_back(extract_xy_kernels(n.weight));
+    total += static_cast<std::size_t>(all.back().dim(0));
+  }
+  check(!nodes.empty(), "build_xy_pool: no kxk conv layers found");
+
+  Tensor stacked({static_cast<int>(total), kdim});
+  std::size_t row = 0;
+  for (const Tensor& v : all) {
+    std::copy(v.data(), v.data() + v.size(), stacked.data() + row * kdim);
+    row += static_cast<std::size_t>(v.dim(0));
+  }
+  KMeansOptions ko;
+  ko.clusters = opt.pool_size;
+  // With coefficients the magnitude is factored out, so cluster directions;
+  // without coefficients cluster raw kernels (this is what makes the
+  // no-coefficient xy pool notably worse in Figure 4).
+  ko.metric = opt.use_coefficients ? Metric::kCosine : Metric::kEuclidean;
+  ko.max_iters = opt.kmeans_iters;
+  ko.seed = opt.seed;
+  Tensor sample({static_cast<int>(std::min<std::size_t>(
+                     total, opt.max_cluster_vectors > 0
+                                ? static_cast<std::size_t>(opt.max_cluster_vectors)
+                                : total)),
+                 kdim});
+  {
+    const int n = stacked.dim(0), cap = sample.dim(0);
+    const double stride = static_cast<double>(n) / cap;
+    for (int i = 0; i < cap; ++i) {
+      const int src = std::min(n - 1, static_cast<int>(i * stride));
+      std::copy(stacked.data() + static_cast<std::size_t>(src) * kdim,
+                stacked.data() + static_cast<std::size_t>(src + 1) * kdim,
+                sample.data() + static_cast<std::size_t>(i) * kdim);
+    }
+  }
+  const KMeansResult km = kmeans(sample, ko);
+  net.kernels = km.centroids;
+
+  for (std::size_t li = 0; li < nodes.size(); ++li) {
+    XyPooledNetwork::Layer layer;
+    layer.node = nodes[li];
+    const Tensor& kernels = all[li];
+    const int n = kernels.dim(0);
+    layer.indices.resize(static_cast<std::size_t>(n));
+    if (opt.use_coefficients) layer.coefficients.resize(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      const float* k = kernels.data() + static_cast<std::size_t>(i) * kdim;
+      const int c = nearest_centroid(k, net.kernels, ko.metric);
+      layer.indices[static_cast<std::size_t>(i)] = static_cast<uint16_t>(c);
+      if (opt.use_coefficients) {
+        // Least-squares scale: argmin_s || k - s * centroid ||.
+        const float* cen = net.kernels.data() + static_cast<std::size_t>(c) * kdim;
+        double num = 0.0, den = 0.0;
+        for (int d = 0; d < kdim; ++d) {
+          num += static_cast<double>(k[d]) * cen[d];
+          den += static_cast<double>(cen[d]) * cen[d];
+        }
+        layer.coefficients[static_cast<std::size_t>(i)] =
+            den > 0.0 ? static_cast<float>(num / den) : 0.0f;
+      }
+    }
+    net.layers.push_back(std::move(layer));
+  }
+  return net;
+}
+
+void reassign_xy_indices(const nn::Graph& g, XyPooledNetwork& net) {
+  const int kdim = net.kernels.dim(1);
+  for (auto& layer : net.layers) {
+    const bool use_coeff = !layer.coefficients.empty();
+    const Metric metric = use_coeff ? Metric::kCosine : Metric::kEuclidean;
+    Tensor kernels = extract_xy_kernels(g.node(layer.node).weight);
+    for (int i = 0; i < kernels.dim(0); ++i) {
+      const float* k = kernels.data() + static_cast<std::size_t>(i) * kdim;
+      const int c = nearest_centroid(k, net.kernels, metric);
+      layer.indices[static_cast<std::size_t>(i)] = static_cast<uint16_t>(c);
+      if (use_coeff) {
+        const float* cen = net.kernels.data() + static_cast<std::size_t>(c) * kdim;
+        double num = 0.0, den = 0.0;
+        for (int d = 0; d < kdim; ++d) {
+          num += static_cast<double>(k[d]) * cen[d];
+          den += static_cast<double>(cen[d]) * cen[d];
+        }
+        layer.coefficients[static_cast<std::size_t>(i)] =
+            den > 0.0 ? static_cast<float>(num / den) : 0.0f;
+      }
+    }
+  }
+}
+
+void reconstruct_xy_weights(nn::Graph& g, const XyPooledNetwork& net) {
+  const int kdim = net.kernels.dim(1);
+  for (const auto& layer : net.layers) {
+    nn::Node& n = g.node(layer.node);
+    Tensor kernels({static_cast<int>(layer.indices.size()), kdim});
+    for (std::size_t i = 0; i < layer.indices.size(); ++i) {
+      const float* src = net.kernels.data() + static_cast<std::size_t>(layer.indices[i]) * kdim;
+      const float coeff = layer.coefficients.empty() ? 1.0f : layer.coefficients[i];
+      for (int d = 0; d < kdim; ++d) kernels[i * kdim + d] = coeff * src[d];
+    }
+    scatter_xy_kernels(n.weight, kernels);
+  }
+}
+
+}  // namespace bswp::pool

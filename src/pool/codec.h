@@ -1,0 +1,103 @@
+// Weight-pool codec: pretrained graph -> (shared pool, per-layer indices),
+// and reconstruction back into graph weights (Figure 2 pipeline).
+//
+// One pool is shared by the whole network. Layers that are not z-poolable
+// (the shallow first conv, depthwise convs, and — by default — FC layers,
+// per §3 and footnote 1) are left uncompressed and recorded as such.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.h"
+#include "nn/graph.h"
+#include "pool/kmeans.h"
+
+namespace bswp::pool {
+
+/// The shared pool: S vectors of length G.
+struct WeightPool {
+  int group_size = 8;
+  Metric metric = Metric::kCosine;
+  Tensor vectors;  // S x G
+
+  int size() const { return vectors.empty() ? 0 : vectors.dim(0); }
+};
+
+/// Index map for one pooled layer. Indices are row-major over
+/// (o, g, ky, kx) for convs and (o, g) for linear layers — the same
+/// canonical order as pool::extract_z_vectors.
+struct PooledLayer {
+  int node = -1;           // graph node id
+  bool is_linear = false;
+  int out_ch = 0, channel_groups = 0, kh = 1, kw = 1;
+  std::vector<uint16_t> indices;
+
+  std::size_t index_at(int o, int g, int ky, int kx) const {
+    return ((static_cast<std::size_t>(o) * channel_groups + g) * kh + ky) * kw + kx;
+  }
+  uint16_t index(int o, int g, int ky, int kx) const { return indices[index_at(o, g, ky, kx)]; }
+};
+
+struct PooledNetwork {
+  WeightPool pool;
+  std::vector<PooledLayer> layers;        // pooled layers only
+  std::vector<int> uncompressed_nodes;    // conv/linear nodes left as-is
+};
+
+struct CodecOptions {
+  int pool_size = 64;
+  int group_size = 8;
+  Metric metric = Metric::kCosine;
+  bool pool_fc = false;       // paper default: FC stays uncompressed
+  int kmeans_iters = 40;
+  uint64_t seed = 99;
+  /// Subsample cap on the number of vectors fed to k-means (0 = all). Large
+  /// networks have millions of vectors; clustering a deterministic subsample
+  /// is standard and leaves assignment exact.
+  int max_cluster_vectors = 20000;
+};
+
+/// Cluster all poolable weights of `g` into a shared pool and assign indices.
+PooledNetwork build_weight_pool(const nn::Graph& g, const CodecOptions& opt);
+
+/// Re-assign indices of `net.layers` to the nearest pool vectors given the
+/// graph's *current* weights (used during fine-tuning).
+void reassign_indices(const nn::Graph& g, PooledNetwork& net);
+
+/// Overwrite pooled layers' weights in the graph with pool[index] vectors
+/// (the weight-pool forward-pass projection).
+void reconstruct_weights(nn::Graph& g, const PooledNetwork& net);
+
+/// Fraction of weight parameters covered by the pool (for reporting).
+double pooled_weight_fraction(const nn::Graph& g, const PooledNetwork& net);
+
+// --- xy-dimension pooling (Figure 4 baseline) -------------------------------
+
+struct XyPoolOptions {
+  int pool_size = 64;
+  bool use_coefficients = true;
+  int kmeans_iters = 40;
+  uint64_t seed = 99;
+  int max_cluster_vectors = 20000;
+};
+
+struct XyPooledNetwork {
+  Tensor kernels;  // S x (kh*kw), one shared pool of 2D kernels
+  // For each pooled conv node: index + optional coefficient per (o, i).
+  struct Layer {
+    int node = -1;
+    std::vector<uint16_t> indices;
+    std::vector<float> coefficients;  // empty when coefficients disabled
+  };
+  std::vector<Layer> layers;
+};
+
+/// Cluster 3x3 (or kxk) kernels across all equal-kernel-size convs.
+XyPooledNetwork build_xy_pool(const nn::Graph& g, const XyPoolOptions& opt);
+void reconstruct_xy_weights(nn::Graph& g, const XyPooledNetwork& net);
+/// Re-assign kernels (and refresh coefficients) against the fixed kernel
+/// pool from the graph's current weights — the xy-pool fine-tune projection.
+void reassign_xy_indices(const nn::Graph& g, XyPooledNetwork& net);
+
+}  // namespace bswp::pool

@@ -1,0 +1,22 @@
+#include "pool/finetune.h"
+
+namespace bswp::pool {
+
+void project_to_pool(nn::Graph& g, PooledNetwork& net) {
+  reassign_indices(g, net);
+  reconstruct_weights(g, net);
+}
+
+nn::TrainStats finetune_pooled(nn::Graph& g, PooledNetwork& net, const data::Dataset& train,
+                               const data::Dataset& test, const FinetuneOptions& opt) {
+  project_to_pool(g, net);  // start from the projected network
+  nn::Trainer trainer(opt.train);
+  if (opt.project_every_step) {
+    trainer.set_post_step([&net](nn::Graph& graph) { project_to_pool(graph, net); });
+  }
+  nn::TrainStats stats = trainer.fit(g, train, test);
+  if (!opt.project_every_step) project_to_pool(g, net);
+  return stats;
+}
+
+}  // namespace bswp::pool

@@ -1,0 +1,31 @@
+// Weight-pool fine-tuning (paper Figure 2, §3): retrain the network with the
+// pool fixed. "The backward pass updates the network weights and the forward
+// pass reassigns indices to the nearest weight pool vector" — implemented as
+// a projection hook after every optimizer step: re-assign indices from the
+// freshly-updated float weights, then overwrite the weights with their pool
+// reconstructions (a straight-through projection).
+#pragma once
+
+#include "data/synthetic.h"
+#include "nn/trainer.h"
+#include "pool/codec.h"
+
+namespace bswp::pool {
+
+struct FinetuneOptions {
+  nn::TrainConfig train;
+  /// Project after every step (true, the paper's scheme) or only at epoch
+  /// boundaries (cheaper ablation).
+  bool project_every_step = true;
+};
+
+/// Fine-tune `g` with the pool held fixed. On return, `g`'s pooled weights
+/// are exact pool reconstructions and `net`'s indices match them.
+nn::TrainStats finetune_pooled(nn::Graph& g, PooledNetwork& net, const data::Dataset& train,
+                               const data::Dataset& test, const FinetuneOptions& opt);
+
+/// One projection step: reassign indices from current weights, then overwrite
+/// weights with pool reconstructions.
+void project_to_pool(nn::Graph& g, PooledNetwork& net);
+
+}  // namespace bswp::pool

@@ -1,0 +1,109 @@
+#include "pool/grouping.h"
+
+namespace bswp::pool {
+
+int num_channel_groups(int in_ch, int group_size) {
+  check(group_size > 0, "group size must be positive");
+  return in_ch / group_size;
+}
+
+Tensor extract_z_vectors(const Tensor& w, int group_size) {
+  check(w.rank() == 4, "extract_z_vectors: weight must be OIHW");
+  const int o = w.dim(0), i = w.dim(1), kh = w.dim(2), kw = w.dim(3);
+  check(i % group_size == 0, "extract_z_vectors: in_ch must be divisible by group size");
+  const int groups = i / group_size;
+  Tensor vecs({o * groups * kh * kw, group_size});
+  std::size_t row = 0;
+  for (int oc = 0; oc < o; ++oc) {
+    for (int g = 0; g < groups; ++g) {
+      for (int ky = 0; ky < kh; ++ky) {
+        for (int kx = 0; kx < kw; ++kx, ++row) {
+          for (int j = 0; j < group_size; ++j) {
+            vecs[row * group_size + j] = w.at(oc, g * group_size + j, ky, kx);
+          }
+        }
+      }
+    }
+  }
+  return vecs;
+}
+
+void scatter_z_vectors(Tensor& w, const Tensor& vectors, int group_size) {
+  const int o = w.dim(0), i = w.dim(1), kh = w.dim(2), kw = w.dim(3);
+  check(i % group_size == 0, "scatter_z_vectors: in_ch must be divisible by group size");
+  const int groups = i / group_size;
+  check(vectors.dim(0) == o * groups * kh * kw && vectors.dim(1) == group_size,
+        "scatter_z_vectors: vector count mismatch");
+  std::size_t row = 0;
+  for (int oc = 0; oc < o; ++oc) {
+    for (int g = 0; g < groups; ++g) {
+      for (int ky = 0; ky < kh; ++ky) {
+        for (int kx = 0; kx < kw; ++kx, ++row) {
+          for (int j = 0; j < group_size; ++j) {
+            w.at(oc, g * group_size + j, ky, kx) = vectors[row * group_size + j];
+          }
+        }
+      }
+    }
+  }
+}
+
+Tensor extract_z_vectors_linear(const Tensor& w, int group_size) {
+  check(w.rank() == 2, "extract_z_vectors_linear: weight must be out x in");
+  const int o = w.dim(0), i = w.dim(1);
+  check(i % group_size == 0, "extract_z_vectors_linear: in features must divide by group size");
+  const int groups = i / group_size;
+  Tensor vecs({o * groups, group_size});
+  for (int oc = 0; oc < o; ++oc) {
+    for (int g = 0; g < groups; ++g) {
+      for (int j = 0; j < group_size; ++j) {
+        vecs[(static_cast<std::size_t>(oc) * groups + g) * group_size + j] =
+            w.at(oc, g * group_size + j);
+      }
+    }
+  }
+  return vecs;
+}
+
+void scatter_z_vectors_linear(Tensor& w, const Tensor& vectors, int group_size) {
+  const int o = w.dim(0), i = w.dim(1);
+  const int groups = i / group_size;
+  check(vectors.dim(0) == o * groups && vectors.dim(1) == group_size,
+        "scatter_z_vectors_linear: vector count mismatch");
+  for (int oc = 0; oc < o; ++oc) {
+    for (int g = 0; g < groups; ++g) {
+      for (int j = 0; j < group_size; ++j) {
+        w.at(oc, g * group_size + j) =
+            vectors[(static_cast<std::size_t>(oc) * groups + g) * group_size + j];
+      }
+    }
+  }
+}
+
+Tensor extract_xy_kernels(const Tensor& w) {
+  check(w.rank() == 4, "extract_xy_kernels: weight must be OIHW");
+  const int o = w.dim(0), i = w.dim(1), kh = w.dim(2), kw = w.dim(3);
+  Tensor kernels({o * i, kh * kw});
+  for (int oc = 0; oc < o; ++oc) {
+    for (int ic = 0; ic < i; ++ic) {
+      for (int k = 0; k < kh * kw; ++k) {
+        kernels[(static_cast<std::size_t>(oc) * i + ic) * kh * kw + k] =
+            w.data()[((static_cast<std::size_t>(oc) * i + ic) * kh * kw) + k];
+      }
+    }
+  }
+  return kernels;
+}
+
+void scatter_xy_kernels(Tensor& w, const Tensor& kernels) {
+  const int o = w.dim(0), i = w.dim(1), kh = w.dim(2), kw = w.dim(3);
+  check(kernels.dim(0) == o * i && kernels.dim(1) == kh * kw,
+        "scatter_xy_kernels: kernel count mismatch");
+  for (std::size_t idx = 0; idx < w.size(); ++idx) w[idx] = kernels[idx];
+}
+
+bool z_poolable(const nn::ConvSpec& spec, int group_size) {
+  return spec.groups == 1 && spec.in_ch % group_size == 0 && spec.in_ch >= group_size;
+}
+
+}  // namespace bswp::pool

@@ -1,0 +1,41 @@
+// Weight grouping: slicing conv/linear weight tensors into the 1xG vectors
+// that the weight pool shares (paper §3, Figure 3).
+//
+// z-dimension grouping slices along the input-channel axis: the vector for
+// (output filter o, group g, kernel position ky,kx) is
+//   w[o, g*G .. g*G+G-1, ky, kx].
+// Canonical vector ordering everywhere in this repo is row-major over
+// (o, g, ky, kx). xy-dimension grouping (the Figure 4 baseline) slices whole
+// kh*kw kernels per (o, i) pair.
+#pragma once
+
+#include "core/tensor.h"
+#include "nn/layers.h"
+
+namespace bswp::pool {
+
+/// Number of z-dimension groups along the channel axis (in_ch must be a
+/// multiple of G unless padding is allowed by the caller).
+int num_channel_groups(int in_ch, int group_size);
+
+/// Extract z-dimension vectors from an OIHW conv weight.
+/// Returns (out_ch * groups * kh * kw) x G. in_ch % G must be 0.
+Tensor extract_z_vectors(const Tensor& w, int group_size);
+
+/// Inverse of extract_z_vectors: write vectors back into the weight tensor.
+void scatter_z_vectors(Tensor& w, const Tensor& vectors, int group_size);
+
+/// Same slicing for a linear weight (out x in): vectors along the input axis.
+Tensor extract_z_vectors_linear(const Tensor& w, int group_size);
+void scatter_z_vectors_linear(Tensor& w, const Tensor& vectors, int group_size);
+
+/// Extract xy-dimension kernels from an OIHW conv weight:
+/// returns (out_ch * in_cg) x (kh*kw).
+Tensor extract_xy_kernels(const Tensor& w);
+void scatter_xy_kernels(Tensor& w, const Tensor& kernels);
+
+/// True if a conv layer is z-poolable with group size G: ungrouped conv with
+/// in_ch divisible by G (the paper keeps shallow first layers uncompressed).
+bool z_poolable(const nn::ConvSpec& spec, int group_size);
+
+}  // namespace bswp::pool

@@ -1,0 +1,136 @@
+#include "pool/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace bswp::pool {
+
+double distance(const float* a, const float* b, int dim, Metric metric) {
+  if (metric == Metric::kEuclidean) {
+    double d = 0.0;
+    for (int i = 0; i < dim; ++i) {
+      const double diff = static_cast<double>(a[i]) - b[i];
+      d += diff * diff;
+    }
+    return d;
+  }
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int i = 0; i < dim; ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 1.0;
+  return 1.0 - dot / std::sqrt(na * nb);
+}
+
+int nearest_centroid(const float* v, const Tensor& centroids, Metric metric) {
+  const int k = centroids.dim(0), dim = centroids.dim(1);
+  int best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (int c = 0; c < k; ++c) {
+    const double d = distance(v, centroids.data() + static_cast<std::size_t>(c) * dim, dim, metric);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+KMeansResult kmeans(const Tensor& vectors, const KMeansOptions& opt) {
+  check(vectors.rank() == 2, "kmeans: input must be n x dim");
+  const int n = vectors.dim(0), dim = vectors.dim(1);
+  const int k = std::min(opt.clusters, n);
+  check(k >= 1, "kmeans: need at least one cluster");
+  Rng rng(opt.seed);
+
+  KMeansResult res;
+  res.centroids = Tensor({k, dim});
+  res.assignment.assign(static_cast<std::size_t>(n), 0);
+
+  auto vec = [&](int i) { return vectors.data() + static_cast<std::size_t>(i) * dim; };
+  auto cen = [&](int c) { return res.centroids.data() + static_cast<std::size_t>(c) * dim; };
+
+  // --- k-means++ seeding ---------------------------------------------------
+  {
+    const int first = static_cast<int>(rng.uniform_int(static_cast<uint64_t>(n)));
+    std::copy(vec(first), vec(first) + dim, cen(0));
+    std::vector<double> d2(static_cast<std::size_t>(n));
+    for (int c = 1; c < k; ++c) {
+      double total = 0.0;
+      for (int i = 0; i < n; ++i) {
+        double best = std::numeric_limits<double>::max();
+        for (int j = 0; j < c; ++j) best = std::min(best, distance(vec(i), cen(j), dim, opt.metric));
+        d2[static_cast<std::size_t>(i)] = best;
+        total += best;
+      }
+      int chosen = n - 1;
+      if (total > 0.0) {
+        double r = rng.uniform() * total;
+        for (int i = 0; i < n; ++i) {
+          r -= d2[static_cast<std::size_t>(i)];
+          if (r <= 0.0) {
+            chosen = i;
+            break;
+          }
+        }
+      } else {
+        chosen = static_cast<int>(rng.uniform_int(static_cast<uint64_t>(n)));
+      }
+      std::copy(vec(chosen), vec(chosen) + dim, cen(c));
+    }
+  }
+
+  // --- Lloyd iterations ------------------------------------------------------
+  std::vector<double> sums(static_cast<std::size_t>(k) * dim);
+  std::vector<int> counts(static_cast<std::size_t>(k));
+  for (int iter = 0; iter < opt.max_iters; ++iter) {
+    res.iters_run = iter + 1;
+    res.inertia = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const int c = nearest_centroid(vec(i), res.centroids, opt.metric);
+      res.assignment[static_cast<std::size_t>(i)] = c;
+      res.inertia += distance(vec(i), cen(c), dim, opt.metric);
+    }
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (int i = 0; i < n; ++i) {
+      const int c = res.assignment[static_cast<std::size_t>(i)];
+      ++counts[static_cast<std::size_t>(c)];
+      const float* v = vec(i);
+      double* s = sums.data() + static_cast<std::size_t>(c) * dim;
+      for (int d = 0; d < dim; ++d) s[d] += v[d];
+    }
+    double movement = 0.0;
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<std::size_t>(c)] == 0) {
+        // Re-seed empty cluster from a random vector.
+        const int i = static_cast<int>(rng.uniform_int(static_cast<uint64_t>(n)));
+        std::copy(vec(i), vec(i) + dim, cen(c));
+        movement += 1.0;
+        continue;
+      }
+      const double inv = 1.0 / counts[static_cast<std::size_t>(c)];
+      float* cv = cen(c);
+      const double* s = sums.data() + static_cast<std::size_t>(c) * dim;
+      for (int d = 0; d < dim; ++d) {
+        const double nv = s[d] * inv;
+        movement += std::fabs(nv - cv[d]);
+        cv[d] = static_cast<float>(nv);
+      }
+    }
+    if (movement < opt.tol) break;
+  }
+  // Final assignment against the last centroid update.
+  res.inertia = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const int c = nearest_centroid(vec(i), res.centroids, opt.metric);
+    res.assignment[static_cast<std::size_t>(i)] = c;
+    res.inertia += distance(vec(i), cen(c), dim, opt.metric);
+  }
+  return res;
+}
+
+}  // namespace bswp::pool

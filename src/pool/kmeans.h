@@ -1,0 +1,45 @@
+// K-means clustering for weight vectors.
+//
+// The paper clusters 1xG channel-dimension weight vectors "using K-means
+// clustering (with a cosine distance metric to avoid scaling dependence)"
+// (§3). Cosine mode normalizes the direction for assignment but keeps
+// centroids as plain means of the assigned raw vectors, so pool vectors
+// retain representative magnitudes (the z-dimension pool has no scaling
+// coefficients). Euclidean mode is used by the xy-dimension baseline.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace bswp::pool {
+
+enum class Metric { kEuclidean, kCosine };
+
+struct KMeansOptions {
+  int clusters = 64;
+  Metric metric = Metric::kCosine;
+  int max_iters = 50;
+  double tol = 1e-5;  // stop when centroid movement falls below this
+  uint64_t seed = 99;
+};
+
+struct KMeansResult {
+  Tensor centroids;              // clusters x dim
+  std::vector<int> assignment;   // one entry per input vector
+  int iters_run = 0;
+  double inertia = 0.0;          // sum of assignment distances
+};
+
+/// Distance between two vectors under a metric. Cosine distance is
+/// 1 - cos(a, b); zero vectors are treated as distance 1 from everything.
+double distance(const float* a, const float* b, int dim, Metric metric);
+
+/// Cluster `vectors` (n x dim tensor). k-means++ seeding, Lloyd iterations.
+KMeansResult kmeans(const Tensor& vectors, const KMeansOptions& opt);
+
+/// Index of the centroid nearest to `v` under the metric.
+int nearest_centroid(const float* v, const Tensor& centroids, Metric metric);
+
+}  // namespace bswp::pool

@@ -1,0 +1,70 @@
+#include "pool/lut.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantize.h"
+
+namespace bswp::pool {
+
+QTensor quantize_pool(const WeightPool& pool, int bits) {
+  return quant::quantize_symmetric(pool.vectors, bits);
+}
+
+int32_t reference_bit_dot(const QTensor& qpool, uint32_t bit_vector, int s) {
+  const int dim = qpool.dim(1);
+  int32_t acc = 0;
+  for (int j = 0; j < dim; ++j) {
+    if ((bit_vector >> j) & 1u) acc += qpool.data[static_cast<std::size_t>(s) * dim + j];
+  }
+  return acc;
+}
+
+DotLut build_lut(const WeightPool& pool, const LutOptions& opt) {
+  check(pool.size() > 0, "build_lut: empty pool");
+  check(pool.group_size >= 1 && pool.group_size <= 16, "build_lut: group size out of range");
+  check(opt.bitwidth >= 2 && opt.bitwidth <= 32, "build_lut: LUT bitwidth out of range");
+
+  const QTensor qpool = quantize_pool(pool, opt.pool_quant_bits);
+  DotLut lut;
+  lut.group_size = pool.group_size;
+  lut.pool_size = pool.size();
+  lut.bitwidth = opt.bitwidth;
+  lut.order = opt.order;
+  lut.pool_scale = qpool.scale;
+
+  const int nb = lut.num_bit_vectors();
+  lut.entries.assign(static_cast<std::size_t>(nb) * lut.pool_size, 0);
+
+  // Raw (exact) entries first; find their dynamic range.
+  int32_t max_abs = 0;
+  std::vector<int32_t> raw(static_cast<std::size_t>(nb) * lut.pool_size);
+  for (int b = 0; b < nb; ++b) {
+    for (int s = 0; s < lut.pool_size; ++s) {
+      const int32_t v = reference_bit_dot(qpool, static_cast<uint32_t>(b), s);
+      raw[static_cast<std::size_t>(b) * lut.pool_size + s] = v;
+      max_abs = std::max(max_abs, std::abs(v));
+    }
+  }
+
+  // Requantize to B_l bits. If the raw range already fits, entries are exact
+  // (entry_scale = 1) — this is why a 16-bit LUT matches the no-LUT reference
+  // in Table 5.
+  const int32_t qmax = (int64_t{1} << (opt.bitwidth - 1)) - 1;
+  lut.entry_scale =
+      max_abs > qmax ? static_cast<float>(max_abs) / static_cast<float>(qmax) : 1.0f;
+  for (int b = 0; b < nb; ++b) {
+    for (int s = 0; s < lut.pool_size; ++s) {
+      const int32_t v = raw[static_cast<std::size_t>(b) * lut.pool_size + s];
+      const int32_t q =
+          lut.entry_scale == 1.0f
+              ? v
+              : quant::clamp_q(static_cast<int32_t>(std::lround(v / lut.entry_scale)), -qmax - 1,
+                               qmax);
+      lut.entries[lut.flat_index(static_cast<uint32_t>(b), s)] = q;
+    }
+  }
+  return lut;
+}
+
+}  // namespace bswp::pool

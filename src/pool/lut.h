@@ -1,0 +1,77 @@
+// Dot-product lookup table generation (paper §3.1-3.2).
+//
+// For a pool of S vectors of length N, the LUT stores, for every N-bit
+// activation bit-vector b and every pool vector s, the 1-bit dot product
+//   raw(b, s) = sum_j bit_j(b) * qpool[s][j]
+// where qpool is the pool quantized to int8 (weights are never stored, only
+// these partial dot products — "the weight bitwidth of weight pool networks
+// can be arbitrary"). Entries are then requantized to the LUT bitwidth B_l
+// (Eq. 3: storage = 2^N * S * B_l bits). Bit j of the table index corresponds
+// to vector element j.
+//
+// Two memory layouts are supported (§4.2): input-oriented (blocks indexed by
+// bit-vector, each holding all S pool results — the layout that makes LUT
+// caching work) and weight-oriented (blocks per pool vector).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.h"
+#include "pool/codec.h"
+
+namespace bswp::pool {
+
+enum class LutOrder { kInputOriented, kWeightOriented };
+
+struct DotLut {
+  int group_size = 8;   // N
+  int pool_size = 0;    // S
+  int bitwidth = 8;     // B_l
+  LutOrder order = LutOrder::kInputOriented;
+
+  /// Quantization chain: real partial sum = entry * entry_scale * pool_scale,
+  /// where pool_scale is the int8 pool quantization scale and entry_scale
+  /// the B_l requantization step (1.0 when B_l is wide enough to be exact).
+  float pool_scale = 1.0f;
+  float entry_scale = 1.0f;
+
+  std::vector<int32_t> entries;  // (1 << N) * S
+
+  int num_bit_vectors() const { return 1 << group_size; }
+  std::size_t flat_index(uint32_t bits, int s) const {
+    return order == LutOrder::kInputOriented
+               ? static_cast<std::size_t>(bits) * pool_size + static_cast<std::size_t>(s)
+               : static_cast<std::size_t>(s) * num_bit_vectors() + bits;
+  }
+  int32_t at(uint32_t bits, int s) const { return entries[flat_index(bits, s)]; }
+
+  /// Eq. 3 storage in bytes: 2^N * S * B_l / 8.
+  std::size_t storage_bytes() const {
+    return (static_cast<std::size_t>(num_bit_vectors()) * pool_size * bitwidth + 7) / 8;
+  }
+  /// Bytes of one input-oriented block (all pool entries for one bit-vector);
+  /// this is the caching granularity of §4.2.
+  std::size_t block_bytes() const {
+    return (static_cast<std::size_t>(pool_size) * bitwidth + 7) / 8;
+  }
+};
+
+struct LutOptions {
+  int bitwidth = 8;
+  LutOrder order = LutOrder::kInputOriented;
+  int pool_quant_bits = 8;
+};
+
+/// Quantize the pool symmetrically to `bits` (shared scale across the pool —
+/// the pool is global so its scale is global).
+QTensor quantize_pool(const WeightPool& pool, int bits);
+
+/// Build the dot-product LUT from a pool.
+DotLut build_lut(const WeightPool& pool, const LutOptions& opt);
+
+/// Exact integer dot product between the bits of `bit_vector` and the int8
+/// pool vector `s` (reference for tests and for the exact/wide-B_l path).
+int32_t reference_bit_dot(const QTensor& qpool, uint32_t bit_vector, int s);
+
+}  // namespace bswp::pool

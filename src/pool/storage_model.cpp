@@ -1,0 +1,77 @@
+#include "pool/storage_model.h"
+
+#include <cmath>
+
+namespace bswp::pool {
+
+namespace {
+double log2_int(int v) { return std::log2(static_cast<double>(v)); }
+}  // namespace
+
+double StorageReport::original_bits() const {
+  return static_cast<double>(total_params) * weight_bits;
+}
+
+double StorageReport::index_bits() const {
+  const double groups = static_cast<double>(pooled_params) / group_size;
+  const double bits_per_index = packed_indices ? log2_int(pool_size) : 8.0;
+  return groups * bits_per_index;
+}
+
+double StorageReport::lut_storage_bits() const {
+  return std::pow(2.0, group_size) * pool_size * lut_bits;
+}
+
+double StorageReport::uncompressed_bits() const {
+  return static_cast<double>(uncompressed_params) * weight_bits;
+}
+
+double StorageReport::compressed_bits() const {
+  return index_bits() + lut_storage_bits() + uncompressed_bits();
+}
+
+double StorageReport::compression_ratio() const {
+  const double c = compressed_bits();
+  return c > 0.0 ? original_bits() / c : 0.0;
+}
+
+double StorageReport::lut_overhead_fraction() const {
+  const double c = compressed_bits();
+  return c > 0.0 ? lut_storage_bits() / c : 0.0;
+}
+
+StorageReport analyze_storage(const nn::Graph& g, const PooledNetwork& net, int weight_bits,
+                              int lut_bits, bool packed_indices) {
+  StorageReport r;
+  r.group_size = net.pool.group_size;
+  r.pool_size = net.pool.size();
+  r.weight_bits = weight_bits;
+  r.lut_bits = lut_bits;
+  r.packed_indices = packed_indices;
+
+  std::vector<bool> pooled(static_cast<std::size_t>(g.num_nodes()), false);
+  for (const PooledLayer& l : net.layers) pooled[static_cast<std::size_t>(l.node)] = true;
+
+  for (int node = 0; node < g.num_nodes(); ++node) {
+    const nn::Node& n = g.node(node);
+    if (n.op != nn::Op::kConv2d && n.op != nn::Op::kLinear) continue;
+    r.total_params += n.weight.size() + n.bias.size();
+    if (pooled[static_cast<std::size_t>(node)]) {
+      r.pooled_params += n.weight.size();
+      r.uncompressed_params += n.bias.size();  // biases stay dense
+    } else {
+      r.uncompressed_params += n.weight.size() + n.bias.size();
+    }
+  }
+  return r;
+}
+
+double max_compression_ratio(std::size_t total_weights, int weight_bits, int group_size,
+                             int pool_size, int lut_bits) {
+  const double w = static_cast<double>(total_weights);
+  const double denom =
+      w / group_size * log2_int(pool_size) + std::pow(2.0, group_size) * pool_size * lut_bits;
+  return w * weight_bits / denom;
+}
+
+}  // namespace bswp::pool

@@ -1,0 +1,47 @@
+// Storage and compression-ratio model (paper Eq. 3-4, Table 3).
+//
+// For a network with W weight parameters at baseline bitwidth B_w, a pooled
+// network stores: per-group indices (W_pooled / N groups at log2(S) bits),
+// the LUT (2^N * S * B_l bits), and any uncompressed layers at B_w bits.
+#pragma once
+
+#include <cstddef>
+
+#include "nn/graph.h"
+#include "pool/codec.h"
+
+namespace bswp::pool {
+
+struct StorageReport {
+  std::size_t total_params = 0;         // W: all conv/linear weights + biases
+  std::size_t pooled_params = 0;        // weights replaced by indices
+  std::size_t uncompressed_params = 0;  // weights kept at B_w
+
+  int group_size = 8;   // N
+  int pool_size = 64;   // S
+  int weight_bits = 8;  // B_w
+  int lut_bits = 8;     // B_l
+  bool packed_indices = true;  // count indices at log2(S) (Eq. 4) vs 8 bits
+
+  double original_bits() const;
+  double index_bits() const;
+  double lut_storage_bits() const;
+  double uncompressed_bits() const;
+  double compressed_bits() const;
+  /// Eq. 4 generalized with the uncompressed-layer term.
+  double compression_ratio() const;
+  /// "LUT overhead" column of Table 3: LUT share of compressed storage.
+  double lut_overhead_fraction() const;
+};
+
+/// Inventory a pooled graph. Biases and uncompressed conv/linear weights are
+/// counted at B_w; pooled weights are counted as indices.
+StorageReport analyze_storage(const nn::Graph& g, const PooledNetwork& net, int weight_bits = 8,
+                              int lut_bits = 8, bool packed_indices = true);
+
+/// Pure Eq. 4 (everything pooled, no uncompressed layers) — the theoretical
+/// maximum CR discussed in §3.2.
+double max_compression_ratio(std::size_t total_weights, int weight_bits, int group_size,
+                             int pool_size, int lut_bits);
+
+}  // namespace bswp::pool

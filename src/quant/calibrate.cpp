@@ -1,0 +1,63 @@
+#include "quant/calibrate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantize.h"
+
+namespace bswp::quant {
+
+CalibrationResult calibrate(nn::Graph& g, const data::Dataset& ds, const CalibrateOptions& opt) {
+  CalibrationResult result;
+  const int total = std::min(opt.num_samples, ds.size());
+  // Collected samples per node. To bound memory we subsample values.
+  std::map<int, std::vector<float>> node_values;
+
+  for (int start = 0; start < total; start += opt.batch_size) {
+    const int count = std::min(opt.batch_size, total - start);
+    data::Batch b = ds.batch(start, count);
+    result.input_abs_max = std::max(result.input_abs_max, b.images.abs_max());
+    g.forward(b.images, /*training=*/false);
+    for (int i = 0; i < g.num_nodes(); ++i) {
+      const Tensor& act = g.activation(i);
+      auto& vals = node_values[i];
+      // Stride-subsample to at most ~4k values per node per batch.
+      const std::size_t stride = std::max<std::size_t>(1, act.size() / 4096);
+      for (std::size_t j = 0; j < act.size(); j += stride) vals.push_back(act[j]);
+    }
+  }
+
+  for (auto& [node, vals] : node_values) {
+    float range, abs_range;
+    if (opt.iterative) {
+      range = choose_clip_iterative(vals, opt.act_bits);
+      std::vector<float> abs_vals(vals.size());
+      for (std::size_t i = 0; i < vals.size(); ++i) abs_vals[i] = std::fabs(vals[i]);
+      abs_range = choose_clip_iterative(abs_vals, opt.act_bits);
+    } else {
+      range = 0.0f;
+      abs_range = 0.0f;
+      for (float v : vals) {
+        range = std::max(range, v);
+        abs_range = std::max(abs_range, std::fabs(v));
+      }
+      if (range <= 0.0f) range = 1.0f;
+      if (abs_range <= 0.0f) abs_range = 1.0f;
+    }
+    result.node_range[node] = range;
+    result.node_abs_range[node] = abs_range;
+  }
+  return result;
+}
+
+void apply_ranges_to_fake_quant(nn::Graph& g, const CalibrationResult& cal) {
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    nn::Node& n = g.node(i);
+    if (n.op != nn::Op::kFakeQuant) continue;
+    const int src = n.inputs.at(0);
+    auto it = cal.node_range.find(src);
+    if (it != cal.node_range.end()) n.fq_range = it->second;
+  }
+}
+
+}  // namespace bswp::quant

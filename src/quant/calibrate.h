@@ -1,0 +1,47 @@
+// Activation-range calibration.
+//
+// Runs the float graph over a calibration batch and records, for every node,
+// the post-activation value distribution needed to pick quantization ranges
+// (iterative clip search, §5.3.3). The runtime pipeline uses these ranges to
+// quantize inter-layer activations; QAT benches use them to seed fake-quant
+// node clip ranges.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "nn/graph.h"
+
+namespace bswp::quant {
+
+struct CalibrationResult {
+  /// node id -> chosen unsigned clip range for the node's *output*
+  /// (post-ReLU layers; negatives clamp to zero).
+  std::map<int, float> node_range;
+  /// node id -> chosen clip on |value| (for signed intermediates such as
+  /// residual-add inputs that carry negative values).
+  std::map<int, float> node_abs_range;
+  /// Range of the network input (may include negatives; stored as abs-max
+  /// since the first layer runs in signed int8).
+  float input_abs_max = 1.0f;
+
+  float range(int node) const { return node_range.at(node); }
+  float abs_range(int node) const { return node_abs_range.at(node); }
+};
+
+struct CalibrateOptions {
+  int num_samples = 256;
+  int batch_size = 64;
+  int act_bits = 8;    // bitwidth the iterative search optimizes for
+  bool iterative = true;  // false = plain max calibration
+};
+
+/// Calibrate node output ranges on `ds` (first `num_samples` samples).
+CalibrationResult calibrate(nn::Graph& g, const data::Dataset& ds, const CalibrateOptions& opt);
+
+/// Copy calibrated ranges into the graph's fake-quant nodes (each fake-quant
+/// node inherits the range recorded for its input node).
+void apply_ranges_to_fake_quant(nn::Graph& g, const CalibrationResult& cal);
+
+}  // namespace bswp::quant

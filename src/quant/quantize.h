@@ -1,0 +1,47 @@
+// Quantization primitives.
+//
+// Two schemes are used throughout the repo, matching the paper's inference
+// setup:
+//  * weights / LUT entries: symmetric signed `bits`-bit, zero_point = 0;
+//  * activations (post-ReLU):  unsigned `bits`-bit over [0, range].
+// `choose_clip_iterative` implements the paper's "iterative search algorithm
+// to determine the optimal range when quantizing activations" (§5.3.3) as a
+// golden-section search over the clip fraction minimizing quantization MSE.
+#pragma once
+
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace bswp::quant {
+
+/// Scale for symmetric signed quantization of `t` to `bits` bits.
+float symmetric_scale(const Tensor& t, int bits);
+
+/// Quantize to symmetric signed `bits`-bit with the given scale.
+QTensor quantize_symmetric(const Tensor& t, int bits, float scale);
+QTensor quantize_symmetric(const Tensor& t, int bits);
+
+/// Quantize to unsigned `bits`-bit over [0, range] (values are clamped).
+QTensor quantize_unsigned(const Tensor& t, int bits, float range);
+
+/// Mean squared error between `t` and its (bits, range) unsigned quantization.
+double unsigned_quant_mse(const std::vector<float>& values, int bits, float range);
+
+/// Iterative (golden-section) search for the clip range in (0, max(values)]
+/// minimizing unsigned-quantization MSE. Returns the chosen range.
+float choose_clip_iterative(const std::vector<float>& values, int bits, int iters = 40);
+
+/// Round-to-nearest division by 2^shift (used by requantization paths).
+inline int32_t rounding_rshift(int64_t v, int shift) {
+  if (shift <= 0) return static_cast<int32_t>(v << -shift);
+  const int64_t round = int64_t{1} << (shift - 1);
+  return static_cast<int32_t>((v + (v >= 0 ? round : round - 1)) >> shift);
+}
+
+/// Clamp helper for integer requantization.
+inline int32_t clamp_q(int32_t v, int32_t lo, int32_t hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace bswp::quant

@@ -1,0 +1,21 @@
+#include "runtime/compressed_network.h"
+
+namespace bswp::runtime {
+
+const char* plan_kind_name(PlanKind k) {
+  switch (k) {
+    case PlanKind::kInput: return "input";
+    case PlanKind::kConvBaseline: return "conv-int8";
+    case PlanKind::kConvBitSerial: return "conv-bitserial";
+    case PlanKind::kLinearBaseline: return "fc-int8";
+    case PlanKind::kLinearBitSerial: return "fc-bitserial";
+    case PlanKind::kMaxPool: return "maxpool";
+    case PlanKind::kGlobalAvgPool: return "gap";
+    case PlanKind::kAdd: return "add";
+    case PlanKind::kFlatten: return "flatten";
+    case PlanKind::kRelu: return "relu";
+  }
+  return "?";
+}
+
+}  // namespace bswp::runtime

@@ -1,0 +1,77 @@
+// Deployable (compiled) representation of a network: an ordered list of
+// integer-kernel layer plans plus the shared dot-product LUT.
+//
+// This is the artifact that "ships to the microcontroller" in Figure 1:
+// uncompressed layers carry int8 weights, pooled layers carry packed pool
+// indices, and one global LUT serves every pooled layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "kernels/baseline_conv.h"
+#include "kernels/bitserial_conv.h"
+#include "kernels/common.h"
+#include "pool/lut.h"
+
+namespace bswp::runtime {
+
+enum class PlanKind {
+  kInput,
+  kConvBaseline,
+  kConvBitSerial,
+  kLinearBaseline,
+  kLinearBitSerial,
+  kMaxPool,
+  kGlobalAvgPool,
+  kAdd,
+  kFlatten,
+  kRelu,
+};
+
+const char* plan_kind_name(PlanKind k);
+
+struct LayerPlan {
+  PlanKind kind = PlanKind::kInput;
+  std::string name;
+  std::vector<int> inputs;  // producing plan indices
+
+  nn::ConvSpec spec;               // conv plans
+  kernels::Requant rq;             // conv / linear / gap / add requantization
+  QTensor qweights;                // baseline conv & linear weights (int8)
+  kernels::PackedIndices indices;  // bit-serial plans
+  kernels::BitSerialVariant variant = kernels::BitSerialVariant::kCached;
+  int pool_k = 2, pool_stride = 2;
+
+  // Output quantization (duplicated from rq for non-requantizing plans).
+  float out_scale = 1.0f;
+  int out_zero_point = 0;
+  int out_bits = 8;
+  bool out_signed = false;
+  std::vector<int> out_chw;
+
+  std::size_t out_elems() const {
+    std::size_t n = 1;
+    for (int d : out_chw) n *= static_cast<std::size_t>(d);
+    return n;
+  }
+  /// Bytes one activation element of this plan occupies on the MCU.
+  std::size_t bytes_per_elem() const { return out_bits > 8 ? 2 : 1; }
+};
+
+struct CompiledNetwork {
+  std::vector<LayerPlan> plans;
+  pool::DotLut lut;
+  bool has_lut = false;
+  int act_bits = 8;
+  float input_scale = 1.0f;
+
+  int count_kind(PlanKind k) const {
+    int n = 0;
+    for (const auto& p : plans)
+      if (p.kind == k) ++n;
+    return n;
+  }
+};
+
+}  // namespace bswp::runtime

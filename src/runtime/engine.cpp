@@ -1,0 +1,183 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantize.h"
+
+namespace bswp::runtime {
+
+QTensor run(const CompiledNetwork& net, const Tensor& image, sim::CostCounter* counter) {
+  std::vector<QTensor> acts(net.plans.size());
+  for (std::size_t p = 0; p < net.plans.size(); ++p) {
+    const LayerPlan& plan = net.plans[p];
+    auto in = [&](int i) -> const QTensor& { return acts[static_cast<std::size_t>(plan.inputs[static_cast<std::size_t>(i)])]; };
+    switch (plan.kind) {
+      case PlanKind::kInput: {
+        Tensor img = image;
+        if (img.rank() == 3) {
+          img.reshape({1, img.dim(0), img.dim(1), img.dim(2)});
+        }
+        check(img.rank() == 4 && img.dim(0) == 1, "engine: input must be a single CHW image");
+        QTensor q({1, img.dim(1), img.dim(2), img.dim(3)}, 8, /*is_signed=*/true);
+        q.scale = plan.out_scale;
+        for (std::size_t i = 0; i < img.size(); ++i) {
+          q.data[i] = static_cast<int16_t>(
+              quant::clamp_q(static_cast<int32_t>(std::lround(img[i] / q.scale)), -128, 127));
+        }
+        acts[p] = std::move(q);
+        break;
+      }
+      case PlanKind::kConvBaseline:
+        acts[p] = kernels::baseline_conv2d(in(0), plan.qweights, plan.spec, plan.rq, counter);
+        break;
+      case PlanKind::kConvBitSerial:
+        acts[p] = kernels::bitserial_conv2d(in(0), plan.indices, net.lut, plan.spec, plan.rq,
+                                            plan.variant, counter);
+        break;
+      case PlanKind::kLinearBaseline:
+        acts[p] = kernels::baseline_linear(in(0), plan.qweights, plan.rq, counter);
+        break;
+      case PlanKind::kLinearBitSerial:
+        acts[p] = kernels::bitserial_linear(in(0), plan.indices, net.lut, plan.rq, plan.variant,
+                                            counter);
+        break;
+      case PlanKind::kMaxPool:
+        acts[p] = kernels::maxpool_q(in(0), plan.pool_k, plan.pool_stride, counter);
+        break;
+      case PlanKind::kGlobalAvgPool:
+        acts[p] = kernels::global_avgpool_q(in(0), plan.rq, counter);
+        break;
+      case PlanKind::kAdd:
+        acts[p] = kernels::add_q(in(0), in(1), plan.rq, counter);
+        break;
+      case PlanKind::kFlatten: {
+        QTensor q = in(0);
+        int total = 1;
+        for (int d : q.shape) total *= d;
+        q.shape = {1, total};
+        acts[p] = std::move(q);
+        break;
+      }
+      case PlanKind::kRelu: {
+        QTensor q = in(0);
+        const auto zp = static_cast<int16_t>(q.zero_point);
+        for (auto& v : q.data) v = std::max(v, zp);
+        if (counter != nullptr) {
+          counter->add(sim::Event::kSramRead, q.size());
+          counter->add(sim::Event::kAlu, q.size());
+          counter->add(sim::Event::kSramWrite, q.size());
+        }
+        acts[p] = std::move(q);
+        break;
+      }
+    }
+  }
+  return acts.back();
+}
+
+Tensor run_logits(const CompiledNetwork& net, const Tensor& image, sim::CostCounter* counter) {
+  return run(net, image, counter).dequantize();
+}
+
+sim::MemoryFootprint footprint(const CompiledNetwork& net) {
+  sim::MemoryFootprint fp;
+  if (net.has_lut) fp.flash_bytes += net.lut.storage_bytes();
+
+  // Flash image: weights / indices / per-channel requant constants (scale +
+  // bias as 4-byte words each, the fixed-point multiplier pairs of a real
+  // deployment).
+  for (const auto& plan : net.plans) {
+    switch (plan.kind) {
+      case PlanKind::kConvBaseline:
+      case PlanKind::kLinearBaseline:
+        fp.flash_bytes += plan.qweights.size();  // int8 weights, 1 byte each
+        fp.flash_bytes += plan.rq.scale.size() * 8;
+        break;
+      case PlanKind::kConvBitSerial:
+      case PlanKind::kLinearBitSerial:
+        fp.flash_bytes += plan.indices.storage_bytes();
+        fp.flash_bytes += plan.rq.scale.size() * 8;
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Peak SRAM under a tight deployment planner. Modeled implementation
+  // techniques (all standard on memory-starved MCUs, documented in
+  // DESIGN.md):
+  //  * rolling in-place convolution: a stride-1 same-size conv overwrites
+  //    input rows as they die, so only ~(kh+1) extra output rows are live;
+  //  * conv+maxpool fusion: a conv feeding only a maxpool streams pooled
+  //    rows, never materializing the pre-pool map;
+  //  * residual adds accumulate in place over one operand (both operands
+  //    are live during the add — residual blocks need two feature maps).
+  const int n = static_cast<int>(net.plans.size());
+  std::vector<std::vector<int>> consumers(static_cast<std::size_t>(n));
+  for (int p = 0; p < n; ++p) {
+    for (int in : net.plans[static_cast<std::size_t>(p)].inputs)
+      consumers[static_cast<std::size_t>(in)].push_back(p);
+  }
+  auto out_bytes_of = [&](int p) {
+    const LayerPlan& lp = net.plans[static_cast<std::size_t>(p)];
+    return lp.out_elems() * lp.bytes_per_elem();
+  };
+
+  std::size_t peak = 0;
+  for (int p = 0; p < n; ++p) {
+    const LayerPlan& plan = net.plans[static_cast<std::size_t>(p)];
+    std::size_t out_bytes = out_bytes_of(p);
+    int out_h = plan.out_chw.size() == 3 ? plan.out_chw[1] : 1;
+    std::size_t live = 0;
+    std::size_t scratch = 0;
+    const bool is_conv =
+        plan.kind == PlanKind::kConvBaseline || plan.kind == PlanKind::kConvBitSerial;
+    if (is_conv) {
+      // Fused maxpool: the sole consumer pools this output.
+      if (consumers[static_cast<std::size_t>(p)].size() == 1) {
+        const LayerPlan& c =
+            net.plans[static_cast<std::size_t>(consumers[static_cast<std::size_t>(p)][0])];
+        if (c.kind == PlanKind::kMaxPool) {
+          out_bytes /= static_cast<std::size_t>(c.pool_stride) * c.pool_stride;
+          out_h /= c.pool_stride;
+        }
+      }
+      const std::size_t in_bytes = out_bytes_of(plan.inputs[0]);
+      const std::size_t row = out_h > 0 ? out_bytes / static_cast<std::size_t>(out_h) : out_bytes;
+      live = std::max(in_bytes, out_bytes) +
+             std::min(out_bytes, static_cast<std::size_t>(plan.spec.kh + 1) * row);
+      scratch = plan.kind == PlanKind::kConvBaseline
+                    ? kernels::baseline_conv_scratch_bytes(plan.spec)
+                    : kernels::bitserial_scratch_bytes(plan.spec, net.lut, plan.variant,
+                                                       net.act_bits);
+    } else if (plan.kind == PlanKind::kAdd) {
+      live = out_bytes_of(plan.inputs[0]) + out_bytes_of(plan.inputs[1]);
+    } else if (plan.kind == PlanKind::kInput) {
+      live = out_bytes;
+    } else if (plan.kind == PlanKind::kMaxPool) {
+      // A maxpool fused into its producing conv (sole consumer) streams the
+      // pooled map directly; only the pooled output is ever materialized.
+      const int src = plan.inputs[0];
+      const LayerPlan& sp = net.plans[static_cast<std::size_t>(src)];
+      const bool fused = (sp.kind == PlanKind::kConvBaseline ||
+                          sp.kind == PlanKind::kConvBitSerial) &&
+                         consumers[static_cast<std::size_t>(src)].size() == 1;
+      live = fused ? out_bytes : out_bytes_of(src) + out_bytes;
+    } else if (plan.kind == PlanKind::kLinearBaseline || plan.kind == PlanKind::kLinearBitSerial) {
+      live = out_bytes_of(plan.inputs[0]) + out_bytes;
+      if (plan.kind == PlanKind::kLinearBitSerial) {
+        nn::ConvSpec fc_spec;
+        fc_spec.out_ch = plan.indices.out_ch;
+        scratch = kernels::bitserial_scratch_bytes(fc_spec, net.lut, plan.variant, net.act_bits);
+      }
+    } else {
+      live = out_bytes_of(plan.inputs[0]) + out_bytes;
+    }
+    peak = std::max(peak, live + scratch);
+  }
+  fp.sram_bytes = peak;
+  return fp;
+}
+
+}  // namespace bswp::runtime

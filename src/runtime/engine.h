@@ -1,0 +1,24 @@
+// Integer inference engine: executes a CompiledNetwork with the
+// microcontroller-style kernels, optionally tallying cost events.
+#pragma once
+
+#include "core/tensor.h"
+#include "runtime/compressed_network.h"
+#include "sim/mcu.h"
+
+namespace bswp::runtime {
+
+/// Run one image (CHW or 1xCxHxW float tensor) through the network.
+/// Returns the (quantized) logits tensor.
+QTensor run(const CompiledNetwork& net, const Tensor& image, sim::CostCounter* counter = nullptr);
+
+/// Run and dequantize logits.
+Tensor run_logits(const CompiledNetwork& net, const Tensor& image,
+                  sim::CostCounter* counter = nullptr);
+
+/// Static flash image + peak SRAM of a deployment (used against Table 2
+/// budgets; uncompressed big networks overflow flash — the "/" rows of
+/// Table 7).
+sim::MemoryFootprint footprint(const CompiledNetwork& net);
+
+}  // namespace bswp::runtime

@@ -1,0 +1,29 @@
+// Evaluation helpers: accuracy of a compiled network on a dataset, and
+// latency / memory on a simulated MCU.
+#pragma once
+
+#include "data/synthetic.h"
+#include "runtime/engine.h"
+#include "sim/mcu.h"
+
+namespace bswp::runtime {
+
+/// Top-1 accuracy (%) of the integer engine on `ds` (first `max_samples`
+/// samples; 0 = all).
+float evaluate_accuracy(const CompiledNetwork& net, const data::Dataset& ds, int max_samples = 0);
+
+struct LatencyReport {
+  double seconds = 0.0;
+  double cycles = 0.0;
+  sim::CostCounter counter;
+  sim::MemoryFootprint mem;
+  bool fits = false;
+};
+
+/// One-inference latency on `mcu`. Event counts are deterministic functions
+/// of the network geometry, so any representative image gives the same
+/// counts (up to data-dependent memoization hits).
+LatencyReport estimate_latency(const CompiledNetwork& net, const sim::McuProfile& mcu,
+                               const Tensor& image);
+
+}  // namespace bswp::runtime

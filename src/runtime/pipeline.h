@@ -1,0 +1,35 @@
+// Compilation pipeline: float graph (+ optional weight pool) -> deployable
+// CompiledNetwork (Figure 1 host side, minus training).
+//
+// The pipeline fuses conv→BN→ReLU chains, quantizes uncompressed layers to
+// int8, converts pooled layers to packed indices against the shared LUT, and
+// assigns every inter-layer activation an M-bit quantization from the
+// calibration result. BatchNorm folds into per-channel *requantization*
+// (never into weights — that would break pool sharing across layers).
+#pragma once
+
+#include "pool/codec.h"
+#include "quant/calibrate.h"
+#include "runtime/compressed_network.h"
+
+namespace bswp::runtime {
+
+struct CompileOptions {
+  int act_bits = 8;     // M: activation bitwidth of all hidden activations
+  int weight_bits = 8;  // B_w for uncompressed layers and the pool quant
+  int lut_bits = 8;     // B_l
+  pool::LutOrder lut_order = pool::LutOrder::kInputOriented;
+  /// Pick cached+precompute automatically when filters > pool size (§4.3).
+  bool auto_precompute = true;
+  /// Force one bit-serial variant for every pooled layer (ablations).
+  bool force_variant = false;
+  kernels::BitSerialVariant forced_variant = kernels::BitSerialVariant::kCached;
+};
+
+/// Compile `g` for integer execution. `pooled` may be null for a fully
+/// uncompressed (CMSIS-baseline) build. `cal` must contain ranges for every
+/// node of `g` (from quant::calibrate on the same graph).
+CompiledNetwork compile(const nn::Graph& g, const pool::PooledNetwork* pooled,
+                        const quant::CalibrationResult& cal, const CompileOptions& opt);
+
+}  // namespace bswp::runtime

@@ -1,0 +1,315 @@
+#include "runtime/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bswp::runtime {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x42535750;  // "BSWP"
+constexpr uint32_t kVersion = 1;
+
+// --- little primitive readers/writers (host-endian; container is a host
+// artifact, not a wire format) ----------------------------------------------
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("bswp: truncated network file");
+  return v;
+}
+
+void write_string(std::ostream& os, const std::string& s) {
+  write_pod<uint32_t>(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+std::string read_string(std::istream& is) {
+  const auto n = read_pod<uint32_t>(is);
+  if (n > (1u << 20)) throw std::runtime_error("bswp: implausible string length");
+  std::string s(n, '\0');
+  is.read(s.data(), n);
+  if (!is) throw std::runtime_error("bswp: truncated network file");
+  return s;
+}
+
+template <typename T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  write_pod<uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is) {
+  const auto n = read_pod<uint64_t>(is);
+  if (n > (1ull << 32)) throw std::runtime_error("bswp: implausible vector length");
+  std::vector<T> v(static_cast<std::size_t>(n));
+  is.read(reinterpret_cast<char*>(v.data()), static_cast<std::streamsize>(n * sizeof(T)));
+  if (!is && n > 0) throw std::runtime_error("bswp: truncated network file");
+  return v;
+}
+
+void write_int_vec(std::ostream& os, const std::vector<int>& v) {
+  std::vector<int32_t> tmp(v.begin(), v.end());
+  write_vec(os, tmp);
+}
+
+std::vector<int> read_int_vec(std::istream& is) {
+  auto tmp = read_vec<int32_t>(is);
+  return std::vector<int>(tmp.begin(), tmp.end());
+}
+
+void write_qtensor(std::ostream& os, const QTensor& q) {
+  write_int_vec(os, q.shape);
+  write_vec(os, q.data);
+  write_pod(os, q.scale);
+  write_pod<int32_t>(os, q.zero_point);
+  write_pod<int32_t>(os, q.bits);
+  write_pod<uint8_t>(os, q.is_signed ? 1 : 0);
+}
+
+QTensor read_qtensor(std::istream& is) {
+  QTensor q;
+  q.shape = read_int_vec(is);
+  q.data = read_vec<int16_t>(is);
+  q.scale = read_pod<float>(is);
+  q.zero_point = read_pod<int32_t>(is);
+  q.bits = read_pod<int32_t>(is);
+  q.is_signed = read_pod<uint8_t>(is) != 0;
+  if (q.data.size() != shape_numel(q.shape)) throw std::runtime_error("bswp: qtensor mismatch");
+  return q;
+}
+
+void write_requant(std::ostream& os, const kernels::Requant& rq) {
+  write_vec(os, rq.scale);
+  write_vec(os, rq.bias);
+  write_pod(os, rq.out_scale);
+  write_pod<int32_t>(os, rq.out_bits);
+  write_pod<uint8_t>(os, rq.out_signed ? 1 : 0);
+  write_pod<int32_t>(os, rq.out_zero_point);
+  write_pod<uint8_t>(os, rq.fuse_relu ? 1 : 0);
+}
+
+kernels::Requant read_requant(std::istream& is) {
+  kernels::Requant rq;
+  rq.scale = read_vec<float>(is);
+  rq.bias = read_vec<float>(is);
+  rq.out_scale = read_pod<float>(is);
+  rq.out_bits = read_pod<int32_t>(is);
+  rq.out_signed = read_pod<uint8_t>(is) != 0;
+  rq.out_zero_point = read_pod<int32_t>(is);
+  rq.fuse_relu = read_pod<uint8_t>(is) != 0;
+  return rq;
+}
+
+}  // namespace
+
+void save_network(const CompiledNetwork& net, std::ostream& os) {
+  write_pod(os, kMagic);
+  write_pod(os, kVersion);
+  write_pod<int32_t>(os, net.act_bits);
+  write_pod(os, net.input_scale);
+  write_pod<uint8_t>(os, net.has_lut ? 1 : 0);
+  if (net.has_lut) {
+    write_pod<int32_t>(os, net.lut.group_size);
+    write_pod<int32_t>(os, net.lut.pool_size);
+    write_pod<int32_t>(os, net.lut.bitwidth);
+    write_pod<int32_t>(os, static_cast<int32_t>(net.lut.order));
+    write_pod(os, net.lut.pool_scale);
+    write_pod(os, net.lut.entry_scale);
+    write_vec(os, net.lut.entries);
+  }
+  write_pod<uint32_t>(os, static_cast<uint32_t>(net.plans.size()));
+  for (const LayerPlan& p : net.plans) {
+    write_pod<int32_t>(os, static_cast<int32_t>(p.kind));
+    write_string(os, p.name);
+    write_int_vec(os, p.inputs);
+    write_pod<int32_t>(os, p.spec.in_ch);
+    write_pod<int32_t>(os, p.spec.out_ch);
+    write_pod<int32_t>(os, p.spec.kh);
+    write_pod<int32_t>(os, p.spec.kw);
+    write_pod<int32_t>(os, p.spec.stride);
+    write_pod<int32_t>(os, p.spec.pad);
+    write_pod<int32_t>(os, p.spec.groups);
+    write_requant(os, p.rq);
+    write_qtensor(os, p.qweights);
+    write_pod<int32_t>(os, p.indices.kh);
+    write_pod<int32_t>(os, p.indices.kw);
+    write_pod<int32_t>(os, p.indices.groups);
+    write_pod<int32_t>(os, p.indices.out_ch);
+    write_vec(os, p.indices.idx);
+    write_pod<int32_t>(os, static_cast<int32_t>(p.variant));
+    write_pod<int32_t>(os, p.pool_k);
+    write_pod<int32_t>(os, p.pool_stride);
+    write_pod(os, p.out_scale);
+    write_pod<int32_t>(os, p.out_zero_point);
+    write_pod<int32_t>(os, p.out_bits);
+    write_pod<uint8_t>(os, p.out_signed ? 1 : 0);
+    write_int_vec(os, p.out_chw);
+  }
+}
+
+void save_network(const CompiledNetwork& net, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("bswp: cannot open " + path + " for writing");
+  save_network(net, os);
+  if (!os) throw std::runtime_error("bswp: write failed for " + path);
+}
+
+CompiledNetwork load_network(std::istream& is) {
+  if (read_pod<uint32_t>(is) != kMagic) throw std::runtime_error("bswp: bad magic");
+  if (read_pod<uint32_t>(is) != kVersion) throw std::runtime_error("bswp: unsupported version");
+  CompiledNetwork net;
+  net.act_bits = read_pod<int32_t>(is);
+  net.input_scale = read_pod<float>(is);
+  net.has_lut = read_pod<uint8_t>(is) != 0;
+  if (net.has_lut) {
+    net.lut.group_size = read_pod<int32_t>(is);
+    net.lut.pool_size = read_pod<int32_t>(is);
+    net.lut.bitwidth = read_pod<int32_t>(is);
+    net.lut.order = static_cast<pool::LutOrder>(read_pod<int32_t>(is));
+    net.lut.pool_scale = read_pod<float>(is);
+    net.lut.entry_scale = read_pod<float>(is);
+    net.lut.entries = read_vec<int32_t>(is);
+    if (net.lut.entries.size() !=
+        static_cast<std::size_t>(net.lut.num_bit_vectors()) * net.lut.pool_size) {
+      throw std::runtime_error("bswp: LUT size mismatch");
+    }
+  }
+  const auto num_plans = read_pod<uint32_t>(is);
+  if (num_plans > 100000) throw std::runtime_error("bswp: implausible plan count");
+  net.plans.resize(num_plans);
+  for (LayerPlan& p : net.plans) {
+    const auto kind = read_pod<int32_t>(is);
+    if (kind < 0 || kind > static_cast<int32_t>(PlanKind::kRelu)) {
+      throw std::runtime_error("bswp: unknown plan kind");
+    }
+    p.kind = static_cast<PlanKind>(kind);
+    p.name = read_string(is);
+    p.inputs = read_int_vec(is);
+    p.spec.in_ch = read_pod<int32_t>(is);
+    p.spec.out_ch = read_pod<int32_t>(is);
+    p.spec.kh = read_pod<int32_t>(is);
+    p.spec.kw = read_pod<int32_t>(is);
+    p.spec.stride = read_pod<int32_t>(is);
+    p.spec.pad = read_pod<int32_t>(is);
+    p.spec.groups = read_pod<int32_t>(is);
+    p.rq = read_requant(is);
+    p.qweights = read_qtensor(is);
+    p.indices.kh = read_pod<int32_t>(is);
+    p.indices.kw = read_pod<int32_t>(is);
+    p.indices.groups = read_pod<int32_t>(is);
+    p.indices.out_ch = read_pod<int32_t>(is);
+    p.indices.idx = read_vec<uint8_t>(is);
+    p.variant = static_cast<kernels::BitSerialVariant>(read_pod<int32_t>(is));
+    p.pool_k = read_pod<int32_t>(is);
+    p.pool_stride = read_pod<int32_t>(is);
+    p.out_scale = read_pod<float>(is);
+    p.out_zero_point = read_pod<int32_t>(is);
+    p.out_bits = read_pod<int32_t>(is);
+    p.out_signed = read_pod<uint8_t>(is) != 0;
+    p.out_chw = read_int_vec(is);
+  }
+  return net;
+}
+
+CompiledNetwork load_network(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("bswp: cannot open " + path);
+  return load_network(is);
+}
+
+std::size_t export_c_header(const CompiledNetwork& net, const std::string& path,
+                            const std::string& symbol_prefix) {
+  std::ostringstream os;
+  std::size_t flash_bytes = 0;
+  os << "// Auto-generated flash image for a bit-serial weight-pool network.\n";
+  os << "// act_bits=" << net.act_bits << " input_scale=" << net.input_scale << "\n";
+  os << "#pragma once\n#include <stdint.h>\n\n";
+
+  auto emit_u8 = [&](const std::string& name, const uint8_t* data, std::size_t n) {
+    os << "static const uint8_t " << name << "[" << n << "] = {";
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 16 == 0) os << "\n  ";
+      os << static_cast<int>(data[i]) << ",";
+    }
+    os << "\n};\n\n";
+    flash_bytes += n;
+  };
+  auto emit_i8 = [&](const std::string& name, const int16_t* data, std::size_t n) {
+    os << "static const int8_t " << name << "[" << n << "] = {";
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 16 == 0) os << "\n  ";
+      os << static_cast<int>(data[i]) << ",";
+    }
+    os << "\n};\n\n";
+    flash_bytes += n;
+  };
+  auto emit_f32 = [&](const std::string& name, const float* data, std::size_t n) {
+    os << "static const float " << name << "[" << n << "] = {";
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i % 8 == 0) os << "\n  ";
+      os << data[i] << "f,";
+    }
+    os << "\n};\n\n";
+    flash_bytes += 4 * n;
+  };
+
+  if (net.has_lut) {
+    // LUT entries fit int8 at B_l <= 8; wider tables emit int16.
+    os << "// dot-product LUT: " << net.lut.num_bit_vectors() << " blocks x "
+       << net.lut.pool_size << " entries, B_l=" << net.lut.bitwidth << "\n";
+    if (net.lut.bitwidth <= 8) {
+      std::vector<int16_t> tmp(net.lut.entries.begin(), net.lut.entries.end());
+      emit_i8(symbol_prefix + "_lut", tmp.data(), tmp.size());
+    } else {
+      os << "static const int16_t " << symbol_prefix << "_lut["
+         << net.lut.entries.size() << "] = {";
+      for (std::size_t i = 0; i < net.lut.entries.size(); ++i) {
+        if (i % 12 == 0) os << "\n  ";
+        os << net.lut.entries[i] << ",";
+      }
+      os << "\n};\n\n";
+      flash_bytes += 2 * net.lut.entries.size();
+    }
+  }
+  int layer_id = 0;
+  for (const LayerPlan& p : net.plans) {
+    const std::string base = symbol_prefix + "_l" + std::to_string(layer_id++);
+    switch (p.kind) {
+      case PlanKind::kConvBaseline:
+      case PlanKind::kLinearBaseline:
+        if (!p.qweights.data.empty()) {
+          emit_i8(base + "_weights", p.qweights.data.data(), p.qweights.data.size());
+        }
+        break;
+      case PlanKind::kConvBitSerial:
+      case PlanKind::kLinearBitSerial:
+        emit_u8(base + "_indices", p.indices.idx.data(), p.indices.idx.size());
+        break;
+      default:
+        continue;
+    }
+    emit_f32(base + "_rq_scale", p.rq.scale.data(), p.rq.scale.size());
+    emit_f32(base + "_rq_bias", p.rq.bias.data(), p.rq.bias.size());
+  }
+  os << "// total flash bytes: " << flash_bytes << "\n";
+
+  std::ofstream file(path);
+  if (!file) throw std::runtime_error("bswp: cannot open " + path + " for writing");
+  file << os.str();
+  if (!file) throw std::runtime_error("bswp: write failed for " + path);
+  return flash_bytes;
+}
+
+}  // namespace bswp::runtime

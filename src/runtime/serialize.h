@@ -1,0 +1,36 @@
+// Serialization of the deployable artifact (paper Figure 1: "the dot product
+// lookup table is generated from the weight pool, and loaded into the
+// microcontroller's flash memory along with weight indices and precision
+// information").
+//
+// Two formats:
+//  * a binary container ("BSWP" magic) for save/load round trips on the
+//    host — everything needed to reconstruct a CompiledNetwork exactly;
+//  * a C header export that emits the flash image (LUT, packed indices,
+//    int8 weights, requantization constants) as const arrays, the form a
+//    firmware build actually links against.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/compressed_network.h"
+
+namespace bswp::runtime {
+
+/// Serialize a compiled network. Throws std::runtime_error on I/O failure.
+void save_network(const CompiledNetwork& net, const std::string& path);
+void save_network(const CompiledNetwork& net, std::ostream& os);
+
+/// Load a network saved by save_network. Throws std::runtime_error on
+/// malformed input (bad magic, truncation, unknown enum values).
+CompiledNetwork load_network(const std::string& path);
+CompiledNetwork load_network(std::istream& is);
+
+/// Emit a C header with the network's flash constants. `symbol_prefix` must
+/// be a valid C identifier prefix. Returns the number of flash bytes the
+/// emitted arrays occupy.
+std::size_t export_c_header(const CompiledNetwork& net, const std::string& path,
+                            const std::string& symbol_prefix);
+
+}  // namespace bswp::runtime

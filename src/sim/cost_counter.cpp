@@ -1,0 +1,32 @@
+#include "sim/cost_counter.h"
+
+#include <sstream>
+
+namespace bswp::sim {
+
+const char* event_name(Event e) {
+  switch (e) {
+    case Event::kFlashRandomByte: return "flash_random_byte";
+    case Event::kFlashSeqByte: return "flash_seq_byte";
+    case Event::kFlashSeqWord: return "flash_seq_word";
+    case Event::kSramRead: return "sram_read";
+    case Event::kSramWrite: return "sram_write";
+    case Event::kMac: return "mac";
+    case Event::kAlu: return "alu";
+    case Event::kBranch: return "branch";
+    case Event::kRequant: return "requant";
+    case Event::kCount: return "?";
+  }
+  return "?";
+}
+
+std::string CostCounter::summary() const {
+  std::ostringstream os;
+  for (int i = 0; i < kNumEvents; ++i) {
+    const Event e = static_cast<Event>(i);
+    if (count(e) > 0) os << event_name(e) << "=" << count(e) << " ";
+  }
+  return os.str();
+}
+
+}  // namespace bswp::sim

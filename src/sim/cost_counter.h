@@ -1,0 +1,58 @@
+// Event-count instrumentation for microcontroller-style kernels.
+//
+// Every kernel in bswp::kernels is functionally real integer code that also
+// tallies typed memory/compute events as it executes. An McuProfile converts
+// the tally into cycles and seconds. Counting is separated from costing so
+// tests can assert closed-form event counts independent of any calibration
+// constants (DESIGN.md §6).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace bswp::sim {
+
+enum class Event : int {
+  kFlashRandomByte = 0,  // isolated byte load from flash (wait-stated)
+  kFlashSeqByte,         // sequential byte stream from flash (prefetch helps)
+  kFlashSeqWord,         // sequential 32-bit stream from flash (LUT block copy)
+  kSramRead,
+  kSramWrite,
+  kMac,                  // multiply-accumulate
+  kAlu,                  // shift / mask / add / address arithmetic
+  kBranch,               // loop / branch overhead
+  kRequant,              // per-output-element requantization (scale+clamp)
+  kCount                 // sentinel
+};
+
+constexpr int kNumEvents = static_cast<int>(Event::kCount);
+
+const char* event_name(Event e);
+
+class CostCounter {
+ public:
+  void add(Event e, uint64_t n = 1) { counts_[static_cast<int>(e)] += n; }
+  uint64_t count(Event e) const { return counts_[static_cast<int>(e)]; }
+  void reset() { counts_.fill(0); }
+  void merge(const CostCounter& other) {
+    for (int i = 0; i < kNumEvents; ++i) counts_[static_cast<std::size_t>(i)] += other.counts_[static_cast<std::size_t>(i)];
+  }
+  uint64_t total_events() const {
+    uint64_t t = 0;
+    for (auto c : counts_) t += c;
+    return t;
+  }
+  std::string summary() const;
+
+ private:
+  std::array<uint64_t, kNumEvents> counts_{};
+};
+
+/// Helper: count only if the counter is non-null (kernels take an optional
+/// counter so accuracy evaluation pays no instrumentation cost).
+inline void tally(CostCounter* c, Event e, uint64_t n = 1) {
+  if (c != nullptr) c->add(e, n);
+}
+
+}  // namespace bswp::sim

@@ -1,0 +1,206 @@
+#include "kernels/baseline_conv.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+
+namespace bswp::kernels {
+namespace {
+
+/// Float reference convolution on dequantized operands, requantized the same
+/// way — the int8 kernel must match it except for accumulator rounding.
+float ref_conv_real(const QTensor& in, const QTensor& w, const nn::ConvSpec& spec, int o, int oy,
+                    int ox) {
+  const int h = in.dim(2), ww = in.dim(3);
+  const int cg = spec.in_ch / spec.groups;
+  const int og = spec.out_ch / spec.groups;
+  const int g = o / og;
+  double acc = 0.0;
+  for (int c = 0; c < cg; ++c) {
+    for (int ky = 0; ky < spec.kh; ++ky) {
+      const int iy = oy * spec.stride + ky - spec.pad;
+      if (iy < 0 || iy >= h) continue;
+      for (int kx = 0; kx < spec.kw; ++kx) {
+        const int ix = ox * spec.stride + kx - spec.pad;
+        if (ix < 0 || ix >= ww) continue;
+        const int ic = g * cg + c;
+        const double a = in.scale * (in.data[(static_cast<std::size_t>(ic) * h + iy) * ww + ix] -
+                                     in.zero_point);
+        const double wgt =
+            w.scale *
+            w.data[((static_cast<std::size_t>(o) * cg + c) * spec.kh + ky) * spec.kw + kx];
+        acc += a * wgt;
+      }
+    }
+  }
+  return static_cast<float>(acc);
+}
+
+QTensor random_input(Rng& rng, int c, int h, int w, int bits, bool is_signed, int zp = 0) {
+  QTensor q({1, c, h, w}, bits, is_signed);
+  q.scale = 0.05f;
+  q.zero_point = zp;
+  for (auto& v : q.data) {
+    v = static_cast<int16_t>(q.qmin() + static_cast<int>(rng.uniform_int(
+                                            static_cast<uint64_t>(q.qmax() - q.qmin() + 1))));
+  }
+  return q;
+}
+
+QTensor random_weights(Rng& rng, const nn::ConvSpec& spec) {
+  QTensor w(spec.weight_shape(), 8, true);
+  w.scale = 0.02f;
+  for (auto& v : w.data) v = static_cast<int16_t>(-127 + static_cast<int>(rng.uniform_int(255)));
+  return w;
+}
+
+TEST(BaselineConv, MatchesFloatReference) {
+  Rng rng(1);
+  nn::ConvSpec spec{8, 6, 3, 3, 1, 1, 1};
+  QTensor in = random_input(rng, 8, 6, 6, 8, false);
+  QTensor w = random_weights(rng, spec);
+  Requant rq = Requant::uniform(6, in.scale * w.scale, {}, 0.01f, 8, false, true);
+  QTensor out = baseline_conv2d(in, w, spec, rq, nullptr);
+  for (int o = 0; o < 6; ++o) {
+    for (int oy = 0; oy < 6; ++oy) {
+      for (int ox = 0; ox < 6; ++ox) {
+        float real = ref_conv_real(in, w, spec, o, oy, ox);
+        if (real < 0) real = 0;  // fused relu
+        const int expected = std::min(255L, std::lround(real / 0.01f));
+        EXPECT_NEAR(out.data[(static_cast<std::size_t>(o) * 6 + oy) * 6 + ox], expected, 1);
+      }
+    }
+  }
+}
+
+TEST(BaselineConv, ZeroPointInputHandled) {
+  Rng rng(2);
+  nn::ConvSpec spec{4, 4, 1, 1, 1, 0, 1};
+  QTensor in = random_input(rng, 4, 3, 3, 8, false, /*zp=*/128);
+  QTensor w = random_weights(rng, spec);
+  Requant rq = Requant::uniform(4, in.scale * w.scale, {}, 0.01f, 8, false, false);
+  rq.out_zero_point = 128;
+  QTensor out = baseline_conv2d(in, w, spec, rq, nullptr);
+  for (int o = 0; o < 4; ++o) {
+    const float real = ref_conv_real(in, w, spec, o, 1, 1);
+    const int expected = static_cast<int>(std::lround(real / 0.01f)) + 128;
+    EXPECT_NEAR(out.data[(static_cast<std::size_t>(o) * 3 + 1) * 3 + 1],
+                std::clamp(expected, 0, 255), 1);
+  }
+}
+
+TEST(BaselineConv, BiasAppliedPerChannel) {
+  nn::ConvSpec spec{1, 2, 1, 1, 1, 0, 1};
+  QTensor in({1, 1, 2, 2}, 8, false);
+  in.scale = 1.0f;
+  in.data = {1, 1, 1, 1};
+  QTensor w(spec.weight_shape(), 8, true);
+  w.scale = 1.0f;
+  w.data = {2, 3};
+  Requant rq = Requant::uniform(2, 1.0f, {10.0f, -20.0f}, 1.0f, 8, true, false);
+  QTensor out = baseline_conv2d(in, w, spec, rq, nullptr);
+  EXPECT_EQ(out.data[0], 12);   // 1*2 + 10
+  EXPECT_EQ(out.data[4], -17);  // 1*3 - 20
+}
+
+TEST(BaselineConv, EventCountsClosedForm) {
+  Rng rng(3);
+  nn::ConvSpec spec{8, 16, 3, 3, 1, 0, 1};  // no padding -> every tap valid
+  QTensor in = random_input(rng, 8, 6, 6, 8, false);
+  QTensor w = random_weights(rng, spec);
+  Requant rq = Requant::uniform(16, in.scale * w.scale, {}, 0.01f, 8, false, true);
+  sim::CostCounter c;
+  baseline_conv2d(in, w, spec, rq, &c);
+  const uint64_t positions = 4ull * 4;        // out 4x4
+  const uint64_t taps = 8ull * 9;             // per filter per position
+  EXPECT_EQ(c.count(sim::Event::kMac), positions * taps * 16);
+  EXPECT_EQ(c.count(sim::Event::kFlashSeqByte), positions * taps * 16);
+  EXPECT_EQ(c.count(sim::Event::kRequant), positions * 16);
+}
+
+TEST(BaselineConv, PaddingReducesTapCount) {
+  Rng rng(4);
+  nn::ConvSpec pad1{8, 8, 3, 3, 1, 1, 1};
+  nn::ConvSpec pad0{8, 8, 3, 3, 1, 0, 1};
+  QTensor in = random_input(rng, 8, 6, 6, 8, false);
+  QTensor w = random_weights(rng, pad1);
+  Requant rq = Requant::uniform(8, in.scale * w.scale, {}, 0.01f, 8, false, true);
+  sim::CostCounter c1, c0;
+  baseline_conv2d(in, w, pad1, rq, &c1);
+  baseline_conv2d(in, w, pad0, rq, &c0);
+  // Same-size output with padding has more positions but boundary positions
+  // have fewer valid taps; MACs per interior position are equal.
+  EXPECT_GT(c1.count(sim::Event::kMac), c0.count(sim::Event::kMac));
+}
+
+TEST(BaselineLinear, MatchesManualDot) {
+  QTensor in({1, 3}, 8, false);
+  in.scale = 0.5f;
+  in.data = {2, 4, 6};
+  QTensor w({2, 3}, 8, true);
+  w.scale = 0.5f;
+  w.data = {1, 1, 1, -1, 0, 1};
+  Requant rq = Requant::uniform(2, 0.25f, {}, 0.25f, 16, true, false);
+  QTensor out = baseline_linear(in, w, rq, nullptr);
+  EXPECT_EQ(out.data[0], 12);  // (2+4+6) * 0.25 / 0.25
+  EXPECT_EQ(out.data[1], 4);   // (-2+0+6)
+}
+
+TEST(MaxPoolQ, PreservesScaleAndPicksMax) {
+  QTensor in({1, 1, 4, 4}, 8, false);
+  in.scale = 0.3f;
+  for (int i = 0; i < 16; ++i) in.data[static_cast<std::size_t>(i)] = static_cast<int16_t>(i);
+  QTensor out = maxpool_q(in, 2, 2, nullptr);
+  EXPECT_EQ(out.scale, 0.3f);
+  EXPECT_EQ(out.data[0], 5);
+  EXPECT_EQ(out.data[3], 15);
+}
+
+TEST(GlobalAvgPoolQ, AveragesAndRequantizes) {
+  QTensor in({1, 2, 2, 2}, 8, false);
+  in.scale = 1.0f;
+  in.data = {0, 2, 4, 6, 10, 10, 10, 10};
+  // scale per channel: s_in / HW = 0.25.
+  Requant rq = Requant::uniform(2, 0.25f, {}, 1.0f, 8, false, false);
+  QTensor out = global_avgpool_q(in, rq, nullptr);
+  EXPECT_EQ(out.data[0], 3);   // mean of 0,2,4,6
+  EXPECT_EQ(out.data[1], 10);  // mean of 10s
+}
+
+TEST(AddQ, CombinesScalesAndZeroPoints) {
+  QTensor a({1, 1, 1, 2}, 8, false);
+  a.scale = 0.5f;
+  a.data = {4, 2};
+  QTensor b({1, 1, 1, 2}, 8, false);
+  b.scale = 0.25f;
+  b.zero_point = 8;
+  b.data = {16, 0};  // reals: 2.0, -2.0
+  Requant rq = Requant::uniform(1, 1.0f, {}, 0.5f, 8, false, false);
+  rq.out_zero_point = 16;
+  QTensor out = add_q(a, b, rq, nullptr);
+  EXPECT_EQ(out.data[0], 16 + 8);  // (2 + 2) / 0.5 + 16
+  EXPECT_EQ(out.data[1], 16 - 2);  // (1 - 2) / 0.5 + 16
+}
+
+TEST(AddQ, FusedReluClampsNegatives) {
+  QTensor a({1, 1, 1, 1}, 8, false);
+  a.scale = 1.0f;
+  a.data = {1};
+  QTensor b({1, 1, 1, 1}, 8, false);
+  b.scale = 1.0f;
+  b.zero_point = 10;
+  b.data = {0};  // real -10
+  Requant rq = Requant::uniform(1, 1.0f, {}, 1.0f, 8, false, true);
+  QTensor out = add_q(a, b, rq, nullptr);
+  EXPECT_EQ(out.data[0], 0);
+}
+
+TEST(ScratchBytes, Im2ColBufferFormula) {
+  nn::ConvSpec spec{32, 64, 3, 3, 1, 1, 1};
+  EXPECT_EQ(baseline_conv_scratch_bytes(spec), 2u * 2 * 32 * 9 * 2);
+}
+
+}  // namespace
+}  // namespace bswp::kernels

@@ -1,0 +1,154 @@
+#include "binary/binarized.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "models/zoo.h"
+#include "nn/trainer.h"
+
+namespace bswp::binary {
+namespace {
+
+TEST(BinarizeWeights, ProjectsToSignTimesMeanAbs) {
+  nn::Graph g;
+  int x = g.input(4, 4, 4);
+  g.conv2d(x, 2, 3, 1, 1);  // first conv — skipped by default
+  Rng rng(1);
+  g.init_weights(rng);
+  nn::Graph g2 = g;
+  binarize_weights(g2, /*skip_first_conv=*/false, /*skip_classifier=*/true);
+  const Tensor& w = g2.node(1).weight;
+  // Per filter: exactly two magnitudes (alpha), signs match original.
+  for (int o = 0; o < 2; ++o) {
+    double mean_abs = 0.0;
+    const std::size_t per = w.size() / 2;
+    for (std::size_t j = 0; j < per; ++j) mean_abs += std::fabs(g.node(1).weight[o * per + j]);
+    const float alpha = static_cast<float>(mean_abs / per);
+    for (std::size_t j = 0; j < per; ++j) {
+      EXPECT_NEAR(std::fabs(w[o * per + j]), alpha, 1e-5);
+      EXPECT_EQ(w[o * per + j] >= 0, g.node(1).weight[o * per + j] >= 0);
+    }
+  }
+}
+
+TEST(BinarizeWeights, SkipFlagsRespected) {
+  nn::Graph g;
+  int x = g.input(4, 4, 4);
+  x = g.conv2d(x, 4, 3, 1, 1);
+  x = g.global_avgpool(x);
+  g.linear(x, 2);
+  Rng rng(2);
+  g.init_weights(rng);
+  nn::Graph g2 = g;
+  binarize_weights(g2, /*skip_first_conv=*/true, /*skip_classifier=*/true);
+  for (std::size_t i = 0; i < g.node(1).weight.size(); ++i) {
+    EXPECT_EQ(g2.node(1).weight[i], g.node(1).weight[i]);  // first conv untouched
+  }
+  for (std::size_t i = 0; i < g.node(3).weight.size(); ++i) {
+    EXPECT_EQ(g2.node(3).weight[i], g.node(3).weight[i]);  // classifier untouched
+  }
+}
+
+TEST(XnorConv, MatchesFloatConvOnBinarizedOperands) {
+  Rng rng(3);
+  nn::ConvSpec spec{32, 6, 3, 3, 1, 1, 1};
+  // Random +-1 input and +-alpha weights.
+  Tensor x({1, 32, 5, 5});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform() < 0.5 ? -1.0f : 1.0f;
+  Tensor w(spec.weight_shape());
+  for (int o = 0; o < 6; ++o) {
+    const float alpha = 0.1f * static_cast<float>(o + 1);
+    for (int j = 0; j < 32 * 9; ++j) {
+      w[static_cast<std::size_t>(o) * 32 * 9 + j] = rng.uniform() < 0.5 ? -alpha : alpha;
+    }
+  }
+  PackedBinaryConv packed = pack_binary_conv(w, spec);
+  PackedBinaryInput pin = pack_binary_input(x);
+  Tensor out = xnor_conv2d(pin, packed, nullptr);
+
+  // Reference float conv with -1 padding (packed zeros decode to -1).
+  Tensor ref = [&] {
+    Tensor r({1, 6, 5, 5});
+    for (int o = 0; o < 6; ++o)
+      for (int oy = 0; oy < 5; ++oy)
+        for (int ox = 0; ox < 5; ++ox) {
+          double acc = 0.0;
+          for (int c = 0; c < 32; ++c)
+            for (int ky = 0; ky < 3; ++ky)
+              for (int kx = 0; kx < 3; ++kx) {
+                const int iy = oy + ky - 1, ix = ox + kx - 1;
+                const float a =
+                    (iy < 0 || iy >= 5 || ix < 0 || ix >= 5) ? -1.0f : x.at(0, c, iy, ix);
+                acc += static_cast<double>(a) * w.at(o, c, ky, kx);
+              }
+          r.at(0, o, oy, ox) = static_cast<float>(acc);
+        }
+    return r;
+  }();
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_NEAR(out[i], ref[i], 1e-3) << i;
+}
+
+TEST(XnorConv, TailMaskHandlesNonMultipleOf32Channels) {
+  Rng rng(4);
+  nn::ConvSpec spec{40, 2, 1, 1, 1, 0, 1};
+  Tensor x({1, 40, 2, 2});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform() < 0.5 ? -1.0f : 1.0f;
+  Tensor w(spec.weight_shape());
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = rng.uniform() < 0.5 ? -0.2f : 0.2f;
+  PackedBinaryConv packed = pack_binary_conv(w, spec);
+  PackedBinaryInput pin = pack_binary_input(x);
+  Tensor out = xnor_conv2d(pin, packed, nullptr);
+  for (int o = 0; o < 2; ++o) {
+    double acc = 0.0;
+    for (int c = 0; c < 40; ++c) acc += static_cast<double>(x.at(0, c, 1, 1)) * w.at(o, c, 0, 0);
+    EXPECT_NEAR(out.at(0, o, 1, 1), acc, 1e-3);
+  }
+}
+
+TEST(XnorConv, CountsPackedWordTraffic) {
+  nn::ConvSpec spec{64, 8, 3, 3, 1, 1, 1};
+  Tensor w(spec.weight_shape(), 0.1f);
+  Tensor x({1, 64, 4, 4}, 1.0f);
+  PackedBinaryConv packed = pack_binary_conv(w, spec);
+  PackedBinaryInput pin = pack_binary_input(x);
+  sim::CostCounter c;
+  xnor_conv2d(pin, packed, &c);
+  const uint64_t inner = 4ull * 4 * 8 * 9 * 2;  // positions*filters*taps*words
+  EXPECT_EQ(c.count(sim::Event::kFlashSeqWord), inner);
+  EXPECT_EQ(c.count(sim::Event::kAlu), 3 * inner);
+}
+
+TEST(BinarizedTraining, LearnsAboveChanceButBelowFloat) {
+  // §5.5: binarized TinyConv trains but lands well below the weight-pool /
+  // float model on the same data.
+  data::SyntheticCifarOptions dopt;
+  dopt.num_classes = 4;
+  dopt.train_size = 256;
+  dopt.test_size = 96;
+  dopt.image_size = 16;
+  dopt.noise_stddev = 0.05f;
+  data::SyntheticCifar train(dopt, true), test(dopt, false);
+
+  models::ModelOptions mo;
+  mo.image_size = 16;
+  mo.num_classes = 4;
+  mo.width = 0.5f;
+  nn::Graph bin = models::build_binarized_tinyconv(mo);
+  Rng rng(5);
+  bin.init_weights(rng);
+
+  nn::TrainConfig cfg;
+  cfg.epochs = 8;
+  cfg.batch_size = 32;
+  cfg.lr = 0.03f;
+  nn::Trainer trainer(cfg);
+  trainer.set_post_step([](nn::Graph& g) { binarize_weights(g); });
+  binarize_weights(bin);
+  const nn::TrainStats stats = trainer.fit(bin, train, test);
+  EXPECT_GT(stats.final_test_acc, 40.0f);  // well above 25% chance
+}
+
+}  // namespace
+}  // namespace bswp::binary

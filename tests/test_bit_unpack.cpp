@@ -1,0 +1,97 @@
+#include "kernels/bit_unpack.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace bswp::kernels {
+namespace {
+
+TEST(BitUnpack, KnownPattern) {
+  // Elements: 5 = 0b101, 3 = 0b011 with M = 3 bits, G = 2.
+  const int16_t vals[] = {5, 3};
+  uint32_t out[3];
+  unpack_bits(vals, 2, 3, out, nullptr);
+  // Bit plane 0 (LSB): element0 bit0=1, element1 bit0=1 -> 0b11.
+  EXPECT_EQ(out[0], 0b11u);
+  // Bit plane 1: element0 bit1=0, element1 bit1=1 -> 0b10.
+  EXPECT_EQ(out[1], 0b10u);
+  // Bit plane 2: element0 bit2=1, element1 bit2=0 -> 0b01.
+  EXPECT_EQ(out[2], 0b01u);
+}
+
+TEST(BitUnpack, RecomposeRoundTrip) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int G = 8, M = 8;
+    int16_t vals[8];
+    for (auto& v : vals) v = static_cast<int16_t>(rng.uniform_int(256));
+    uint32_t planes[8];
+    unpack_bits(vals, G, M, planes, nullptr);
+    for (int i = 0; i < G; ++i) {
+      EXPECT_EQ(recompose_element(planes, M, i), vals[i]);
+    }
+  }
+}
+
+TEST(BitUnpack, TruncatedBitwidthKeepsLowBits) {
+  // With M < 8 only the M LSBs are represented: recompose == vals mod 2^M.
+  const int16_t vals[] = {0xF3, 0x0A, 0x7F, 0x80};
+  uint32_t planes[4];
+  unpack_bits(vals, 4, 4, planes, nullptr);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(recompose_element(planes, 4, i), vals[i] & 0xF);
+  }
+}
+
+TEST(BitUnpack, ZeroInputAllPlanesZero) {
+  const int16_t vals[8] = {};
+  uint32_t planes[8];
+  unpack_bits(vals, 8, 8, planes, nullptr);
+  for (int j = 0; j < 8; ++j) EXPECT_EQ(planes[j], 0u);
+}
+
+TEST(BitUnpack, MaxValuesAllPlanesFull) {
+  int16_t vals[8];
+  for (auto& v : vals) v = 255;
+  uint32_t planes[8];
+  unpack_bits(vals, 8, 8, planes, nullptr);
+  for (int j = 0; j < 8; ++j) EXPECT_EQ(planes[j], 0xFFu);
+}
+
+TEST(BitUnpack, CountsMatchAnalysis) {
+  // §4.1: unpacking a G-element M-bit vector is a G*M-iteration loop.
+  const int16_t vals[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  uint32_t planes[8];
+  sim::CostCounter c;
+  unpack_bits(vals, 8, 8, planes, &c);
+  EXPECT_EQ(c.count(sim::Event::kSramRead), 8u);            // one load per element
+  EXPECT_EQ(c.count(sim::Event::kAlu), 2ull * 8 * 8);       // shift+or per (elem, bit)
+  EXPECT_EQ(c.count(sim::Event::kSramWrite), 8u);           // store per bit-vector
+}
+
+TEST(BitUnpack, CountsScaleWithBitwidth) {
+  const int16_t vals[8] = {};
+  uint32_t planes[8];
+  sim::CostCounter c8, c4;
+  unpack_bits(vals, 8, 8, planes, &c8);
+  unpack_bits(vals, 8, 4, planes, &c4);
+  EXPECT_EQ(c8.count(sim::Event::kAlu), 2 * c4.count(sim::Event::kAlu));
+}
+
+class BitwidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitwidthSweep, RoundTripAtAllBitwidths) {
+  const int M = GetParam();
+  Rng rng(static_cast<uint64_t>(M));
+  int16_t vals[8];
+  for (auto& v : vals) v = static_cast<int16_t>(rng.uniform_int(1u << M));
+  uint32_t planes[16];
+  unpack_bits(vals, 8, M, planes, nullptr);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(recompose_element(planes, M, i), vals[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToEight, BitwidthSweep, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace bswp::kernels

@@ -1,0 +1,304 @@
+#include "kernels/bitserial_conv.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "kernels/baseline_conv.h"
+#include "pool/grouping.h"
+
+namespace bswp::kernels {
+namespace {
+
+using pool::DotLut;
+using pool::LutOptions;
+using pool::WeightPool;
+
+struct Fixture {
+  WeightPool wp;
+  pool::PooledLayer layer;
+  PackedIndices packed;
+  nn::ConvSpec spec;
+  QTensor input;
+  Tensor dense_weights;  // reconstructed float weights (pool[idx])
+
+  Fixture(int in_ch, int out_ch, int k, int pad, int pool_size, int act_bits, uint64_t seed,
+          int h = 6, int w = 6, int stride = 1) {
+    Rng rng(seed);
+    wp.group_size = 8;
+    wp.vectors = Tensor({pool_size, 8});
+    rng.fill_normal(wp.vectors, 0.3f);
+
+    spec = nn::ConvSpec{in_ch, out_ch, k, k, stride, pad, 1};
+    layer.node = 0;
+    layer.out_ch = out_ch;
+    layer.channel_groups = in_ch / 8;
+    layer.kh = layer.kw = k;
+    layer.indices.resize(static_cast<std::size_t>(out_ch) * layer.channel_groups * k * k);
+    for (auto& idx : layer.indices)
+      idx = static_cast<uint16_t>(rng.uniform_int(static_cast<uint64_t>(pool_size)));
+    packed = PackedIndices::pack(layer);
+
+    input = QTensor({1, in_ch, h, w}, act_bits, /*is_signed=*/false);
+    input.scale = 0.04f;
+    for (auto& v : input.data)
+      v = static_cast<int16_t>(rng.uniform_int(1ull << act_bits));
+
+    dense_weights = Tensor(spec.weight_shape());
+    Tensor vecs({static_cast<int>(layer.indices.size()), 8});
+    for (std::size_t i = 0; i < layer.indices.size(); ++i) {
+      for (int j = 0; j < 8; ++j)
+        vecs[i * 8 + j] = wp.vectors[static_cast<std::size_t>(layer.indices[i]) * 8 + j];
+    }
+    pool::scatter_z_vectors(dense_weights, vecs, 8);
+  }
+
+  /// Reference: int8 conv over the *quantized pool* weights. With a wide LUT
+  /// the bit-serial kernel must match this bit-exactly.
+  QTensor reference(const DotLut& lut, const Requant& rq) const {
+    QTensor qw(spec.weight_shape(), 8, true);
+    qw.scale = lut.pool_scale;
+    const QTensor qpool = pool::quantize_pool(wp, 8);
+    Tensor vecs({static_cast<int>(layer.indices.size()), 8});
+    for (std::size_t i = 0; i < layer.indices.size(); ++i) {
+      for (int j = 0; j < 8; ++j) {
+        vecs[i * 8 + j] =
+            static_cast<float>(qpool.data[static_cast<std::size_t>(layer.indices[i]) * 8 + j]);
+      }
+    }
+    Tensor dense(spec.weight_shape());
+    pool::scatter_z_vectors(dense, vecs, 8);
+    for (std::size_t i = 0; i < dense.size(); ++i) qw.data[i] = static_cast<int16_t>(dense[i]);
+    return baseline_conv2d(input, qw, spec, rq, nullptr);
+  }
+};
+
+Requant make_rq(const Fixture& f, const DotLut& lut) {
+  return Requant::uniform(f.spec.out_ch, f.input.scale * lut.pool_scale * lut.entry_scale, {},
+                          0.005f, 8, false, true);
+}
+
+TEST(BitSerialConv, ExactlyMatchesInt8ReferenceWithWideLut) {
+  Fixture f(16, 12, 3, 1, 32, 8, /*seed=*/1);
+  LutOptions lo;
+  lo.bitwidth = 16;  // exact entries
+  DotLut lut = build_lut(f.wp, lo);
+  ASSERT_EQ(lut.entry_scale, 1.0f);
+  Requant rq = make_rq(f, lut);
+  QTensor ref = f.reference(lut, rq);
+  QTensor out = bitserial_conv2d(f.input, f.packed, lut, f.spec, rq,
+                                 BitSerialVariant::kCached, nullptr);
+  ASSERT_EQ(out.data.size(), ref.data.size());
+  for (std::size_t i = 0; i < out.data.size(); ++i) EXPECT_EQ(out.data[i], ref.data[i]) << i;
+}
+
+TEST(BitSerialConv, AllVariantsBitIdentical) {
+  Fixture f(16, 40, 3, 1, 32, 6, /*seed=*/2);
+  DotLut lut = build_lut(f.wp, LutOptions{});
+  Requant rq = make_rq(f, lut);
+  const QTensor base = bitserial_conv2d(f.input, f.packed, lut, f.spec, rq,
+                                        BitSerialVariant::kInputReuse, nullptr);
+  for (auto v : {BitSerialVariant::kNaive, BitSerialVariant::kCached,
+                 BitSerialVariant::kCachedPrecompute, BitSerialVariant::kCachedMemoize}) {
+    QTensor out = bitserial_conv2d(f.input, f.packed, lut, f.spec, rq, v, nullptr);
+    for (std::size_t i = 0; i < out.data.size(); ++i) {
+      ASSERT_EQ(out.data[i], base.data[i]) << variant_name(v) << " elem " << i;
+    }
+  }
+}
+
+class ActBitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ActBitsSweep, MatchesReferenceAtEveryBitwidth) {
+  const int bits = GetParam();
+  Fixture f(8, 8, 3, 1, 16, bits, /*seed=*/100 + static_cast<uint64_t>(bits));
+  LutOptions lo;
+  lo.bitwidth = 16;
+  DotLut lut = build_lut(f.wp, lo);
+  Requant rq = make_rq(f, lut);
+  QTensor ref = f.reference(lut, rq);
+  QTensor out = bitserial_conv2d(f.input, f.packed, lut, f.spec, rq,
+                                 BitSerialVariant::kCachedPrecompute, nullptr);
+  for (std::size_t i = 0; i < out.data.size(); ++i) EXPECT_EQ(out.data[i], ref.data[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(OneToEight, ActBitsSweep, ::testing::Range(1, 9));
+
+TEST(BitSerialConv, StrideTwoAndNoPadding) {
+  Fixture f(8, 8, 3, 0, 16, 8, /*seed=*/3, 7, 7, /*stride=*/2);
+  LutOptions lo;
+  lo.bitwidth = 16;
+  DotLut lut = build_lut(f.wp, lo);
+  Requant rq = make_rq(f, lut);
+  QTensor ref = f.reference(lut, rq);
+  QTensor out =
+      bitserial_conv2d(f.input, f.packed, lut, f.spec, rq, BitSerialVariant::kCached, nullptr);
+  ASSERT_EQ(out.shape, ref.shape);
+  for (std::size_t i = 0; i < out.data.size(); ++i) EXPECT_EQ(out.data[i], ref.data[i]);
+}
+
+TEST(BitSerialConv, NarrowLutQuantizationStaysClose) {
+  Fixture f(16, 8, 3, 1, 64, 8, /*seed=*/4);
+  LutOptions wide, narrow;
+  wide.bitwidth = 16;
+  narrow.bitwidth = 8;
+  DotLut lut_w = build_lut(f.wp, wide);
+  DotLut lut_n = build_lut(f.wp, narrow);
+  Requant rq_w = make_rq(f, lut_w);
+  Requant rq_n = make_rq(f, lut_n);
+  QTensor out_w =
+      bitserial_conv2d(f.input, f.packed, lut_w, f.spec, rq_w, BitSerialVariant::kCached, nullptr);
+  QTensor out_n =
+      bitserial_conv2d(f.input, f.packed, lut_n, f.spec, rq_n, BitSerialVariant::kCached, nullptr);
+  double err = 0.0;
+  for (std::size_t i = 0; i < out_w.data.size(); ++i) {
+    err += std::abs(out_w.data[i] - out_n.data[i]);
+  }
+  // 8-bit LUT introduces only small per-partial-sum rounding (Table 5).
+  EXPECT_LT(err / static_cast<double>(out_w.data.size()), 3.0);
+}
+
+TEST(BitSerialConv, LookupCountScalesLinearlyWithActBits) {
+  // Runtime ∝ activation bitwidth (§3.3 / Fig. 8): result lookups = F*M per
+  // (position, tap, group).
+  for (int bits : {2, 4, 8}) {
+    Fixture f(8, 8, 3, 0, 16, bits, /*seed=*/5);
+    DotLut lut = build_lut(f.wp, LutOptions{});
+    Requant rq = make_rq(f, lut);
+    sim::CostCounter c;
+    bitserial_conv2d(f.input, f.packed, lut, f.spec, rq, BitSerialVariant::kInputReuse, &c);
+    const uint64_t positions = 4ull * 4, taps = 9, groups = 1, F = 8;
+    EXPECT_EQ(c.count(sim::Event::kFlashRandomByte),
+              positions * taps * groups * F * static_cast<uint64_t>(bits));
+  }
+}
+
+TEST(BitSerialConv, CachedVariantMovesLookupsToSram) {
+  Fixture f(8, 16, 3, 1, 16, 8, /*seed=*/6);
+  DotLut lut = build_lut(f.wp, LutOptions{});
+  Requant rq = make_rq(f, lut);
+  sim::CostCounter reuse, cached;
+  bitserial_conv2d(f.input, f.packed, lut, f.spec, rq, BitSerialVariant::kInputReuse, &reuse);
+  bitserial_conv2d(f.input, f.packed, lut, f.spec, rq, BitSerialVariant::kCached, &cached);
+  EXPECT_GT(reuse.count(sim::Event::kFlashRandomByte), 0u);
+  EXPECT_EQ(cached.count(sim::Event::kFlashRandomByte), 0u);
+  EXPECT_GT(cached.count(sim::Event::kFlashSeqWord), 0u);  // cache fills
+}
+
+TEST(BitSerialConv, PrecomputeSharesWorkAcrossManyFilters) {
+  // With F >> S the precompute variant does far fewer ALU ops.
+  Fixture f(8, 128, 3, 1, 16, 8, /*seed=*/7);
+  DotLut lut = build_lut(f.wp, LutOptions{});
+  Requant rq = make_rq(f, lut);
+  sim::CostCounter cached, pre;
+  bitserial_conv2d(f.input, f.packed, lut, f.spec, rq, BitSerialVariant::kCached, &cached);
+  bitserial_conv2d(f.input, f.packed, lut, f.spec, rq, BitSerialVariant::kCachedPrecompute, &pre);
+  EXPECT_LT(pre.count(sim::Event::kAlu), cached.count(sim::Event::kAlu));
+  EXPECT_LT(pre.count(sim::Event::kSramRead), cached.count(sim::Event::kSramRead));
+}
+
+TEST(BitSerialConv, NaivePaysUnpackingPerFilter) {
+  // §4.1: without input reuse, bit unpacking runs once per filter.
+  Fixture f(8, 32, 3, 0, 16, 8, /*seed=*/8);
+  DotLut lut = build_lut(f.wp, LutOptions{});
+  Requant rq = make_rq(f, lut);
+  sim::CostCounter naive, reuse;
+  bitserial_conv2d(f.input, f.packed, lut, f.spec, rq, BitSerialVariant::kNaive, &naive);
+  bitserial_conv2d(f.input, f.packed, lut, f.spec, rq, BitSerialVariant::kInputReuse, &reuse);
+  // Per decomposition the reuse variant unpacks once (2*G*M ALU) while naive
+  // unpacks per filter; with F=32 the total ALU gap is ~(F*(unpack+serial)) /
+  // (unpack + F*serial) ≈ 7x here.
+  EXPECT_GT(naive.count(sim::Event::kAlu), 5 * reuse.count(sim::Event::kAlu));
+  EXPECT_GT(naive.count(sim::Event::kSramRead), 5 * reuse.count(sim::Event::kSramRead));
+}
+
+TEST(BitSerialConv, MemoizeCostBetweenCachedAndPrecompute) {
+  Fixture f(8, 128, 3, 1, 16, 8, /*seed=*/9);
+  DotLut lut = build_lut(f.wp, LutOptions{});
+  Requant rq = make_rq(f, lut);
+  sim::CostCounter cached, memo, pre;
+  bitserial_conv2d(f.input, f.packed, lut, f.spec, rq, BitSerialVariant::kCached, &cached);
+  bitserial_conv2d(f.input, f.packed, lut, f.spec, rq, BitSerialVariant::kCachedMemoize, &memo);
+  bitserial_conv2d(f.input, f.packed, lut, f.spec, rq, BitSerialVariant::kCachedPrecompute, &pre);
+  EXPECT_LT(memo.count(sim::Event::kAlu), cached.count(sim::Event::kAlu));
+  EXPECT_GE(memo.count(sim::Event::kSramRead), pre.count(sim::Event::kSramRead));
+}
+
+TEST(BitSerialConv, RejectsSignedInput) {
+  Fixture f(8, 8, 3, 1, 16, 8, /*seed=*/10);
+  DotLut lut = build_lut(f.wp, LutOptions{});
+  Requant rq = make_rq(f, lut);
+  QTensor bad = f.input;
+  bad.is_signed = true;
+  EXPECT_THROW(
+      bitserial_conv2d(bad, f.packed, lut, f.spec, rq, BitSerialVariant::kCached, nullptr),
+      std::invalid_argument);
+}
+
+TEST(BitSerialConv, RejectsMismatchedIndexMap) {
+  Fixture f(8, 8, 3, 1, 16, 8, /*seed=*/11);
+  DotLut lut = build_lut(f.wp, LutOptions{});
+  Requant rq = make_rq(f, lut);
+  nn::ConvSpec wrong = f.spec;
+  wrong.out_ch = 9;
+  EXPECT_THROW(
+      bitserial_conv2d(f.input, f.packed, lut, wrong, rq, BitSerialVariant::kCached, nullptr),
+      std::invalid_argument);
+}
+
+TEST(BitSerialLinear, MatchesBaselineLinear) {
+  Rng rng(12);
+  WeightPool wp;
+  wp.group_size = 8;
+  wp.vectors = Tensor({16, 8});
+  rng.fill_normal(wp.vectors, 0.3f);
+  LutOptions lo;
+  lo.bitwidth = 16;
+  DotLut lut = build_lut(wp, lo);
+  const QTensor qpool = pool::quantize_pool(wp, 8);
+
+  pool::PooledLayer layer;
+  layer.is_linear = true;
+  layer.out_ch = 5;
+  layer.channel_groups = 3;  // 24 inputs
+  layer.kh = layer.kw = 1;
+  layer.indices.resize(15);
+  for (auto& idx : layer.indices) idx = static_cast<uint16_t>(rng.uniform_int(16));
+  PackedIndices packed = PackedIndices::pack(layer);
+
+  QTensor in({1, 24}, 8, false);
+  in.scale = 0.1f;
+  for (auto& v : in.data) v = static_cast<int16_t>(rng.uniform_int(256));
+
+  QTensor qw({5, 24}, 8, true);
+  qw.scale = lut.pool_scale;
+  for (int o = 0; o < 5; ++o) {
+    for (int g = 0; g < 3; ++g) {
+      for (int j = 0; j < 8; ++j) {
+        qw.data[static_cast<std::size_t>(o) * 24 + g * 8 + j] =
+            qpool.data[static_cast<std::size_t>(layer.index(o, g, 0, 0)) * 8 + j];
+      }
+    }
+  }
+  Requant rq = Requant::uniform(5, in.scale * lut.pool_scale, {}, 0.01f, 16, true, false);
+  QTensor ref = baseline_linear(in, qw, rq, nullptr);
+  QTensor out = bitserial_linear(in, packed, lut, rq, BitSerialVariant::kCached, nullptr);
+  for (std::size_t i = 0; i < ref.data.size(); ++i) EXPECT_EQ(out.data[i], ref.data[i]);
+}
+
+TEST(ScratchBytes, GrowsWithVariantComplexity) {
+  nn::ConvSpec spec{64, 64, 3, 3, 1, 1, 1};
+  WeightPool wp;
+  wp.group_size = 8;
+  wp.vectors = Tensor({64, 8}, 0.1f);
+  DotLut lut = build_lut(wp, LutOptions{});
+  const auto reuse = bitserial_scratch_bytes(spec, lut, BitSerialVariant::kInputReuse, 8);
+  const auto cached = bitserial_scratch_bytes(spec, lut, BitSerialVariant::kCached, 8);
+  const auto pre = bitserial_scratch_bytes(spec, lut, BitSerialVariant::kCachedPrecompute, 8);
+  EXPECT_LT(reuse, cached);
+  EXPECT_LT(cached, pre);
+  // The §4.2 example: 8 blocks x 64 entries x 1 byte = 512 B of cache.
+  EXPECT_EQ(cached - reuse, 512u);
+}
+
+}  // namespace
+}  // namespace bswp::kernels

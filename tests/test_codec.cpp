@@ -1,0 +1,190 @@
+#include "pool/codec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/rng.h"
+#include "pool/grouping.h"
+
+namespace bswp::pool {
+namespace {
+
+nn::Graph poolable_net(int classes = 4) {
+  nn::Graph g;
+  int x = g.input(3, 8, 8);           // first conv: 3 channels -> uncompressed
+  x = g.conv2d(x, 16, 3, 1, 1);       // conv1 (not poolable, in_ch=3)
+  x = g.relu(x);
+  x = g.conv2d(x, 32, 3, 1, 1);       // poolable
+  x = g.relu(x);
+  x = g.conv2d(x, 32, 1, 1, 0);       // poolable 1x1
+  x = g.relu(x);
+  x = g.global_avgpool(x);
+  g.linear(x, classes);
+  return g;
+}
+
+CodecOptions small_opts(int pool_size = 16) {
+  CodecOptions o;
+  o.pool_size = pool_size;
+  o.group_size = 8;
+  o.kmeans_iters = 15;
+  return o;
+}
+
+TEST(Codec, SelectsOnlyPoolableLayers) {
+  nn::Graph g = poolable_net();
+  Rng rng(1);
+  g.init_weights(rng);
+  PooledNetwork net = build_weight_pool(g, small_opts());
+  EXPECT_EQ(net.layers.size(), 2u);  // conv2 and conv3
+  // conv1 (node 1) and the classifier are uncompressed.
+  EXPECT_EQ(net.uncompressed_nodes.size(), 2u);
+  EXPECT_EQ(net.pool.size(), 16);
+  EXPECT_EQ(net.pool.group_size, 8);
+}
+
+TEST(Codec, IndicesWithinPoolAndCorrectCount) {
+  nn::Graph g = poolable_net();
+  Rng rng(2);
+  g.init_weights(rng);
+  PooledNetwork net = build_weight_pool(g, small_opts());
+  for (const PooledLayer& l : net.layers) {
+    const nn::Node& n = g.node(l.node);
+    const std::size_t expected = static_cast<std::size_t>(n.conv.out_ch) *
+                                 (n.conv.in_ch / 8) * n.conv.kh * n.conv.kw;
+    EXPECT_EQ(l.indices.size(), expected);
+    for (uint16_t idx : l.indices) EXPECT_LT(idx, 16);
+  }
+}
+
+TEST(Codec, ReconstructionWritesPoolVectors) {
+  nn::Graph g = poolable_net();
+  Rng rng(3);
+  g.init_weights(rng);
+  PooledNetwork net = build_weight_pool(g, small_opts());
+  reconstruct_weights(g, net);
+  // Every weight vector of pooled layers must now be exactly a pool vector.
+  for (const PooledLayer& l : net.layers) {
+    Tensor vecs = extract_z_vectors(g.node(l.node).weight, 8);
+    for (int v = 0; v < vecs.dim(0); ++v) {
+      const uint16_t idx = l.indices[static_cast<std::size_t>(v)];
+      for (int j = 0; j < 8; ++j) {
+        EXPECT_EQ(vecs[static_cast<std::size_t>(v) * 8 + j],
+                  net.pool.vectors[static_cast<std::size_t>(idx) * 8 + j]);
+      }
+    }
+  }
+}
+
+TEST(Codec, ReconstructionReducesToNearestAssignment) {
+  // After reconstruction, re-assigning indices must be a fixed point.
+  nn::Graph g = poolable_net();
+  Rng rng(4);
+  g.init_weights(rng);
+  PooledNetwork net = build_weight_pool(g, small_opts());
+  reconstruct_weights(g, net);
+  PooledNetwork net2 = net;
+  reassign_indices(g, net2);
+  for (std::size_t l = 0; l < net.layers.size(); ++l) {
+    EXPECT_EQ(net.layers[l].indices, net2.layers[l].indices);
+  }
+}
+
+TEST(Codec, ReconstructionErrorShrinksWithPoolSize) {
+  nn::Graph g = poolable_net();
+  Rng rng(5);
+  g.init_weights(rng);
+  double prev_err = 1e300;
+  for (int pool_size : {4, 16, 64}) {
+    nn::Graph gc = g;  // fresh copy of original weights
+    PooledNetwork net = build_weight_pool(gc, small_opts(pool_size));
+    // Measure reconstruction error on conv2.
+    const Tensor orig = gc.node(3).weight;
+    reconstruct_weights(gc, net);
+    double err = 0.0;
+    for (std::size_t i = 0; i < orig.size(); ++i) {
+      const double d = orig[i] - gc.node(3).weight[i];
+      err += d * d;
+    }
+    EXPECT_LT(err, prev_err);
+    prev_err = err;
+  }
+}
+
+TEST(Codec, PoolFcOptionCompressesClassifier) {
+  nn::Graph g = poolable_net();
+  Rng rng(6);
+  g.init_weights(rng);
+  CodecOptions opt = small_opts();
+  opt.pool_fc = true;
+  PooledNetwork net = build_weight_pool(g, opt);
+  bool has_linear = false;
+  for (const PooledLayer& l : net.layers) has_linear |= l.is_linear;
+  EXPECT_TRUE(has_linear);
+}
+
+TEST(Codec, PooledFractionIsMajority) {
+  nn::Graph g = poolable_net();
+  Rng rng(7);
+  g.init_weights(rng);
+  PooledNetwork net = build_weight_pool(g, small_opts());
+  const double frac = pooled_weight_fraction(g, net);
+  EXPECT_GT(frac, 0.8);  // conv2+conv3 dominate parameters
+  EXPECT_LE(frac, 1.0);
+}
+
+TEST(Codec, IndexAccessorLayout) {
+  PooledLayer l;
+  l.out_ch = 2;
+  l.channel_groups = 3;
+  l.kh = l.kw = 2;
+  l.indices.resize(2 * 3 * 2 * 2);
+  for (std::size_t i = 0; i < l.indices.size(); ++i) l.indices[i] = static_cast<uint16_t>(i);
+  EXPECT_EQ(l.index(0, 0, 0, 0), 0);
+  EXPECT_EQ(l.index(0, 0, 0, 1), 1);
+  EXPECT_EQ(l.index(0, 1, 0, 0), 4);
+  EXPECT_EQ(l.index(1, 0, 0, 0), 12);
+}
+
+TEST(XyCodec, CoefficientsReduceReconstructionError) {
+  nn::Graph g = poolable_net();
+  Rng rng(8);
+  g.init_weights(rng);
+
+  auto recon_err = [&](bool coeff) {
+    nn::Graph gc = g;
+    XyPoolOptions opt;
+    opt.pool_size = 16;
+    opt.use_coefficients = coeff;
+    XyPooledNetwork net = build_xy_pool(gc, opt);
+    double err = 0.0;
+    std::vector<Tensor> originals;
+    for (const auto& layer : net.layers) originals.push_back(gc.node(layer.node).weight);
+    reconstruct_xy_weights(gc, net);
+    for (std::size_t li = 0; li < net.layers.size(); ++li) {
+      const Tensor& now = gc.node(net.layers[li].node).weight;
+      for (std::size_t i = 0; i < now.size(); ++i) {
+        const double d = originals[li][i] - now[i];
+        err += d * d;
+      }
+    }
+    return err;
+  };
+  EXPECT_LT(recon_err(true), recon_err(false));
+}
+
+TEST(XyCodec, SkipsOneByOneKernels) {
+  nn::Graph g = poolable_net();
+  Rng rng(9);
+  g.init_weights(rng);
+  XyPoolOptions opt;
+  opt.pool_size = 8;
+  XyPooledNetwork net = build_xy_pool(g, opt);
+  for (const auto& layer : net.layers) {
+    EXPECT_NE(g.node(layer.node).conv.kh * g.node(layer.node).conv.kw, 1);
+  }
+}
+
+}  // namespace
+}  // namespace bswp::pool

@@ -1,0 +1,143 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace bswp::data {
+namespace {
+
+SyntheticCifarOptions small_cifar() {
+  SyntheticCifarOptions o;
+  o.train_size = 64;
+  o.test_size = 32;
+  o.image_size = 16;
+  return o;
+}
+
+TEST(SyntheticCifar, ShapesAndSizes) {
+  SyntheticCifar train(small_cifar(), true);
+  SyntheticCifar test(small_cifar(), false);
+  EXPECT_EQ(train.size(), 64);
+  EXPECT_EQ(test.size(), 32);
+  EXPECT_EQ(train.channels(), 3);
+  EXPECT_EQ(train.height(), 16);
+  EXPECT_EQ(train.num_classes(), 10);
+}
+
+TEST(SyntheticCifar, DeterministicSamples) {
+  SyntheticCifar a(small_cifar(), true), b(small_cifar(), true);
+  std::vector<float> va(3 * 16 * 16), vb(3 * 16 * 16);
+  for (int i = 0; i < 8; ++i) {
+    const int la = a.sample(i, va.data());
+    const int lb = b.sample(i, vb.data());
+    EXPECT_EQ(la, lb);
+    EXPECT_EQ(va, vb);
+  }
+}
+
+TEST(SyntheticCifar, LabelsInRangeAndAllClassesAppear) {
+  SyntheticCifarOptions o = small_cifar();
+  o.train_size = 500;
+  SyntheticCifar ds(o, true);
+  std::vector<float> buf(3 * 16 * 16);
+  std::set<int> labels;
+  for (int i = 0; i < ds.size(); ++i) {
+    const int l = ds.sample(i, buf.data());
+    ASSERT_GE(l, 0);
+    ASSERT_LT(l, 10);
+    labels.insert(l);
+  }
+  EXPECT_EQ(labels.size(), 10u);
+}
+
+TEST(SyntheticCifar, PixelsBoundedAndNonConstant) {
+  SyntheticCifar ds(small_cifar(), true);
+  std::vector<float> buf(3 * 16 * 16);
+  ds.sample(0, buf.data());
+  float mn = 1e9f, mx = -1e9f;
+  for (float v : buf) {
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  EXPECT_GE(mn, 0.0f);
+  EXPECT_LE(mx, 1.5f);
+  EXPECT_GT(mx - mn, 0.05f);
+}
+
+TEST(SyntheticCifar, TrainAndTestDiffer) {
+  SyntheticCifar train(small_cifar(), true), test(small_cifar(), false);
+  std::vector<float> a(3 * 16 * 16), b(3 * 16 * 16);
+  train.sample(0, a.data());
+  test.sample(0, b.data());
+  EXPECT_NE(a, b);
+}
+
+TEST(SyntheticCifar, BatchGathersImagesAndLabels) {
+  SyntheticCifar ds(small_cifar(), true);
+  Batch b = ds.batch(4, 8);
+  EXPECT_EQ(b.images.shape(), (std::vector<int>{8, 3, 16, 16}));
+  EXPECT_EQ(b.labels.size(), 8u);
+  std::vector<float> ref(3 * 16 * 16);
+  const int l = ds.sample(4, ref.data());
+  EXPECT_EQ(b.labels[0], l);
+  for (std::size_t i = 0; i < ref.size(); ++i) EXPECT_EQ(b.images[i], ref[i]);
+}
+
+TEST(SyntheticQuickdraw, ShapesAndDeterminism) {
+  SyntheticQuickdrawOptions o;
+  o.num_classes = 20;
+  o.train_size = 64;
+  o.test_size = 16;
+  o.image_size = 20;
+  SyntheticQuickdraw a(o, true), b(o, true);
+  EXPECT_EQ(a.channels(), 1);
+  EXPECT_EQ(a.num_classes(), 20);
+  std::vector<float> va(20 * 20), vb(20 * 20);
+  EXPECT_EQ(a.sample(3, va.data()), b.sample(3, vb.data()));
+  EXPECT_EQ(va, vb);
+}
+
+TEST(SyntheticQuickdraw, PixelsInUnitRangeWithInk) {
+  SyntheticQuickdrawOptions o;
+  o.num_classes = 10;
+  o.train_size = 16;
+  SyntheticQuickdraw ds(o, true);
+  std::vector<float> buf(28 * 28);
+  for (int i = 0; i < 8; ++i) {
+    ds.sample(i, buf.data());
+    float mx = 0.0f;
+    double total = 0.0;
+    for (float v : buf) {
+      ASSERT_GE(v, 0.0f);
+      ASSERT_LE(v, 1.0f);
+      mx = std::max(mx, v);
+      total += v;
+    }
+    EXPECT_GT(mx, 0.5f);                       // strokes present
+    EXPECT_LT(total, 0.5 * buf.size());        // mostly background
+  }
+}
+
+TEST(SyntheticQuickdraw, ManyClassesAppear) {
+  SyntheticQuickdrawOptions o;
+  o.num_classes = 100;
+  o.train_size = 2000;
+  SyntheticQuickdraw ds(o, true);
+  std::vector<float> buf(28 * 28);
+  std::set<int> labels;
+  for (int i = 0; i < 600; ++i) labels.insert(ds.sample(i, buf.data()));
+  EXPECT_GT(labels.size(), 80u);
+}
+
+TEST(Dataset, GatherArbitraryIndices) {
+  SyntheticCifar ds(small_cifar(), true);
+  Batch b = ds.gather({5, 1, 3});
+  EXPECT_EQ(b.images.dim(0), 3);
+  std::vector<float> ref(3 * 16 * 16);
+  const int l = ds.sample(1, ref.data());
+  EXPECT_EQ(b.labels[1], l);
+}
+
+}  // namespace
+}  // namespace bswp::data

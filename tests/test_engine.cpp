@@ -1,0 +1,207 @@
+#include "runtime/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "data/synthetic.h"
+#include "models/zoo.h"
+#include "nn/trainer.h"
+#include "runtime/evaluate.h"
+#include "pool/finetune.h"
+#include "runtime/pipeline.h"
+
+namespace bswp::runtime {
+namespace {
+
+data::SyntheticCifarOptions data_opts() {
+  data::SyntheticCifarOptions o;
+  o.num_classes = 4;
+  o.train_size = 384;
+  o.test_size = 96;
+  o.image_size = 16;
+  o.noise_stddev = 0.05f;
+  return o;
+}
+
+struct Trained {
+  nn::Graph graph;
+  data::SyntheticCifar train{data_opts(), true};
+  data::SyntheticCifar test{data_opts(), false};
+  float float_acc = 0.0f;
+
+  Trained() {
+    models::ModelOptions mo;
+    mo.image_size = 16;
+    mo.num_classes = 4;
+    mo.width = 0.25f;
+    graph = models::build_resnet_s(mo);
+    Rng rng(42);
+    graph.init_weights(rng);
+    nn::TrainConfig cfg;
+    cfg.epochs = 5;
+    cfg.batch_size = 32;
+    cfg.lr = 0.08f;
+    nn::Trainer trainer(cfg);
+    float_acc = trainer.fit(graph, train, test).final_test_acc;
+  }
+};
+
+Trained& trained() {
+  static Trained t;  // train once, reuse across tests
+  return t;
+}
+
+CompiledNetwork compile_plain(Trained& t, const CompileOptions& opt = CompileOptions{}) {
+  quant::CalibrateOptions qo;
+  qo.num_samples = 64;
+  quant::CalibrationResult cal = quant::calibrate(t.graph, t.train, qo);
+  return compile(t.graph, nullptr, cal, opt);
+}
+
+CompiledNetwork compile_pooled(Trained& t, int pool_size, const CompileOptions& opt,
+                               pool::PooledNetwork* out_pooled = nullptr) {
+  // Full Figure 2 pipeline: cluster -> fine-tune with the pool fixed ->
+  // calibrate -> compile. Skipping the fine-tune step collapses accuracy
+  // (reconstruction alone is ~60% relative weight error).
+  pool::CodecOptions co;
+  co.pool_size = pool_size;
+  co.kmeans_iters = 10;
+  co.max_cluster_vectors = 6000;
+  nn::Graph copy = t.graph;
+  pool::PooledNetwork pooled = pool::build_weight_pool(copy, co);
+  pool::FinetuneOptions fo;
+  fo.train.epochs = 3;
+  fo.train.batch_size = 32;
+  fo.train.lr = 0.02f;
+  pool::finetune_pooled(copy, pooled, t.train, t.test, fo);
+  quant::CalibrateOptions qo;
+  qo.num_samples = 64;
+  quant::CalibrationResult cal = quant::calibrate(copy, t.train, qo);
+  if (out_pooled != nullptr) *out_pooled = pooled;
+  return compile(copy, &pooled, cal, opt);
+}
+
+TEST(Engine, Int8BaselineTracksFloatAccuracy) {
+  Trained& t = trained();
+  ASSERT_GT(t.float_acc, 55.0f);  // the float model actually learned
+  CompiledNetwork net = compile_plain(t);
+  const float acc = evaluate_accuracy(net, t.test);
+  EXPECT_GT(acc, t.float_acc - 8.0f);
+}
+
+TEST(Engine, PooledBitSerialCloseToBaseline) {
+  Trained& t = trained();
+  CompiledNetwork base = compile_plain(t);
+  CompiledNetwork pooled = compile_pooled(t, 64, CompileOptions{});
+  const float base_acc = evaluate_accuracy(base, t.test);
+  const float pooled_acc = evaluate_accuracy(pooled, t.test);
+  // Pooling costs some accuracy but must stay in the same league (Table 4).
+  EXPECT_GT(pooled_acc, base_acc - 15.0f);
+}
+
+TEST(Engine, LogitsApproximateFloatLogits) {
+  Trained& t = trained();
+  CompiledNetwork net = compile_plain(t);
+  data::Batch b = t.test.batch(0, 1);
+  const Tensor& flogits = t.graph.forward(b.images, false);
+  Tensor x({1, 3, 16, 16});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = b.images[i];
+  Tensor qlogits = run_logits(net, x);
+  ASSERT_EQ(qlogits.size(), flogits.size());
+  // Same argmax most of the time; check relative ordering of top class.
+  int fbest = 0, qbest = 0;
+  for (int j = 1; j < 4; ++j) {
+    if (flogits[static_cast<std::size_t>(j)] > flogits[static_cast<std::size_t>(fbest)]) fbest = j;
+    if (qlogits[static_cast<std::size_t>(j)] > qlogits[static_cast<std::size_t>(qbest)]) qbest = j;
+  }
+  EXPECT_EQ(fbest, qbest);
+}
+
+TEST(Engine, VariantChoiceDoesNotChangeOutputs) {
+  Trained& t = trained();
+  CompileOptions a, b;
+  a.force_variant = true;
+  a.forced_variant = kernels::BitSerialVariant::kInputReuse;
+  b.force_variant = true;
+  b.forced_variant = kernels::BitSerialVariant::kCachedPrecompute;
+  CompiledNetwork na = compile_pooled(t, 32, a);
+  CompiledNetwork nb = compile_pooled(t, 32, b);
+  Tensor x({1, 3, 16, 16}, 0.3f);
+  QTensor la = run(na, x);
+  QTensor lb = run(nb, x);
+  for (std::size_t i = 0; i < la.data.size(); ++i) EXPECT_EQ(la.data[i], lb.data[i]);
+}
+
+TEST(Engine, LowerActBitsDegradeGracefully) {
+  Trained& t = trained();
+  CompileOptions o8, o4, o2;
+  o8.act_bits = 8;
+  o4.act_bits = 4;
+  o2.act_bits = 2;
+  const float a8 = evaluate_accuracy(compile_pooled(t, 64, o8), t.test);
+  const float a4 = evaluate_accuracy(compile_pooled(t, 64, o4), t.test);
+  const float a2 = evaluate_accuracy(compile_pooled(t, 64, o2), t.test);
+  EXPECT_GE(a8 + 1.0f, a4 - 10.0f);  // sanity: not wildly inverted
+  EXPECT_GT(a8, a2 - 5.0f);          // 2-bit should not beat 8-bit by much
+}
+
+TEST(Engine, CostScalesDownWithActBits) {
+  Trained& t = trained();
+  CompileOptions o8, o3;
+  o8.act_bits = 8;
+  o3.act_bits = 3;
+  CompiledNetwork n8 = compile_pooled(t, 64, o8);
+  CompiledNetwork n3 = compile_pooled(t, 64, o3);
+  Tensor x({1, 3, 16, 16}, 0.3f);
+  sim::CostCounter c8, c3;
+  run(n8, x, &c8);
+  run(n3, x, &c3);
+  const sim::McuProfile mcu = sim::mc_large();
+  EXPECT_LT(mcu.cycles(c3), mcu.cycles(c8));
+}
+
+TEST(Engine, FootprintShrinksWithPooling) {
+  // A small pool keeps the LUT overhead below the index savings even on this
+  // tiny width-0.25 model (a 64-vector LUT alone is 16 kB — more than the
+  // whole model; that is the Table 3 "LUT overhead" effect).
+  Trained& t = trained();
+  CompiledNetwork base = compile_plain(t);
+  CompiledNetwork pooled = compile_pooled(t, 16, CompileOptions{});
+  const sim::MemoryFootprint fb = footprint(base);
+  const sim::MemoryFootprint fp = footprint(pooled);
+  EXPECT_LT(fp.flash_bytes, fb.flash_bytes);
+  EXPECT_GT(fp.flash_bytes, 1024u);
+}
+
+TEST(Engine, LatencyReportConsistent) {
+  Trained& t = trained();
+  CompiledNetwork net = compile_pooled(t, 64, CompileOptions{});
+  Tensor x({1, 3, 16, 16}, 0.3f);
+  const LatencyReport r = estimate_latency(net, sim::mc_large(), x);
+  EXPECT_GT(r.cycles, 0.0);
+  EXPECT_NEAR(r.seconds, r.cycles / 120e6, 1e-12);
+  EXPECT_TRUE(r.fits);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  Trained& t = trained();
+  CompiledNetwork net = compile_pooled(t, 32, CompileOptions{});
+  Tensor x({1, 3, 16, 16}, 0.7f);
+  QTensor a = run(net, x);
+  QTensor b = run(net, x);
+  EXPECT_EQ(a.data, b.data);
+}
+
+TEST(Engine, AcceptsChwInput) {
+  Trained& t = trained();
+  CompiledNetwork net = compile_plain(t);
+  Tensor chw({3, 16, 16}, 0.2f);
+  EXPECT_NO_THROW(run(net, chw));
+  Tensor batch2({2, 3, 16, 16});
+  EXPECT_THROW(run(net, batch2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bswp::runtime

@@ -1,0 +1,105 @@
+#include "pool/grouping.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace bswp::pool {
+namespace {
+
+TEST(ZGrouping, ExtractScatterRoundTrip) {
+  Rng rng(1);
+  Tensor w({4, 16, 3, 3});
+  rng.fill_normal(w, 1.0f);
+  Tensor vecs = extract_z_vectors(w, 8);
+  EXPECT_EQ(vecs.dim(0), 4 * 2 * 3 * 3);
+  EXPECT_EQ(vecs.dim(1), 8);
+  Tensor w2({4, 16, 3, 3});
+  scatter_z_vectors(w2, vecs, 8);
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(w2[i], w[i]);
+}
+
+TEST(ZGrouping, VectorRunsAlongChannelAxis) {
+  // Figure 3: the vector at (o, g, ky, kx) holds w[o, g*G+j, ky, kx].
+  Tensor w({1, 8, 2, 2});
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = static_cast<float>(i);
+  Tensor vecs = extract_z_vectors(w, 8);
+  // Vector 0 is (o=0, g=0, ky=0, kx=0): elements w[0, j, 0, 0] = j*4.
+  for (int j = 0; j < 8; ++j) EXPECT_EQ(vecs[static_cast<std::size_t>(j)], static_cast<float>(j * 4));
+}
+
+TEST(ZGrouping, CanonicalOrderIsOGKyKx) {
+  Tensor w({2, 8, 1, 2});
+  for (std::size_t i = 0; i < w.size(); ++i) w[i] = static_cast<float>(i);
+  Tensor vecs = extract_z_vectors(w, 8);
+  // Row index layout: ((o * groups + g) * kh + ky) * kw + kx with groups=1.
+  // Row 1 is (o=0, kx=1) -> first element w[0,0,0,1] = 1.
+  EXPECT_EQ(vecs[1 * 8 + 0], 1.0f);
+  // Row 2 is (o=1, kx=0) -> w[1,0,0,0] = 16.
+  EXPECT_EQ(vecs[2 * 8 + 0], 16.0f);
+}
+
+TEST(ZGrouping, RejectsNonDivisibleChannels) {
+  Tensor w({2, 10, 3, 3});
+  EXPECT_THROW(extract_z_vectors(w, 8), std::invalid_argument);
+}
+
+TEST(ZGroupingLinear, RoundTrip) {
+  Rng rng(2);
+  Tensor w({5, 24});
+  rng.fill_normal(w, 1.0f);
+  Tensor vecs = extract_z_vectors_linear(w, 8);
+  EXPECT_EQ(vecs.dim(0), 5 * 3);
+  Tensor w2({5, 24});
+  scatter_z_vectors_linear(w2, vecs, 8);
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(w2[i], w[i]);
+}
+
+TEST(XyGrouping, RoundTripAndKernelLayout) {
+  Rng rng(3);
+  Tensor w({3, 2, 3, 3});
+  rng.fill_normal(w, 1.0f);
+  Tensor kernels = extract_xy_kernels(w);
+  EXPECT_EQ(kernels.dim(0), 6);
+  EXPECT_EQ(kernels.dim(1), 9);
+  // Kernel (o=1, i=0) row equals w[1,0,:,:] flattened.
+  for (int k = 0; k < 9; ++k) {
+    EXPECT_EQ(kernels[(1 * 2 + 0) * 9 + k], w.at(1, 0, k / 3, k % 3));
+  }
+  Tensor w2({3, 2, 3, 3});
+  scatter_xy_kernels(w2, kernels);
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(w2[i], w[i]);
+}
+
+TEST(ZPoolable, Rules) {
+  EXPECT_TRUE(z_poolable(nn::ConvSpec{16, 32, 3, 3, 1, 1, 1}, 8));
+  EXPECT_FALSE(z_poolable(nn::ConvSpec{3, 32, 3, 3, 1, 1, 1}, 8));    // shallow first layer
+  EXPECT_FALSE(z_poolable(nn::ConvSpec{12, 32, 3, 3, 1, 1, 1}, 8));   // not divisible
+  EXPECT_FALSE(z_poolable(nn::ConvSpec{16, 16, 3, 3, 1, 1, 16}, 8));  // depthwise
+  EXPECT_TRUE(z_poolable(nn::ConvSpec{8, 8, 1, 1, 1, 0, 1}, 8));      // 1x1 fits (paper §3)
+}
+
+TEST(ChannelGroups, Count) {
+  EXPECT_EQ(num_channel_groups(32, 8), 4);
+  EXPECT_EQ(num_channel_groups(8, 8), 1);
+  EXPECT_THROW(num_channel_groups(8, 0), std::invalid_argument);
+}
+
+class GroupSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GroupSizeSweep, RoundTripForAllGroupSizes) {
+  const int G = GetParam();
+  Rng rng(4);
+  Tensor w({2, 16, 3, 3});
+  rng.fill_normal(w, 1.0f);
+  Tensor vecs = extract_z_vectors(w, G);
+  EXPECT_EQ(vecs.dim(0), 2 * (16 / G) * 9);
+  Tensor w2({2, 16, 3, 3});
+  scatter_z_vectors(w2, vecs, G);
+  for (std::size_t i = 0; i < w.size(); ++i) EXPECT_EQ(w2[i], w[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1GroupSizes, GroupSizeSweep, ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace bswp::pool

@@ -1,0 +1,149 @@
+#include "pool/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/rng.h"
+
+namespace bswp::pool {
+namespace {
+
+/// Three well-separated gaussian blobs in `dim` dimensions.
+Tensor blobs(int per_cluster, int dim, Rng& rng) {
+  Tensor data({3 * per_cluster, dim});
+  const float centers[3] = {-5.0f, 0.0f, 5.0f};
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_cluster; ++i) {
+      for (int d = 0; d < dim; ++d) {
+        data[(static_cast<std::size_t>(c) * per_cluster + i) * dim + d] =
+            centers[c] + static_cast<float>(rng.normal(0.0, 0.2));
+      }
+    }
+  }
+  return data;
+}
+
+TEST(KMeans, RecoversSeparatedClusters) {
+  Rng rng(1);
+  Tensor data = blobs(50, 4, rng);
+  KMeansOptions opt;
+  opt.clusters = 3;
+  opt.metric = Metric::kEuclidean;
+  KMeansResult res = kmeans(data, opt);
+  // Each blob maps to a single cluster id.
+  for (int c = 0; c < 3; ++c) {
+    std::set<int> ids;
+    for (int i = 0; i < 50; ++i) ids.insert(res.assignment[static_cast<std::size_t>(c) * 50 + i]);
+    EXPECT_EQ(ids.size(), 1u) << "blob " << c;
+  }
+  // All three distinct.
+  std::set<int> reps{res.assignment[0], res.assignment[50], res.assignment[100]};
+  EXPECT_EQ(reps.size(), 3u);
+}
+
+TEST(KMeans, InertiaNonIncreasingWithMoreClusters) {
+  Rng rng(2);
+  Tensor data({200, 8});
+  rng.fill_normal(data, 1.0f);
+  double prev = 1e300;
+  for (int k : {2, 4, 8, 16}) {
+    KMeansOptions opt;
+    opt.clusters = k;
+    opt.metric = Metric::kEuclidean;
+    opt.seed = 3;
+    const double inertia = kmeans(data, opt).inertia;
+    EXPECT_LE(inertia, prev * 1.05);  // small tolerance for local minima
+    prev = inertia;
+  }
+}
+
+TEST(KMeans, DeterministicForSeed) {
+  Rng rng(4);
+  Tensor data({100, 6});
+  rng.fill_normal(data, 1.0f);
+  KMeansOptions opt;
+  opt.clusters = 8;
+  KMeansResult a = kmeans(data, opt);
+  KMeansResult b = kmeans(data, opt);
+  EXPECT_EQ(a.assignment, b.assignment);
+  for (std::size_t i = 0; i < a.centroids.size(); ++i) EXPECT_EQ(a.centroids[i], b.centroids[i]);
+}
+
+TEST(KMeans, ClustersCappedAtPointCount) {
+  Tensor data({3, 2}, std::vector<float>{0, 0, 1, 1, 2, 2});
+  KMeansOptions opt;
+  opt.clusters = 10;
+  KMeansResult res = kmeans(data, opt);
+  EXPECT_EQ(res.centroids.dim(0), 3);
+}
+
+TEST(CosineDistance, ScaleInvariant) {
+  const float a[] = {1.0f, 2.0f, 3.0f};
+  const float b[] = {2.0f, 4.0f, 6.0f};  // same direction, 2x magnitude
+  EXPECT_NEAR(distance(a, b, 3, Metric::kCosine), 0.0, 1e-6);
+  const float c[] = {-1.0f, -2.0f, -3.0f};
+  EXPECT_NEAR(distance(a, c, 3, Metric::kCosine), 2.0, 1e-6);  // opposite
+}
+
+TEST(CosineDistance, ZeroVectorIsFarFromEverything) {
+  const float z[] = {0.0f, 0.0f};
+  const float a[] = {1.0f, 0.0f};
+  EXPECT_EQ(distance(z, a, 2, Metric::kCosine), 1.0);
+}
+
+TEST(EuclideanDistance, MatchesHandComputation) {
+  const float a[] = {1.0f, 2.0f};
+  const float b[] = {4.0f, 6.0f};
+  EXPECT_NEAR(distance(a, b, 2, Metric::kEuclidean), 25.0, 1e-6);
+}
+
+TEST(KMeansCosine, GroupsByDirectionNotMagnitude) {
+  // Two directions, each at wildly different magnitudes. Cosine clustering
+  // must split by direction ("to avoid scaling dependence", paper §3).
+  Tensor data({40, 3});
+  Rng rng(5);
+  for (int i = 0; i < 40; ++i) {
+    const bool dir_a = i < 20;
+    const float mag = static_cast<float>(rng.uniform(0.1, 10.0));
+    const float base[3] = {dir_a ? 1.0f : -1.0f, 0.5f, dir_a ? 0.2f : 0.9f};
+    for (int d = 0; d < 3; ++d) {
+      data[static_cast<std::size_t>(i) * 3 + d] =
+          mag * base[d] + static_cast<float>(rng.normal(0.0, 0.02));
+    }
+  }
+  KMeansOptions opt;
+  opt.clusters = 2;
+  opt.metric = Metric::kCosine;
+  KMeansResult res = kmeans(data, opt);
+  std::set<int> first(res.assignment.begin(), res.assignment.begin() + 20);
+  std::set<int> second(res.assignment.begin() + 20, res.assignment.end());
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_NE(*first.begin(), *second.begin());
+}
+
+TEST(NearestCentroid, PicksClosest) {
+  Tensor cen({2, 2}, std::vector<float>{0, 0, 10, 10});
+  const float p[] = {1.0f, 1.0f};
+  EXPECT_EQ(nearest_centroid(p, cen, Metric::kEuclidean), 0);
+  const float q[] = {9.0f, 9.0f};
+  EXPECT_EQ(nearest_centroid(q, cen, Metric::kEuclidean), 1);
+}
+
+TEST(KMeans, HandlesDuplicatePoints) {
+  Tensor data({10, 2}, 1.0f);  // all identical
+  KMeansOptions opt;
+  opt.clusters = 3;
+  KMeansResult res = kmeans(data, opt);
+  EXPECT_EQ(res.centroids.dim(0), 3);
+  // All points assigned somewhere valid.
+  for (int a : res.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+}
+
+}  // namespace
+}  // namespace bswp::pool

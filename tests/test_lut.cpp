@@ -1,0 +1,137 @@
+#include "pool/lut.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace bswp::pool {
+namespace {
+
+WeightPool random_pool(int size, int group, uint64_t seed) {
+  WeightPool p;
+  p.group_size = group;
+  p.vectors = Tensor({size, group});
+  Rng rng(seed);
+  rng.fill_normal(p.vectors, 0.3f);
+  return p;
+}
+
+TEST(Lut, SizeMatchesEq3) {
+  WeightPool p = random_pool(64, 8, 1);
+  LutOptions opt;
+  DotLut lut = build_lut(p, opt);
+  EXPECT_EQ(lut.entries.size(), static_cast<std::size_t>(256) * 64);
+  EXPECT_EQ(lut.storage_bytes(), static_cast<std::size_t>(256) * 64 * 8 / 8);  // Eq. 3
+  EXPECT_EQ(lut.block_bytes(), 64u);
+}
+
+TEST(Lut, WideBitwidthEntriesAreExactBitDots) {
+  WeightPool p = random_pool(16, 8, 2);
+  LutOptions opt;
+  opt.bitwidth = 16;  // raw range (<= 8*127) always fits in 16 bits
+  DotLut lut = build_lut(p, opt);
+  EXPECT_EQ(lut.entry_scale, 1.0f);
+  QTensor qpool = quantize_pool(p, 8);
+  for (uint32_t b : {0u, 1u, 37u, 255u}) {
+    for (int s = 0; s < 16; ++s) {
+      EXPECT_EQ(lut.at(b, s), reference_bit_dot(qpool, b, s));
+    }
+  }
+}
+
+TEST(Lut, ZeroBitVectorIsZero) {
+  WeightPool p = random_pool(8, 8, 3);
+  DotLut lut = build_lut(p, LutOptions{});
+  for (int s = 0; s < 8; ++s) EXPECT_EQ(lut.at(0, s), 0);
+}
+
+TEST(Lut, AllOnesBitVectorIsRowSum) {
+  WeightPool p = random_pool(8, 8, 4);
+  LutOptions opt;
+  opt.bitwidth = 16;
+  DotLut lut = build_lut(p, opt);
+  QTensor qpool = quantize_pool(p, 8);
+  for (int s = 0; s < 8; ++s) {
+    int32_t sum = 0;
+    for (int j = 0; j < 8; ++j) sum += qpool.data[static_cast<std::size_t>(s) * 8 + j];
+    EXPECT_EQ(lut.at(255, s), sum);
+  }
+}
+
+TEST(Lut, AdditivityOverDisjointBitVectors) {
+  // dot(b1 | b2) == dot(b1) + dot(b2) when b1 & b2 == 0 (exact entries).
+  WeightPool p = random_pool(8, 8, 5);
+  LutOptions opt;
+  opt.bitwidth = 16;
+  DotLut lut = build_lut(p, opt);
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_EQ(lut.at(0b10100101, s), lut.at(0b10100000, s) + lut.at(0b00000101, s));
+  }
+}
+
+TEST(Lut, LayoutsHoldSameValues) {
+  WeightPool p = random_pool(32, 8, 6);
+  LutOptions in_opt, w_opt;
+  in_opt.order = LutOrder::kInputOriented;
+  w_opt.order = LutOrder::kWeightOriented;
+  DotLut a = build_lut(p, in_opt);
+  DotLut b = build_lut(p, w_opt);
+  for (uint32_t bits : {3u, 129u, 200u}) {
+    for (int s = 0; s < 32; ++s) EXPECT_EQ(a.at(bits, s), b.at(bits, s));
+  }
+  // Input-oriented: one block = all pool entries for one bit-vector,
+  // contiguous (this is what makes §4.2 caching work).
+  EXPECT_EQ(a.flat_index(5, 0) + 1, a.flat_index(5, 1));
+  EXPECT_EQ(b.flat_index(5, 0) + 1, b.flat_index(6, 0));
+}
+
+TEST(Lut, NarrowBitwidthQuantizesWithBoundedError) {
+  WeightPool p = random_pool(64, 8, 7);
+  LutOptions wide_opt, narrow_opt;
+  wide_opt.bitwidth = 16;
+  narrow_opt.bitwidth = 4;
+  DotLut wide = build_lut(p, wide_opt);
+  DotLut narrow = build_lut(p, narrow_opt);
+  EXPECT_GT(narrow.entry_scale, 1.0f);
+  for (uint32_t bits = 0; bits < 256; bits += 17) {
+    for (int s = 0; s < 64; ++s) {
+      const float approx = static_cast<float>(narrow.at(bits, s)) * narrow.entry_scale;
+      const float exact = static_cast<float>(wide.at(bits, s));
+      EXPECT_NEAR(approx, exact, narrow.entry_scale);  // within one step
+      EXPECT_LE(std::abs(narrow.at(bits, s)), 7);      // 4-bit range
+    }
+  }
+}
+
+class LutBitwidthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LutBitwidthSweep, EntriesWithinBitwidthRange) {
+  const int bl = GetParam();
+  WeightPool p = random_pool(32, 8, 8);
+  LutOptions opt;
+  opt.bitwidth = bl;
+  DotLut lut = build_lut(p, opt);
+  const int32_t qmax = (1 << (bl - 1)) - 1;
+  for (int32_t e : lut.entries) {
+    EXPECT_LE(e, qmax);
+    EXPECT_GE(e, -qmax - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table5Bitwidths, LutBitwidthSweep, ::testing::Values(4, 8, 16, 32));
+
+TEST(Lut, SmallerGroupSizeSmallerTable) {
+  WeightPool p4 = random_pool(64, 4, 9);
+  DotLut lut4 = build_lut(p4, LutOptions{});
+  EXPECT_EQ(lut4.entries.size(), static_cast<std::size_t>(16) * 64);
+  EXPECT_EQ(lut4.num_bit_vectors(), 16);
+}
+
+TEST(Lut, PoolScaleMatchesSymmetricQuant) {
+  WeightPool p = random_pool(16, 8, 10);
+  DotLut lut = build_lut(p, LutOptions{});
+  EXPECT_NEAR(lut.pool_scale, p.vectors.abs_max() / 127.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace bswp::pool

@@ -1,0 +1,153 @@
+#include "models/zoo.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "pool/grouping.h"
+
+namespace bswp::models {
+namespace {
+
+std::size_t weight_params(const nn::Graph& g) {
+  std::size_t total = 0;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const nn::Node& n = g.node(i);
+    if (n.op == nn::Op::kConv2d || n.op == nn::Op::kLinear) {
+      total += n.weight.size() + n.bias.size();
+    }
+  }
+  return total;
+}
+
+TEST(Zoo, ParamCountsNearPaperTable3) {
+  // Table 3: TinyConv 81.6k, ResNet-s 171k, ResNet-10 665k, ResNet-14 2.73M,
+  // MobileNet-v2 2.25M. Architectures are reconstructed from the paper's
+  // descriptions, so counts should land within ~15%.
+  ModelOptions cifar;
+  ModelOptions qd;
+  qd.in_channels = 1;
+  qd.image_size = 28;
+  qd.num_classes = 100;
+
+  EXPECT_NEAR(static_cast<double>(weight_params(build_resnet_s(cifar))), 171000.0, 0.15 * 171000);
+  EXPECT_NEAR(static_cast<double>(weight_params(build_resnet10(cifar))), 665000.0, 0.15 * 665000);
+  EXPECT_NEAR(static_cast<double>(weight_params(build_resnet14(cifar))), 2730000.0,
+              0.15 * 2730000);
+  EXPECT_NEAR(static_cast<double>(weight_params(build_tinyconv(qd))), 81600.0, 0.25 * 81600);
+  EXPECT_NEAR(static_cast<double>(weight_params(build_mobilenet_v2(qd))), 2250000.0,
+              0.25 * 2250000);
+}
+
+TEST(Zoo, ForwardShapes) {
+  ModelOptions opt;
+  opt.width = 0.25f;
+  for (const NamedModel& m : paper_models()) {
+    ModelOptions o = opt;
+    if (!m.on_cifar) {
+      o.in_channels = 1;
+      o.image_size = 28;
+      o.num_classes = 20;
+    }
+    nn::Graph g = m.build(o);
+    Rng rng(1);
+    g.init_weights(rng);
+    Tensor x({2, o.in_channels, o.image_size, o.image_size});
+    rng.fill_normal(x, 1.0f);
+    const Tensor& logits = g.forward(x, false);
+    EXPECT_EQ(logits.shape(), (std::vector<int>{2, o.num_classes})) << m.name;
+  }
+}
+
+TEST(Zoo, FirstConvNeverPoolable) {
+  ModelOptions opt;
+  for (const NamedModel& m : paper_models()) {
+    ModelOptions o = opt;
+    if (!m.on_cifar) o.in_channels = 1;
+    nn::Graph g = m.build(o);
+    const auto convs = g.conv_nodes(true);
+    ASSERT_FALSE(convs.empty());
+    EXPECT_FALSE(pool::z_poolable(g.node(convs[0]).conv, 8)) << m.name;
+  }
+}
+
+TEST(Zoo, MobileNetDepthwiseLayersNotPoolable) {
+  ModelOptions opt;
+  nn::Graph g = build_mobilenet_v2(opt);
+  int depthwise = 0, pointwise_poolable = 0;
+  for (int node : g.conv_nodes(true)) {
+    const nn::ConvSpec& s = g.node(node).conv;
+    if (s.groups > 1) {
+      ++depthwise;
+      EXPECT_FALSE(pool::z_poolable(s, 8));
+    } else if (s.kh == 1 && pool::z_poolable(s, 8)) {
+      ++pointwise_poolable;
+    }
+  }
+  EXPECT_GT(depthwise, 10);
+  EXPECT_GT(pointwise_poolable, 20);
+}
+
+TEST(Zoo, DepthwiseStorageShareIsSmall) {
+  // Paper §5.1: depthwise layers are ~2.93% of MobileNet-v2 storage.
+  ModelOptions opt;
+  nn::Graph g = build_mobilenet_v2(opt);
+  std::size_t dw = 0, total = 0;
+  for (int node : g.conv_nodes(true)) {
+    const nn::Node& n = g.node(node);
+    total += n.weight.size();
+    if (n.conv.groups > 1) dw += n.weight.size();
+  }
+  const double share = static_cast<double>(dw) / static_cast<double>(total);
+  EXPECT_LT(share, 0.05);
+  EXPECT_GT(share, 0.005);
+}
+
+TEST(Zoo, WidthScalingShrinksParams) {
+  ModelOptions full, quarter;
+  quarter.width = 0.25f;
+  EXPECT_LT(weight_params(build_resnet10(quarter)), weight_params(build_resnet10(full)) / 8);
+}
+
+TEST(Zoo, ScaledChannelsStayPoolable) {
+  // Width-scaled variants must keep every non-first conv divisible by 8.
+  ModelOptions opt;
+  opt.width = 0.25f;
+  nn::Graph g = build_resnet14(opt);
+  const auto convs = g.conv_nodes(true);
+  for (std::size_t i = 1; i < convs.size(); ++i) {
+    EXPECT_EQ(g.node(convs[i]).conv.in_ch % 8, 0);
+  }
+}
+
+TEST(Zoo, FakeQuantInsertion) {
+  ModelOptions opt;
+  opt.fake_quant = true;
+  opt.width = 0.25f;
+  nn::Graph g = build_resnet_s(opt);
+  int fq = 0;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (g.node(i).op == nn::Op::kFakeQuant) ++fq;
+  }
+  EXPECT_GT(fq, 5);
+}
+
+TEST(Zoo, ScaleChannelsRounding) {
+  EXPECT_EQ(scale_channels(64, 1.0f), 64);
+  EXPECT_EQ(scale_channels(64, 0.25f), 16);
+  EXPECT_EQ(scale_channels(10, 0.25f), 8);   // floor at multiple
+  EXPECT_EQ(scale_channels(20, 0.5f), 16);   // rounded up to multiple of 8
+}
+
+TEST(Zoo, BinarizedTinyConvHasBinarizeNodes) {
+  ModelOptions opt;
+  opt.width = 0.5f;
+  nn::Graph g = build_binarized_tinyconv(opt);
+  int bin = 0;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (g.node(i).op == nn::Op::kBinarize) ++bin;
+  }
+  EXPECT_EQ(bin, 2);
+}
+
+}  // namespace
+}  // namespace bswp::models

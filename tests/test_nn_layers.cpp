@@ -1,0 +1,336 @@
+#include "nn/layers.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "core/rng.h"
+
+namespace bswp::nn {
+namespace {
+
+// Finite-difference gradient checking: compares analytic dL/dx against
+// (L(x+h) - L(x-h)) / 2h for a scalar loss L = sum(w_out * f(x)).
+using ForwardFn = std::function<Tensor(const Tensor&)>;
+
+double numeric_grad(const ForwardFn& f, Tensor x, std::size_t i, const Tensor& w_out) {
+  const double h = 1e-3;
+  const float orig = x[i];
+  x[i] = orig + static_cast<float>(h);
+  Tensor up = f(x);
+  x[i] = orig - static_cast<float>(h);
+  Tensor dn = f(x);
+  x[i] = orig;
+  double lu = 0, ld = 0;
+  for (std::size_t j = 0; j < up.size(); ++j) {
+    lu += static_cast<double>(w_out[j]) * up[j];
+    ld += static_cast<double>(w_out[j]) * dn[j];
+  }
+  return (lu - ld) / (2 * h);
+}
+
+TEST(Matmul, MatchesManual) {
+  // 2x3 * 3x2
+  const float a[] = {1, 2, 3, 4, 5, 6};
+  const float b[] = {7, 8, 9, 10, 11, 12};
+  float c[4];
+  matmul(a, b, c, 2, 3, 2);
+  EXPECT_FLOAT_EQ(c[0], 58);
+  EXPECT_FLOAT_EQ(c[1], 64);
+  EXPECT_FLOAT_EQ(c[2], 139);
+  EXPECT_FLOAT_EQ(c[3], 154);
+}
+
+TEST(Matmul, TransposedVariantsConsistent) {
+  Rng rng(5);
+  const int m = 4, k = 5, n = 3;
+  Tensor A({m, k}), B({k, n}), Bt({n, k});
+  rng.fill_normal(A, 1.0f);
+  rng.fill_normal(B, 1.0f);
+  for (int i = 0; i < k; ++i)
+    for (int j = 0; j < n; ++j) Bt.at(j, i) = B.at(i, j);
+  Tensor C1({m, n}), C2({m, n});
+  matmul(A.data(), B.data(), C1.data(), m, k, n);
+  matmul_a_bt(A.data(), Bt.data(), C2.data(), m, k, n);
+  for (std::size_t i = 0; i < C1.size(); ++i) EXPECT_NEAR(C1[i], C2[i], 1e-5);
+}
+
+TEST(Im2Col, IdentityKernelReproducesInput) {
+  const int c = 2, h = 3, w = 3;
+  ConvSpec spec{c, 1, 1, 1, 1, 0, 1};
+  Tensor img({c, h, w});
+  for (std::size_t i = 0; i < img.size(); ++i) img[i] = static_cast<float>(i);
+  std::vector<float> cols(static_cast<std::size_t>(c) * h * w);
+  im2col(img.data(), c, h, w, spec, cols.data());
+  for (std::size_t i = 0; i < img.size(); ++i) EXPECT_EQ(cols[i], img[i]);
+}
+
+TEST(Im2Col, PaddingWritesZeros) {
+  const int c = 1, h = 2, w = 2;
+  ConvSpec spec{c, 1, 3, 3, 1, 1, 1};
+  Tensor img({c, h, w}, 1.0f);
+  std::vector<float> cols(static_cast<std::size_t>(9) * 4);
+  im2col(img.data(), c, h, w, spec, cols.data());
+  // Top-left kernel tap of the top-left output hits padding.
+  EXPECT_EQ(cols[0], 0.0f);
+}
+
+TEST(Conv2d, MatchesDirectComputation) {
+  Rng rng(2);
+  ConvSpec spec{3, 4, 3, 3, 1, 1, 1};
+  Tensor x({2, 3, 5, 5}), w(spec.weight_shape()), b({4});
+  rng.fill_normal(x, 1.0f);
+  rng.fill_normal(w, 0.5f);
+  rng.fill_normal(b, 0.5f);
+  Tensor y = conv2d_forward(x, w, &b, spec);
+  ASSERT_EQ(y.shape(), (std::vector<int>{2, 4, 5, 5}));
+  // Check one output element directly.
+  const int n = 1, oc = 2, oy = 2, ox = 3;
+  double acc = b[2];
+  for (int c = 0; c < 3; ++c)
+    for (int ky = 0; ky < 3; ++ky)
+      for (int kx = 0; kx < 3; ++kx) {
+        const int iy = oy + ky - 1, ix = ox + kx - 1;
+        if (iy < 0 || iy >= 5 || ix < 0 || ix >= 5) continue;
+        acc += static_cast<double>(x.at(n, c, iy, ix)) * w.at(oc, c, ky, kx);
+      }
+  EXPECT_NEAR(y.at(n, oc, oy, ox), acc, 1e-4);
+}
+
+TEST(Conv2d, StrideAndNoPadding) {
+  ConvSpec spec{1, 1, 2, 2, 2, 0, 1};
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  Tensor w(spec.weight_shape(), 1.0f);
+  Tensor y = conv2d_forward(x, w, nullptr, spec);
+  ASSERT_EQ(y.shape(), (std::vector<int>{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0, 0, 0), 0 + 1 + 4 + 5);
+  EXPECT_FLOAT_EQ(y.at(0, 0, 1, 1), 10 + 11 + 14 + 15);
+}
+
+TEST(Conv2d, DepthwiseGroups) {
+  Rng rng(3);
+  ConvSpec spec{4, 4, 3, 3, 1, 1, 4};
+  Tensor x({1, 4, 4, 4}), w(spec.weight_shape());
+  rng.fill_normal(x, 1.0f);
+  rng.fill_normal(w, 1.0f);
+  Tensor y = conv2d_forward(x, w, nullptr, spec);
+  // Each output channel depends only on the matching input channel: zeroing
+  // channel 1 of the input must change only output channel 1.
+  Tensor x2 = x;
+  for (int i = 0; i < 16; ++i) x2[static_cast<std::size_t>(16) + i] = 0.0f;
+  Tensor y2 = conv2d_forward(x2, w, nullptr, spec);
+  for (int c = 0; c < 4; ++c) {
+    bool changed = false;
+    for (int i = 0; i < 16; ++i) {
+      if (y.at(0, c, i / 4, i % 4) != y2.at(0, c, i / 4, i % 4)) changed = true;
+    }
+    EXPECT_EQ(changed, c == 1);
+  }
+}
+
+TEST(Conv2d, GradientCheckInputAndWeights) {
+  Rng rng(7);
+  ConvSpec spec{2, 3, 3, 3, 1, 1, 1};
+  Tensor x({1, 2, 4, 4}), w(spec.weight_shape()), b({3});
+  rng.fill_normal(x, 1.0f);
+  rng.fill_normal(w, 0.5f);
+  rng.fill_normal(b, 0.5f);
+  Tensor y = conv2d_forward(x, w, &b, spec);
+  Tensor w_out(y.shape());
+  rng.fill_normal(w_out, 1.0f);
+
+  Tensor dx(x.shape()), dw(w.shape()), db(b.shape());
+  conv2d_backward(x, w, spec, w_out, &dx, &dw, &db);
+
+  auto fx = [&](const Tensor& xx) { return conv2d_forward(xx, w, &b, spec); };
+  for (std::size_t i = 0; i < x.size(); i += 7) {
+    EXPECT_NEAR(dx[i], numeric_grad(fx, x, i, w_out), 2e-2) << "dx at " << i;
+  }
+  auto fw = [&](const Tensor& ww) { return conv2d_forward(x, ww, &b, spec); };
+  for (std::size_t i = 0; i < w.size(); i += 5) {
+    EXPECT_NEAR(dw[i], numeric_grad(fw, w, i, w_out), 2e-2) << "dw at " << i;
+  }
+}
+
+TEST(Linear, ForwardAndGradient) {
+  Rng rng(9);
+  Tensor x({3, 5}), w({4, 5}), b({4});
+  rng.fill_normal(x, 1.0f);
+  rng.fill_normal(w, 0.5f);
+  rng.fill_normal(b, 0.5f);
+  Tensor y = linear_forward(x, w, &b);
+  ASSERT_EQ(y.shape(), (std::vector<int>{3, 4}));
+  double acc = b[1];
+  for (int i = 0; i < 5; ++i) acc += static_cast<double>(x.at(2, i)) * w.at(1, i);
+  EXPECT_NEAR(y.at(2, 1), acc, 1e-5);
+
+  Tensor w_out(y.shape());
+  rng.fill_normal(w_out, 1.0f);
+  Tensor dx(x.shape()), dw(w.shape()), db(b.shape());
+  linear_backward(x, w, w_out, &dx, &dw, &db);
+  auto fx = [&](const Tensor& xx) { return linear_forward(xx, w, &b); };
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(dx[i], numeric_grad(fx, x, i, w_out), 1e-2);
+  }
+  auto fw = [&](const Tensor& ww) { return linear_forward(x, ww, &b); };
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(dw[i], numeric_grad(fw, w, i, w_out), 1e-2);
+  }
+}
+
+TEST(ReLU, ForwardBackward) {
+  Tensor x({4}, std::vector<float>{-1, 0, 2, -3});
+  Tensor y = relu_forward(x);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[2], 2.0f);
+  Tensor dout({4}, 1.0f), dx({4});
+  relu_backward(x, dout, &dx);
+  EXPECT_EQ(dx[0], 0.0f);
+  EXPECT_EQ(dx[2], 1.0f);
+}
+
+TEST(MaxPool, ForwardSelectsMaxAndRoutesGradient) {
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  Tensor y = maxpool_forward(x, 2, 2);
+  EXPECT_EQ(y.at(0, 0, 0, 0), 5.0f);
+  EXPECT_EQ(y.at(0, 0, 1, 1), 15.0f);
+  Tensor dout(y.shape(), 1.0f), dx(x.shape());
+  maxpool_backward(x, 2, 2, dout, &dx);
+  EXPECT_EQ(dx.at(0, 0, 1, 1), 1.0f);  // position of 5
+  EXPECT_EQ(dx.at(0, 0, 0, 0), 0.0f);
+}
+
+TEST(GlobalAvgPool, ForwardBackward) {
+  Tensor x({1, 2, 2, 2});
+  for (std::size_t i = 0; i < 8; ++i) x[i] = static_cast<float>(i);
+  Tensor y = global_avgpool_forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 5.5f);
+  Tensor dout({1, 2}, 4.0f), dx(x.shape());
+  global_avgpool_backward(x, dout, &dx);
+  EXPECT_FLOAT_EQ(dx[0], 1.0f);
+}
+
+TEST(BatchNorm, NormalizesInTraining) {
+  Rng rng(4);
+  Tensor x({4, 3, 5, 5});
+  rng.fill_normal(x, 2.0f);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += 3.0f;
+  BatchNormState bn(3);
+  Tensor y = batchnorm_forward(x, bn, /*training=*/true);
+  // Per-channel mean ~0, var ~1.
+  for (int c = 0; c < 3; ++c) {
+    double s = 0, s2 = 0;
+    int cnt = 0;
+    for (int n = 0; n < 4; ++n)
+      for (int i = 0; i < 25; ++i) {
+        const float v = y.at(n, c, i / 5, i % 5);
+        s += v;
+        s2 += static_cast<double>(v) * v;
+        ++cnt;
+      }
+    EXPECT_NEAR(s / cnt, 0.0, 1e-4);
+    EXPECT_NEAR(s2 / cnt, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, EvalUsesRunningStats) {
+  Tensor x({2, 1, 2, 2}, 5.0f);
+  BatchNormState bn(1);
+  bn.running_mean[0] = 5.0f;
+  bn.running_var[0] = 4.0f;
+  Tensor y = batchnorm_forward(x, bn, /*training=*/false);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_NEAR(y[i], 0.0f, 1e-5);
+}
+
+TEST(BatchNorm, GradientCheck) {
+  Rng rng(6);
+  Tensor x({2, 2, 3, 3});
+  rng.fill_normal(x, 1.0f);
+  BatchNormState bn(2);
+  bn.gamma[0] = 1.5f;
+  bn.beta[1] = 0.3f;
+  Tensor y = batchnorm_forward(x, bn, true);
+  Tensor w_out(y.shape());
+  rng.fill_normal(w_out, 1.0f);
+  Tensor dx(x.shape()), dg({2}), db({2});
+  batchnorm_backward(x, bn, w_out, &dx, &dg, &db);
+  auto f = [&](const Tensor& xx) {
+    BatchNormState bn2(2);
+    bn2.gamma = bn.gamma;
+    bn2.beta = bn.beta;
+    return batchnorm_forward(xx, bn2, true);
+  };
+  for (std::size_t i = 0; i < x.size(); i += 3) {
+    EXPECT_NEAR(dx[i], numeric_grad(f, x, i, w_out), 5e-2) << i;
+  }
+}
+
+TEST(SoftmaxCrossEntropy, LossAndGradient) {
+  Tensor logits({2, 3}, std::vector<float>{1, 2, 3, 0, 0, 0});
+  std::vector<int> labels{2, 0};
+  Tensor dl({2, 3});
+  const float loss = softmax_cross_entropy(logits, labels, &dl);
+  // Sample 0: -log softmax(3 | 1,2,3); sample 1: -log(1/3).
+  const double l0 = -std::log(std::exp(3.0) / (std::exp(1.0) + std::exp(2.0) + std::exp(3.0)));
+  const double l1 = std::log(3.0);
+  EXPECT_NEAR(loss, (l0 + l1) / 2, 1e-5);
+  // Gradient rows sum to zero.
+  EXPECT_NEAR(dl.at(0, 0) + dl.at(0, 1) + dl.at(0, 2), 0.0, 1e-6);
+  EXPECT_LT(dl.at(0, 2), 0.0f);  // true class pushed up
+}
+
+TEST(CountCorrect, CountsArgmaxHits) {
+  Tensor logits({3, 2}, std::vector<float>{1, 0, 0, 1, 2, 5});
+  EXPECT_EQ(count_correct(logits, {0, 1, 1}), 3);
+  EXPECT_EQ(count_correct(logits, {1, 1, 0}), 1);
+}
+
+TEST(FakeQuant, QuantizesToGrid) {
+  Tensor x({5}, std::vector<float>{-0.5f, 0.0f, 0.26f, 0.9f, 2.0f});
+  Tensor y = fake_quant_forward(x, 2, 1.0f);  // levels {0, 1/3, 2/3, 1}
+  EXPECT_FLOAT_EQ(y[0], 0.0f);
+  EXPECT_NEAR(y[2], 1.0f / 3.0f, 1e-6);
+  EXPECT_FLOAT_EQ(y[3], 1.0f);  // 0.9 -> nearest level 1.0
+  EXPECT_FLOAT_EQ(y[4], 1.0f);  // clipped
+}
+
+TEST(FakeQuant, UncalibratedIsIdentity) {
+  Tensor x({3}, std::vector<float>{-1, 0.5f, 9});
+  Tensor y = fake_quant_forward(x, 4, 0.0f);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(FakeQuant, BackwardMasksClippedRegion) {
+  Tensor x({3}, std::vector<float>{-0.5f, 0.5f, 1.5f});
+  Tensor dout({3}, 1.0f), dx({3});
+  fake_quant_backward(x, 1.0f, dout, &dx);
+  EXPECT_EQ(dx[0], 0.0f);
+  EXPECT_EQ(dx[1], 1.0f);
+  EXPECT_EQ(dx[2], 0.0f);
+}
+
+// Property sweep: conv output shape formula across parameter grid.
+class ConvShapeTest : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ConvShapeTest, OutputShapeFormula) {
+  const auto [k, stride, pad] = GetParam();
+  ConvSpec spec{2, 3, k, k, stride, pad, 1};
+  const int in = 12;
+  if ((in + 2 * pad - k) < 0) GTEST_SKIP();
+  Tensor x({1, 2, in, in}), w(spec.weight_shape());
+  Tensor y = conv2d_forward(x, w, nullptr, spec);
+  EXPECT_EQ(y.dim(2), (in + 2 * pad - k) / stride + 1);
+  EXPECT_EQ(y.dim(3), (in + 2 * pad - k) / stride + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(KernelGrid, ConvShapeTest,
+                         ::testing::Combine(::testing::Values(1, 3, 5),
+                                            ::testing::Values(1, 2),
+                                            ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace bswp::nn

@@ -1,0 +1,217 @@
+#include "runtime/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "data/synthetic.h"
+#include "models/zoo.h"
+#include "runtime/engine.h"
+
+namespace bswp::runtime {
+namespace {
+
+struct PipelineEnv {
+  nn::Graph graph;
+  pool::PooledNetwork pooled;
+  quant::CalibrationResult cal;
+  data::SyntheticCifar data;
+
+  explicit PipelineEnv(float width = 0.25f, uint64_t seed = 1)
+      : data(
+            [] {
+              data::SyntheticCifarOptions o;
+              o.train_size = 64;
+              o.image_size = 16;
+              return o;
+            }(),
+            true) {
+    models::ModelOptions mo;
+    mo.image_size = 16;
+    mo.width = width;
+    graph = models::build_resnet_s(mo);
+    Rng rng(seed);
+    graph.init_weights(rng);
+    // One training-mode pass seeds BN running stats with sane values.
+    data::Batch b = data.batch(0, 32);
+    graph.forward(b.images, true);
+
+    pool::CodecOptions co;
+    co.pool_size = 16;
+    co.kmeans_iters = 8;
+    co.max_cluster_vectors = 4000;
+    pooled = pool::build_weight_pool(graph, co);
+    pool::reconstruct_weights(graph, pooled);
+
+    quant::CalibrateOptions qo;
+    qo.num_samples = 32;
+    cal = quant::calibrate(graph, data, qo);
+  }
+};
+
+TEST(Pipeline, CompilesResNetWithPooledAndBaselineLayers) {
+  PipelineEnv s;
+  CompileOptions opt;
+  CompiledNetwork net = compile(s.graph, &s.pooled, s.cal, opt);
+  EXPECT_TRUE(net.has_lut);
+  EXPECT_GT(net.count_kind(PlanKind::kConvBitSerial), 5);
+  EXPECT_GE(net.count_kind(PlanKind::kConvBaseline), 1);  // first conv
+  EXPECT_EQ(net.count_kind(PlanKind::kLinearBaseline), 1);
+  EXPECT_GT(net.count_kind(PlanKind::kAdd), 0);
+}
+
+TEST(Pipeline, UncompressedBuildHasNoLut) {
+  PipelineEnv s;
+  CompiledNetwork net = compile(s.graph, nullptr, s.cal, CompileOptions{});
+  EXPECT_FALSE(net.has_lut);
+  EXPECT_EQ(net.count_kind(PlanKind::kConvBitSerial), 0);
+}
+
+TEST(Pipeline, BatchNormFoldedIntoRequant) {
+  PipelineEnv s;
+  CompiledNetwork net = compile(s.graph, &s.pooled, s.cal, CompileOptions{});
+  // No plan kind exists for BN: it must be absorbed.
+  for (const LayerPlan& p : net.plans) {
+    EXPECT_NE(p.name.substr(0, 2), "bn");
+  }
+  // Requant scales differ across channels where BN gammas differ.
+  bool per_channel_seen = false;
+  for (const LayerPlan& p : net.plans) {
+    if (p.kind != PlanKind::kConvBitSerial) continue;
+    for (std::size_t c = 1; c < p.rq.scale.size(); ++c) {
+      if (p.rq.scale[c] != p.rq.scale[0]) per_channel_seen = true;
+    }
+  }
+  // Freshly initialized BN has gamma=1 everywhere, but running stats from the
+  // training pass differ per channel, which shows up in the bias terms.
+  bool bias_differs = false;
+  for (const LayerPlan& p : net.plans) {
+    if (p.kind != PlanKind::kConvBitSerial) continue;
+    for (std::size_t c = 1; c < p.rq.bias.size(); ++c) {
+      if (p.rq.bias[c] != p.rq.bias[0]) bias_differs = true;
+    }
+  }
+  EXPECT_TRUE(per_channel_seen || bias_differs);
+}
+
+TEST(Pipeline, ReluChainsProduceUnsignedZeroPointOutputs) {
+  PipelineEnv s;
+  CompiledNetwork net = compile(s.graph, &s.pooled, s.cal, CompileOptions{});
+  for (const LayerPlan& p : net.plans) {
+    if (p.kind == PlanKind::kConvBitSerial || p.kind == PlanKind::kConvBaseline) {
+      if (p.rq.fuse_relu) {
+        EXPECT_EQ(p.out_zero_point, 0);
+      } else {
+        // Residual-branch convs produce offset-unsigned outputs.
+        EXPECT_EQ(p.out_zero_point, 1 << (net.act_bits - 1));
+      }
+    }
+  }
+}
+
+TEST(Pipeline, AutoPrecomputeFollowsFilterVsPoolRule) {
+  PipelineEnv s;  // pool size 16; widths 16/32/64 at width=0.25 -> some layers > 16
+  CompileOptions opt;
+  CompiledNetwork net = compile(s.graph, &s.pooled, s.cal, opt);
+  for (const LayerPlan& p : net.plans) {
+    if (p.kind != PlanKind::kConvBitSerial) continue;
+    if (p.spec.out_ch > 16) {
+      EXPECT_EQ(p.variant, kernels::BitSerialVariant::kCachedPrecompute) << p.name;
+    } else {
+      EXPECT_EQ(p.variant, kernels::BitSerialVariant::kCached) << p.name;
+    }
+  }
+}
+
+TEST(Pipeline, ForceVariantOverridesPolicy) {
+  PipelineEnv s;
+  CompileOptions opt;
+  opt.force_variant = true;
+  opt.forced_variant = kernels::BitSerialVariant::kInputReuse;
+  CompiledNetwork net = compile(s.graph, &s.pooled, s.cal, opt);
+  for (const LayerPlan& p : net.plans) {
+    if (p.kind == PlanKind::kConvBitSerial) {
+      EXPECT_EQ(p.variant, kernels::BitSerialVariant::kInputReuse);
+    }
+  }
+}
+
+TEST(Pipeline, ActBitsPropagateToPlans) {
+  PipelineEnv s;
+  CompileOptions opt;
+  opt.act_bits = 4;
+  CompiledNetwork net = compile(s.graph, &s.pooled, s.cal, opt);
+  EXPECT_EQ(net.act_bits, 4);
+  for (const LayerPlan& p : net.plans) {
+    if (p.kind == PlanKind::kConvBitSerial) EXPECT_EQ(p.rq.out_bits, 4);
+  }
+  EXPECT_THROW(
+      {
+        CompileOptions bad;
+        bad.act_bits = 9;
+        compile(s.graph, &s.pooled, s.cal, bad);
+      },
+      std::invalid_argument);
+}
+
+TEST(Pipeline, LutBitwidthPropagates) {
+  PipelineEnv s;
+  CompileOptions opt;
+  opt.lut_bits = 4;
+  CompiledNetwork net = compile(s.graph, &s.pooled, s.cal, opt);
+  EXPECT_EQ(net.lut.bitwidth, 4);
+  for (int32_t e : net.lut.entries) {
+    EXPECT_LE(e, 7);
+    EXPECT_GE(e, -8);
+  }
+}
+
+TEST(Pipeline, ClassifierLogitsAre16Bit) {
+  PipelineEnv s;
+  CompiledNetwork net = compile(s.graph, &s.pooled, s.cal, CompileOptions{});
+  const LayerPlan& last = net.plans.back();
+  EXPECT_EQ(last.kind, PlanKind::kLinearBaseline);
+  EXPECT_EQ(last.out_bits, 16);
+  EXPECT_TRUE(last.out_signed);
+}
+
+TEST(Pipeline, MobileNetCompilesWithSignedPointwiseInputs) {
+  // MobileNet-v2 has residual adds without ReLU feeding 1x1 pooled convs —
+  // the offset-unsigned + row-sum-correction path.
+  data::SyntheticCifarOptions dopt;
+  dopt.train_size = 32;
+  dopt.image_size = 16;
+  data::SyntheticCifar ds(dopt, true);
+  models::ModelOptions mo;
+  mo.image_size = 16;
+  mo.width = 0.25f;
+  nn::Graph g = models::build_mobilenet_v2(mo);
+  Rng rng(3);
+  g.init_weights(rng);
+  data::Batch b = ds.batch(0, 16);
+  g.forward(b.images, true);
+
+  pool::CodecOptions co;
+  co.pool_size = 16;
+  co.kmeans_iters = 5;
+  co.max_cluster_vectors = 3000;
+  pool::PooledNetwork pooled = pool::build_weight_pool(g, co);
+  pool::reconstruct_weights(g, pooled);
+  quant::CalibrateOptions qo;
+  qo.num_samples = 16;
+  quant::CalibrationResult cal = quant::calibrate(g, ds, qo);
+
+  CompiledNetwork net = compile(g, &pooled, cal, CompileOptions{});
+  EXPECT_GT(net.count_kind(PlanKind::kConvBitSerial), 10);
+  // Depthwise layers stay baseline.
+  int grouped_baseline = 0;
+  for (const LayerPlan& p : net.plans) {
+    if (p.kind == PlanKind::kConvBaseline && p.spec.groups > 1) ++grouped_baseline;
+  }
+  EXPECT_GT(grouped_baseline, 5);
+  // And it runs.
+  Tensor x({1, 3, 16, 16}, 0.5f);
+  EXPECT_NO_THROW(run(net, x, nullptr));
+}
+
+}  // namespace
+}  // namespace bswp::runtime

@@ -1,0 +1,161 @@
+#include "runtime/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/rng.h"
+#include "data/synthetic.h"
+#include "quant/calibrate.h"
+#include "runtime/engine.h"
+#include "runtime/pipeline.h"
+
+namespace bswp::runtime {
+namespace {
+
+struct Env {
+  nn::Graph graph;
+  pool::PooledNetwork pooled;
+  CompiledNetwork net;
+  Tensor sample{std::vector<int>{1, 3, 12, 12}};
+
+  Env() {
+    int x = graph.input(3, 12, 12);
+    x = graph.conv2d(x, 16, 3, 1, 1);
+    x = graph.batchnorm(x);
+    x = graph.relu(x);
+    x = graph.maxpool(x, 2, 2);
+    x = graph.conv2d(x, 24, 3, 1, 1);
+    x = graph.relu(x);
+    x = graph.global_avgpool(x);
+    graph.linear(x, 4);
+    Rng rng(3);
+    graph.init_weights(rng);
+
+    data::SyntheticCifarOptions o;
+    o.train_size = 32;
+    o.image_size = 12;
+    data::SyntheticCifar ds(o, true);
+    data::Batch b = ds.batch(0, 16);
+    graph.forward(b.images, true);
+
+    pool::CodecOptions co;
+    co.pool_size = 16;
+    co.kmeans_iters = 5;
+    pooled = pool::build_weight_pool(graph, co);
+    pool::reconstruct_weights(graph, pooled);
+    quant::CalibrateOptions qo;
+    qo.num_samples = 16;
+    quant::CalibrationResult cal = quant::calibrate(graph, ds, qo);
+    net = compile(graph, &pooled, cal, CompileOptions{});
+    ds.sample(0, sample.data());
+  }
+};
+
+Env& env() {
+  static Env e;
+  return e;
+}
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  Env& e = env();
+  std::stringstream buf;
+  save_network(e.net, buf);
+  CompiledNetwork loaded = load_network(buf);
+  ASSERT_EQ(loaded.plans.size(), e.net.plans.size());
+  EXPECT_EQ(loaded.act_bits, e.net.act_bits);
+  EXPECT_EQ(loaded.has_lut, e.net.has_lut);
+  EXPECT_EQ(loaded.lut.entries, e.net.lut.entries);
+  for (std::size_t i = 0; i < loaded.plans.size(); ++i) {
+    EXPECT_EQ(loaded.plans[i].kind, e.net.plans[i].kind) << i;
+    EXPECT_EQ(loaded.plans[i].inputs, e.net.plans[i].inputs) << i;
+    EXPECT_EQ(loaded.plans[i].indices.idx, e.net.plans[i].indices.idx) << i;
+    EXPECT_EQ(loaded.plans[i].qweights.data, e.net.plans[i].qweights.data) << i;
+  }
+}
+
+TEST(Serialize, RoundTripBitIdenticalInference) {
+  Env& e = env();
+  std::stringstream buf;
+  save_network(e.net, buf);
+  CompiledNetwork loaded = load_network(buf);
+  QTensor a = run(e.net, e.sample);
+  QTensor b = run(loaded, e.sample);
+  EXPECT_EQ(a.data, b.data);
+}
+
+TEST(Serialize, RoundTripPreservesFootprintAndCost) {
+  Env& e = env();
+  std::stringstream buf;
+  save_network(e.net, buf);
+  CompiledNetwork loaded = load_network(buf);
+  EXPECT_EQ(footprint(loaded).flash_bytes, footprint(e.net).flash_bytes);
+  EXPECT_EQ(footprint(loaded).sram_bytes, footprint(e.net).sram_bytes);
+  sim::CostCounter ca, cb;
+  run(e.net, e.sample, &ca);
+  run(loaded, e.sample, &cb);
+  for (int i = 0; i < sim::kNumEvents; ++i) {
+    EXPECT_EQ(ca.count(static_cast<sim::Event>(i)), cb.count(static_cast<sim::Event>(i)));
+  }
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Env& e = env();
+  const std::string path = "/tmp/bswp_test_net.bin";
+  save_network(e.net, path);
+  CompiledNetwork loaded = load_network(path);
+  EXPECT_EQ(loaded.plans.size(), e.net.plans.size());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "not a bswp file at all";
+  EXPECT_THROW(load_network(buf), std::runtime_error);
+}
+
+TEST(Serialize, RejectsTruncation) {
+  Env& e = env();
+  std::stringstream buf;
+  save_network(e.net, buf);
+  const std::string full = buf.str();
+  std::stringstream cut;
+  cut << full.substr(0, full.size() / 2);
+  EXPECT_THROW(load_network(cut), std::runtime_error);
+}
+
+TEST(Serialize, MissingFileThrows) {
+  EXPECT_THROW(load_network("/tmp/definitely_not_here_bswp.bin"), std::runtime_error);
+}
+
+TEST(ExportCHeader, EmitsArraysAndCountsFlash) {
+  Env& e = env();
+  const std::string path = "/tmp/bswp_test_net.h";
+  const std::size_t bytes = export_c_header(e.net, path, "mynet");
+  EXPECT_GT(bytes, e.net.lut.storage_bytes());  // at least the LUT
+  std::ifstream is(path);
+  std::stringstream content;
+  content << is.rdbuf();
+  const std::string s = content.str();
+  EXPECT_NE(s.find("mynet_lut"), std::string::npos);
+  EXPECT_NE(s.find("_indices"), std::string::npos);
+  EXPECT_NE(s.find("_weights"), std::string::npos);  // first conv stays int8
+  EXPECT_NE(s.find("#include <stdint.h>"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ExportCHeader, FlashBytesTrackFootprintWeights) {
+  // The exported arrays cover LUT + indices + weights; the footprint model
+  // additionally counts requant constants at 8 bytes/channel, the header
+  // emits them as two float arrays (same 8 bytes/channel).
+  Env& e = env();
+  const std::string path = "/tmp/bswp_test_net2.h";
+  const std::size_t bytes = export_c_header(e.net, path, "n");
+  EXPECT_EQ(bytes, footprint(e.net).flash_bytes);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bswp::runtime

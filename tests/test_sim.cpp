@@ -1,0 +1,101 @@
+#include "sim/mcu.h"
+
+#include <gtest/gtest.h>
+
+namespace bswp::sim {
+namespace {
+
+TEST(CostCounter, AddAndCount) {
+  CostCounter c;
+  c.add(Event::kMac, 10);
+  c.add(Event::kMac, 5);
+  c.add(Event::kSramRead);
+  EXPECT_EQ(c.count(Event::kMac), 15u);
+  EXPECT_EQ(c.count(Event::kSramRead), 1u);
+  EXPECT_EQ(c.count(Event::kFlashRandomByte), 0u);
+  EXPECT_EQ(c.total_events(), 16u);
+}
+
+TEST(CostCounter, ResetAndMerge) {
+  CostCounter a, b;
+  a.add(Event::kAlu, 3);
+  b.add(Event::kAlu, 4);
+  b.add(Event::kBranch, 1);
+  a.merge(b);
+  EXPECT_EQ(a.count(Event::kAlu), 7u);
+  EXPECT_EQ(a.count(Event::kBranch), 1u);
+  a.reset();
+  EXPECT_EQ(a.total_events(), 0u);
+}
+
+TEST(CostCounter, TallyHelperNullSafe) {
+  tally(nullptr, Event::kMac, 100);  // must not crash
+  CostCounter c;
+  tally(&c, Event::kMac, 100);
+  EXPECT_EQ(c.count(Event::kMac), 100u);
+}
+
+TEST(CostCounter, SummaryListsNonZeroEvents) {
+  CostCounter c;
+  c.add(Event::kMac, 2);
+  const std::string s = c.summary();
+  EXPECT_NE(s.find("mac=2"), std::string::npos);
+  EXPECT_EQ(s.find("sram_read"), std::string::npos);
+}
+
+TEST(McuProfile, Table2Specs) {
+  const McuProfile large = mc_large();
+  const McuProfile small = mc_small();
+  EXPECT_EQ(large.sram_bytes, 128u * 1024);
+  EXPECT_EQ(large.flash_bytes, 1024u * 1024);
+  EXPECT_DOUBLE_EQ(large.freq_mhz, 120.0);
+  EXPECT_EQ(small.sram_bytes, 20u * 1024);
+  EXPECT_EQ(small.flash_bytes, 128u * 1024);
+  EXPECT_DOUBLE_EQ(small.freq_mhz, 72.0);
+}
+
+TEST(McuProfile, CyclesAreLinearInEvents) {
+  const McuProfile m = mc_large();
+  CostCounter c1, c2;
+  c1.add(Event::kMac, 100);
+  c2.add(Event::kMac, 200);
+  EXPECT_DOUBLE_EQ(m.cycles(c2), 2.0 * m.cycles(c1));
+}
+
+TEST(McuProfile, SecondsScaleWithFrequency) {
+  CostCounter c;
+  c.add(Event::kMac, 1000000);
+  const double t_large = mc_large().seconds(c);
+  const double t_small = mc_small().seconds(c);
+  // Same event prices for MACs; the 72 MHz part is slower.
+  EXPECT_NEAR(t_small / t_large, 120.0 / 72.0, 1e-9);
+}
+
+TEST(McuProfile, FlashRandomSlowerThanSequential) {
+  for (const McuProfile& m : {mc_large(), mc_small()}) {
+    const double random = m.event_cycles[static_cast<int>(Event::kFlashRandomByte)];
+    const double seq = m.event_cycles[static_cast<int>(Event::kFlashSeqByte)];
+    const double sram = m.event_cycles[static_cast<int>(Event::kSramRead)];
+    EXPECT_GT(random, seq);
+    EXPECT_GE(random, sram);  // the gap that LUT caching exploits
+  }
+}
+
+TEST(MemoryFootprint, FitsChecksBothBudgets) {
+  const McuProfile small = mc_small();
+  MemoryFootprint ok{100 * 1024, 16 * 1024};
+  MemoryFootprint flash_over{300 * 1024, 4 * 1024};
+  MemoryFootprint sram_over{64 * 1024, 64 * 1024};
+  EXPECT_TRUE(ok.fits(small));
+  EXPECT_FALSE(flash_over.fits(small));
+  EXPECT_FALSE(sram_over.fits(small));
+}
+
+TEST(EventName, AllNamed) {
+  for (int i = 0; i < kNumEvents; ++i) {
+    EXPECT_STRNE(event_name(static_cast<Event>(i)), "?");
+  }
+}
+
+}  // namespace
+}  // namespace bswp::sim

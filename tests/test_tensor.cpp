@@ -1,0 +1,119 @@
+#include "core/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bswp {
+namespace {
+
+TEST(Tensor, ConstructsWithShapeAndZeros) {
+  Tensor t({2, 3, 4, 5});
+  EXPECT_EQ(t.rank(), 4);
+  EXPECT_EQ(t.size(), 120u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t({3, 3}, 2.5f);
+  EXPECT_EQ(t.size(), 9u);
+  EXPECT_EQ(t.at(2, 2), 2.5f);
+}
+
+TEST(Tensor, ValueConstructorChecksCount) {
+  EXPECT_NO_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, std::vector<float>{1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, Rank4IndexingIsRowMajor) {
+  Tensor t({2, 3, 4, 5});
+  t.at(1, 2, 3, 4) = 7.0f;
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 7.0f);
+}
+
+TEST(Tensor, Rank2Indexing) {
+  Tensor t({3, 4});
+  t.at(2, 1) = -1.5f;
+  EXPECT_EQ(t[2 * 4 + 1], -1.5f);
+}
+
+TEST(Tensor, WrongRankAccessorThrows) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.at(0, 0, 0, 0), std::invalid_argument);
+  Tensor u({1, 1, 1, 1});
+  EXPECT_THROW(u.at(0, 0), std::invalid_argument);
+}
+
+TEST(Tensor, OutOfRangeIndexThrows) {
+  Tensor t({2, 2, 2, 2});
+  EXPECT_THROW(t.at(2, 0, 0, 0), std::invalid_argument);
+  EXPECT_THROW(t.at(0, 0, 0, -1), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 6});
+  t.at(1, 5) = 3.0f;
+  t.reshape({3, 4});
+  EXPECT_EQ(t.at(2, 3), 3.0f);
+  EXPECT_THROW(t.reshape({5, 5}), std::invalid_argument);
+}
+
+TEST(Tensor, ArithmeticHelpers) {
+  Tensor a({4}, 1.0f);
+  Tensor b({4}, 2.0f);
+  a.add_(b);
+  EXPECT_EQ(a[0], 3.0f);
+  a.axpy_(0.5f, b);
+  EXPECT_EQ(a[0], 4.0f);
+  a.scale_(0.25f);
+  EXPECT_EQ(a[0], 1.0f);
+}
+
+TEST(Tensor, SizeMismatchThrows) {
+  Tensor a({4});
+  Tensor b({5});
+  EXPECT_THROW(a.add_(b), std::invalid_argument);
+  EXPECT_THROW(a.axpy_(1.0f, b), std::invalid_argument);
+}
+
+TEST(Tensor, Statistics) {
+  Tensor t({4}, std::vector<float>{-3.0f, 1.0f, 2.0f, 4.0f});
+  EXPECT_EQ(t.min(), -3.0f);
+  EXPECT_EQ(t.max(), 4.0f);
+  EXPECT_EQ(t.abs_max(), 4.0f);
+  EXPECT_FLOAT_EQ(t.mean(), 1.0f);
+  EXPECT_NEAR(t.l2_norm(), std::sqrt(9.0f + 1 + 4 + 16), 1e-6);
+}
+
+TEST(Tensor, ShapeStr) {
+  Tensor t({1, 2, 3});
+  EXPECT_EQ(t.shape_str(), "[1,2,3]");
+}
+
+TEST(QTensor, RangesForSignedAndUnsigned) {
+  QTensor s({4}, 8, /*is_signed=*/true);
+  EXPECT_EQ(s.qmin(), -128);
+  EXPECT_EQ(s.qmax(), 127);
+  QTensor u({4}, 4, /*is_signed=*/false);
+  EXPECT_EQ(u.qmin(), 0);
+  EXPECT_EQ(u.qmax(), 15);
+}
+
+TEST(QTensor, DequantizeAppliesScaleAndZeroPoint) {
+  QTensor q({2}, 8, false);
+  q.scale = 0.5f;
+  q.zero_point = 4;
+  q.data = {4, 10};
+  Tensor t = q.dequantize();
+  EXPECT_FLOAT_EQ(t[0], 0.0f);
+  EXPECT_FLOAT_EQ(t[1], 3.0f);
+}
+
+TEST(ShapeNumel, EmptyShapeIsZero) {
+  EXPECT_EQ(shape_numel({}), 0u);
+  EXPECT_EQ(shape_numel({3}), 3u);
+  EXPECT_EQ(shape_numel({0, 5}), 0u);
+}
+
+}  // namespace
+}  // namespace bswp

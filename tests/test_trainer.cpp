@@ -1,0 +1,129 @@
+#include "nn/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "models/zoo.h"
+
+namespace bswp::nn {
+namespace {
+
+data::SyntheticCifarOptions tiny_data() {
+  data::SyntheticCifarOptions o;
+  o.num_classes = 4;
+  o.train_size = 256;
+  o.test_size = 128;
+  o.image_size = 16;
+  o.noise_stddev = 0.05f;
+  return o;
+}
+
+Graph small_cnn(int classes) {
+  Graph g;
+  int x = g.input(3, 16, 16);
+  x = g.conv2d(x, 8, 3, 1, 1);
+  x = g.batchnorm(x);
+  x = g.relu(x);
+  x = g.maxpool(x, 2, 2);
+  x = g.conv2d(x, 16, 3, 1, 1);
+  x = g.batchnorm(x);
+  x = g.relu(x);
+  x = g.global_avgpool(x);
+  g.linear(x, classes);
+  return g;
+}
+
+TEST(Trainer, LossDecreasesAndBeatsChance) {
+  data::SyntheticCifar train(tiny_data(), true);
+  data::SyntheticCifar test(tiny_data(), false);
+  Graph g = small_cnn(4);
+  Rng rng(10);
+  g.init_weights(rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  cfg.batch_size = 32;
+  cfg.lr = 0.08f;
+  Trainer trainer(cfg);
+  TrainStats stats = trainer.fit(g, train, test);
+
+  ASSERT_EQ(stats.epoch_loss.size(), 6u);
+  EXPECT_LT(stats.epoch_loss.back(), stats.epoch_loss.front());
+  // 4 classes: chance is 25%; a working trainer does far better.
+  EXPECT_GT(stats.final_test_acc, 50.0f);
+}
+
+TEST(Trainer, PostStepHookRunsEveryStep) {
+  data::SyntheticCifarOptions o = tiny_data();
+  o.train_size = 64;
+  data::SyntheticCifar train(o, true);
+  data::SyntheticCifar test(o, false);
+  Graph g = small_cnn(4);
+  Rng rng(11);
+  g.init_weights(rng);
+
+  TrainConfig cfg;
+  cfg.epochs = 2;
+  cfg.batch_size = 32;
+  int calls = 0;
+  Trainer trainer(cfg);
+  trainer.set_post_step([&calls](Graph&) { ++calls; });
+  trainer.fit(g, train, test);
+  EXPECT_EQ(calls, 2 * (64 / 32));
+}
+
+TEST(Trainer, MaxBatchesCapRespected) {
+  data::SyntheticCifarOptions o = tiny_data();
+  o.train_size = 256;
+  data::SyntheticCifar train(o, true);
+  data::SyntheticCifar test(o, false);
+  Graph g = small_cnn(4);
+  Rng rng(12);
+  g.init_weights(rng);
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 32;
+  cfg.max_batches_per_epoch = 3;
+  int calls = 0;
+  Trainer trainer(cfg);
+  trainer.set_post_step([&calls](Graph&) { ++calls; });
+  trainer.fit(g, train, test);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Trainer, DeterministicGivenSeed) {
+  data::SyntheticCifarOptions o = tiny_data();
+  o.train_size = 96;
+  data::SyntheticCifar train(o, true);
+  data::SyntheticCifar test(o, false);
+
+  auto run_once = [&]() {
+    Graph g = small_cnn(4);
+    Rng rng(13);
+    g.init_weights(rng);
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.batch_size = 32;
+    cfg.seed = 77;
+    Trainer trainer(cfg);
+    return trainer.fit(g, train, test).final_test_acc;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Evaluate, PerfectOnMemorizedBatch) {
+  // A linear model on one-hot-ish inputs can reach 100% on its train data.
+  data::SyntheticCifarOptions o = tiny_data();
+  o.train_size = 32;
+  o.test_size = 32;
+  data::SyntheticCifar ds(o, true);
+  Graph g = small_cnn(4);
+  Rng rng(14);
+  g.init_weights(rng);
+  const float acc = evaluate(g, ds);
+  EXPECT_GE(acc, 0.0f);
+  EXPECT_LE(acc, 100.0f);
+}
+
+}  // namespace
+}  // namespace bswp::nn

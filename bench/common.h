@@ -13,15 +13,11 @@
 #include <string>
 #include <vector>
 
+#include "api/bswp.h"
 #include "core/rng.h"
-#include "data/synthetic.h"
 #include "models/zoo.h"
 #include "nn/trainer.h"
-#include "pool/finetune.h"
 #include "pool/storage_model.h"
-#include "quant/calibrate.h"
-#include "runtime/evaluate.h"
-#include "runtime/pipeline.h"
 
 namespace bswp::bench {
 
@@ -134,16 +130,24 @@ inline PooledModel pool_and_finetune(const TrainedModel& base, const BenchDatase
   return p;
 }
 
+/// Build a Deployment mirroring a CompileOptions struct (the bench tables
+/// sweep individual fields; the facade re-validates every combination).
+inline Deployment make_deployment(const nn::Graph& graph, const pool::PooledNetwork* net,
+                                  const BenchDataset& ds, const runtime::CompileOptions& opt,
+                                  int cal_samples = 96) {
+  Deployment dep = Deployment::from(graph);
+  if (net != nullptr) dep.with_pool(*net);
+  quant::CalibrateOptions qo;
+  qo.num_samples = cal_samples;
+  dep.with_options(opt).calibrate(*ds.train, qo);
+  return dep;
+}
+
 /// Engine accuracy through the integer pipeline (pooled if `net` non-null).
 inline float engine_accuracy(nn::Graph& graph, const pool::PooledNetwork* net,
                              const BenchDataset& ds, const runtime::CompileOptions& opt,
                              int max_samples = 0) {
-  quant::CalibrateOptions qo;
-  qo.num_samples = 96;
-  qo.act_bits = opt.act_bits;
-  quant::CalibrationResult cal = quant::calibrate(graph, *ds.train, qo);
-  runtime::CompiledNetwork cn = runtime::compile(graph, net, cal, opt);
-  return runtime::evaluate_accuracy(cn, *ds.test, max_samples);
+  return make_deployment(graph, net, ds, opt).compile().evaluate(*ds.test, max_samples);
 }
 
 /// The paper's five network/dataset rows, width-scaled for trainability.

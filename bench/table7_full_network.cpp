@@ -15,6 +15,8 @@
 //   ResNet-10     5.28 / 3.00 / 2.22 / 1.87 / 1.61
 //   ResNet-14        / / 3.46 / 2.59 / 1.92 / 1.73
 //   MobileNet-v2     / / 3.60 / 3.12 / 3.07 / 2.78
+#include <optional>
+
 #include "common.h"
 
 namespace {
@@ -31,8 +33,10 @@ struct NetRow {
 
 struct Prepared {
   nn::Graph graph;
-  quant::CalibrationResult cal;
-  pool::PooledNetwork pool64, pool32;
+  std::unique_ptr<data::Dataset> cal_data;
+  // One deployment per build family, reused across the act-bits cells so the
+  // graph/pool copies and clustering happen once per row.
+  std::optional<Deployment> cmsis, pool64, pool32;
   Tensor sample;
 };
 
@@ -66,21 +70,22 @@ Prepared prepare(const NetRow& row) {
     data::Batch b = cal_data->batch(0, 8);
     p.graph.forward(b.images, true);
   }
+  p.cal_data = std::move(cal_data);
+
   quant::CalibrateOptions qo;
   qo.num_samples = 8;
   qo.iterative = false;  // max calibration is enough for latency
-  p.cal = quant::calibrate(p.graph, *cal_data, qo);
-
+  p.cmsis = Deployment::from(p.graph).calibrate(*p.cal_data, qo);
   for (int pool_size : {64, 32}) {
     pool::CodecOptions co;
     co.pool_size = pool_size;
     co.kmeans_iters = 3;  // clustering quality does not affect latency
     co.max_cluster_vectors = 4000;
-    (pool_size == 64 ? p.pool64 : p.pool32) = pool::build_weight_pool(p.graph, co);
+    (pool_size == 64 ? p.pool64 : p.pool32) =
+        Deployment::from(p.graph).with_pool(co).calibrate(*p.cal_data, qo);
   }
   p.sample = Tensor({1, mo.in_channels, mo.image_size, mo.image_size});
-  std::vector<float> buf(p.sample.size());
-  cal_data->sample(0, p.sample.data());
+  p.cal_data->sample(0, p.sample.data());
   return p;
 }
 
@@ -89,12 +94,9 @@ struct Cell {
   bool fits_large = false, fits_small = false;
 };
 
-Cell measure(Prepared& p, const pool::PooledNetwork* net, int act_bits,
-             const sim::McuProfile& mcu) {
-  runtime::CompileOptions opt;
-  opt.act_bits = act_bits;
-  runtime::CompiledNetwork cn = runtime::compile(p.graph, net, p.cal, opt);
-  runtime::LatencyReport r = runtime::estimate_latency(cn, mcu, p.sample);
+Cell measure(Prepared& p, Deployment& dep, int act_bits, const sim::McuProfile& mcu) {
+  Session session = dep.act_bits(act_bits).compile();
+  runtime::LatencyReport r = session.estimate_latency(mcu, p.sample);
   Cell c;
   c.seconds = r.seconds;
   c.fits_large = r.mem.fits(sim::mc_large());
@@ -146,11 +148,11 @@ int main() {
         continue;
       }
       Prepared p = prepare(row);
-      const Cell cmsis = measure(p, nullptr, 8, mcu);
-      const Cell p64_8 = measure(p, &p.pool64, 8, mcu);
-      const Cell p32_8 = measure(p, &p.pool32, 8, mcu);
-      const Cell p64_m = measure(p, &p.pool64, row.min_bits, mcu);
-      const Cell p32_m = measure(p, &p.pool32, row.min_bits, mcu);
+      const Cell cmsis = measure(p, *p.cmsis, 8, mcu);
+      const Cell p64_8 = measure(p, *p.pool64, 8, mcu);
+      const Cell p32_8 = measure(p, *p.pool32, 8, mcu);
+      const Cell p64_m = measure(p, *p.pool64, row.min_bits, mcu);
+      const Cell p32_m = measure(p, *p.pool32, row.min_bits, mcu);
       std::printf("%-14s", row.name);
       print_cell(cmsis, is_large ? cmsis.fits_large : cmsis.fits_small);
       print_cell(p64_8, is_large ? p64_8.fits_large : p64_8.fits_small);

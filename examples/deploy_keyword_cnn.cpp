@@ -4,16 +4,11 @@
 // the uncompressed TinyConv barely fits MC-small flash, the pooled build
 // leaves room to spare, and the LUT cache keeps SRAM within budget.
 #include <cstdio>
-#include <memory>
 
+#include "api/bswp.h"
 #include "core/rng.h"
-#include "data/synthetic.h"
 #include "models/zoo.h"
 #include "nn/trainer.h"
-#include "pool/finetune.h"
-#include "quant/calibrate.h"
-#include "runtime/evaluate.h"
-#include "runtime/pipeline.h"
 
 int main() {
   using namespace bswp;
@@ -43,17 +38,16 @@ int main() {
 
   pool::CodecOptions co;
   co.pool_size = 32;  // small pool: this is a small network (Table 3 regime)
-  pool::PooledNetwork pooled = pool::build_weight_pool(model, co);
   pool::FinetuneOptions fo;
   fo.train.epochs = 3;
   fo.train.batch_size = 32;
   fo.train.lr = 0.02f;
-  const float pooled_acc = pool::finetune_pooled(model, pooled, train, test, fo).final_test_acc;
-
   quant::CalibrateOptions qo;
   qo.num_samples = 96;
-  qo.act_bits = 4;
-  quant::CalibrationResult cal = quant::calibrate(model, train, qo);
+
+  Deployment dep =
+      Deployment::from(model).with_pool(co).finetune(train, test, fo).calibrate(train, qo);
+  const float pooled_acc = dep.finetuned_acc();
 
   Tensor sample({1, 1, 20, 20});
   test.sample(0, sample.data());
@@ -66,20 +60,22 @@ int main() {
               "fits");
   struct Config {
     const char* name;
-    const pool::PooledNetwork* net;
+    bool pooled;
     int act_bits;
   };
   const Config configs[] = {
-      {"int8 uncompressed", nullptr, 8},
-      {"weight pool, 8-bit act", &pooled, 8},
-      {"weight pool, 4-bit act", &pooled, 4},
+      {"int8 uncompressed", false, 8},
+      {"weight pool, 8-bit act", true, 8},
+      {"weight pool, 4-bit act", true, 4},
   };
   for (const Config& c : configs) {
-    runtime::CompileOptions opt;
-    opt.act_bits = c.act_bits;
-    runtime::CompiledNetwork net = runtime::compile(model, c.net, cal, opt);
-    const float acc = runtime::evaluate_accuracy(net, test);
-    const runtime::LatencyReport r = runtime::estimate_latency(net, target, sample);
+    // The uncompressed build deploys the same pool-projected weights so the
+    // comparison is weight-for-weight (the old hand-wired flow did too).
+    Session session = c.pooled
+                          ? dep.act_bits(c.act_bits).compile()
+                          : Deployment::from(dep.graph()).act_bits(c.act_bits).calibrate(train, qo).compile();
+    const float acc = session.evaluate(test);
+    const runtime::LatencyReport r = session.estimate_latency(target, sample);
     std::printf("%-26s %8.2f%% %7zukB %7zukB %8.1fms %6s\n", c.name, acc,
                 r.mem.flash_bytes / 1024, r.mem.sram_bytes / 1024, 1e3 * r.seconds,
                 r.fits ? "yes" : "NO");

@@ -6,13 +6,10 @@
 #include <cstdio>
 #include <memory>
 
+#include "api/bswp.h"
 #include "core/rng.h"
-#include "data/synthetic.h"
 #include "models/zoo.h"
 #include "pool/storage_model.h"
-#include "quant/calibrate.h"
-#include "runtime/engine.h"
-#include "runtime/pipeline.h"
 
 int main() {
   using namespace bswp;
@@ -42,26 +39,26 @@ int main() {
     nn::Graph g = m.build(mo);
     Rng rng(4);
     g.init_weights(rng);
-    {
-      data::Batch b = cal_data->batch(0, 8);
-      g.forward(b.images, true);  // seed BN stats for calibration
-    }
+
+    // Untrained graphs: seed_batchnorm() runs one training-mode pass so
+    // calibration ranges are finite (storage depends only on architecture).
     quant::CalibrateOptions qo;
     qo.num_samples = 8;
     qo.iterative = false;
-    quant::CalibrationResult cal = quant::calibrate(g, *cal_data, qo);
 
     pool::CodecOptions co;
     co.pool_size = 64;
     co.kmeans_iters = 3;
     co.max_cluster_vectors = 4000;
-    pool::PooledNetwork pooled = pool::build_weight_pool(g, co);
 
-    runtime::CompiledNetwork uncompressed = runtime::compile(g, nullptr, cal, {});
-    runtime::CompiledNetwork compressed = runtime::compile(g, &pooled, cal, {});
-    const sim::MemoryFootprint fu = runtime::footprint(uncompressed);
-    const sim::MemoryFootprint fc = runtime::footprint(compressed);
-    const pool::StorageReport rep = pool::analyze_storage(g, pooled);
+    Session uncompressed =
+        Deployment::from(g).seed_batchnorm(8).calibrate(*cal_data, qo).compile();
+    Deployment pooled_dep =
+        Deployment::from(g).with_pool(co).seed_batchnorm(8).calibrate(*cal_data, qo);
+    Session compressed = pooled_dep.compile();
+    const sim::MemoryFootprint fu = uncompressed.footprint();
+    const sim::MemoryFootprint fc = compressed.footprint();
+    const pool::StorageReport rep = pool::analyze_storage(g, *pooled_dep.pooled());
 
     std::printf("%-14s %8zu params  CR %.2fx   flash %4zu kB -> %4zu kB\n", m.name.c_str(),
                 rep.total_params, rep.compression_ratio(), fu.flash_bytes / 1024,

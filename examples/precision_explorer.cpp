@@ -4,14 +4,10 @@
 // the deployment decision a TinyML engineer actually makes.
 #include <cstdio>
 
+#include "api/bswp.h"
 #include "core/rng.h"
-#include "data/synthetic.h"
 #include "models/zoo.h"
 #include "nn/trainer.h"
-#include "pool/finetune.h"
-#include "quant/calibrate.h"
-#include "runtime/evaluate.h"
-#include "runtime/pipeline.h"
 
 int main() {
   using namespace bswp;
@@ -38,13 +34,16 @@ int main() {
 
   pool::CodecOptions co;
   co.pool_size = 64;
-  pool::PooledNetwork pooled = pool::build_weight_pool(model, co);
   pool::FinetuneOptions fo;
   fo.train.epochs = 3;
   fo.train.batch_size = 32;
   fo.train.lr = 0.02f;
-  const float pooled_acc = pool::finetune_pooled(model, pooled, train, test, fo).final_test_acc;
-  std::printf("fine-tuned pooled accuracy (float): %.2f%%\n\n", pooled_acc);
+  quant::CalibrateOptions qo;
+  qo.num_samples = 96;
+
+  Deployment dep =
+      Deployment::from(model).with_pool(co).finetune(train, test, fo).calibrate(train, qo);
+  std::printf("fine-tuned pooled accuracy (float): %.2f%%\n\n", dep.finetuned_acc());
 
   Tensor sample({1, 3, 16, 16});
   test.sample(0, sample.data());
@@ -54,15 +53,10 @@ int main() {
   double t8 = 0.0;
   float acc8 = 0.0f;
   for (int bits = 8; bits >= 1; --bits) {
-    quant::CalibrateOptions qo;
-    qo.num_samples = 96;
-    qo.act_bits = bits;
-    quant::CalibrationResult cal = quant::calibrate(model, train, qo);
-    runtime::CompileOptions opt;
-    opt.act_bits = bits;
-    runtime::CompiledNetwork net = runtime::compile(model, &pooled, cal, opt);
-    const float acc = runtime::evaluate_accuracy(net, test);
-    const runtime::LatencyReport r = runtime::estimate_latency(net, mcu, sample);
+    // compile() re-runs calibration with the sweep's bitwidth automatically.
+    Session session = dep.act_bits(bits).compile();
+    const float acc = session.evaluate(test);
+    const runtime::LatencyReport r = session.estimate_latency(mcu, sample);
     if (bits == 8) {
       t8 = r.seconds;
       acc8 = acc;

@@ -2,23 +2,18 @@
 //
 //   1. train a small CNN on a (synthetic) dataset
 //   2. compress it with a shared z-dimension weight pool (cluster + finetune)
-//   3. generate the dot-product LUT and compile for integer execution
-//   4. run bit-serial inference, compare accuracy/latency/storage against
-//      the CMSIS-like int8 baseline
+//   3. build deployments through the bswp::Deployment fluent API
+//   4. run bit-serial inference (single-image and thread-pooled batch),
+//      compare accuracy/latency/storage against the CMSIS-like int8 baseline
 //
 // Build: cmake --build build --target quickstart && ./build/examples/quickstart
 #include <cstdio>
 
+#include "api/bswp.h"
 #include "core/rng.h"
-#include "data/synthetic.h"
 #include "models/zoo.h"
 #include "nn/trainer.h"
-#include "pool/finetune.h"
 #include "pool/storage_model.h"
-#include "quant/calibrate.h"
-#include "runtime/evaluate.h"
-#include "runtime/pipeline.h"
-#include "runtime/serialize.h"
 
 int main() {
   using namespace bswp;
@@ -44,40 +39,34 @@ int main() {
   const float float_acc = nn::Trainer(cfg).fit(model, train, test).final_test_acc;
   std::printf("float accuracy: %.2f%%\n\n", float_acc);
 
-  // --- 2. weight-pool compression ------------------------------------------
+  // --- 2. weight-pool compression (through the Deployment builder) ---------
   pool::CodecOptions co;
   co.pool_size = 64;   // S: one shared pool of 64 vectors
   co.group_size = 8;   // G: 1x8 vectors along the channel dimension
-  pool::PooledNetwork pooled = pool::build_weight_pool(model, co);
-  std::printf("pooled %zu conv layers into a %d x %d pool (%zu uncompressed layers)\n",
-              pooled.layers.size(), pooled.pool.size(), pooled.pool.group_size,
-              pooled.uncompressed_nodes.size());
-
   pool::FinetuneOptions fo;
   fo.train.epochs = 3;
   fo.train.batch_size = 32;
   fo.train.lr = 0.02f;
-  const float pooled_acc = pool::finetune_pooled(model, pooled, train, test, fo).final_test_acc;
-  std::printf("fine-tuned pooled accuracy: %.2f%%\n", pooled_acc);
 
-  pool::StorageReport storage = pool::analyze_storage(model, pooled);
+  Deployment pooled_dep =
+      Deployment::from(model).with_pool(co).finetune(train, test, fo).calibrate(train);
+  std::printf("pooled %zu conv layers into a %d x %d pool (%zu uncompressed layers)\n",
+              pooled_dep.pooled()->layers.size(), pooled_dep.pooled()->pool.size(),
+              pooled_dep.pooled()->pool.group_size,
+              pooled_dep.pooled()->uncompressed_nodes.size());
+  std::printf("fine-tuned pooled accuracy: %.2f%%\n", pooled_dep.finetuned_acc());
+
+  pool::StorageReport storage = pool::analyze_storage(pooled_dep.graph(), *pooled_dep.pooled());
   std::printf("compression ratio vs 8-bit: %.2fx (LUT overhead %.1f%%)\n\n",
               storage.compression_ratio(), 100.0 * storage.lut_overhead_fraction());
 
-  // --- 3. calibrate + compile ----------------------------------------------
-  quant::CalibrateOptions qo;
-  qo.num_samples = 96;
-  quant::CalibrationResult cal = quant::calibrate(model, train, qo);
-
-  runtime::CompileOptions opt8;  // 8-bit activations
-  runtime::CompileOptions opt4;  // arbitrary precision: truncate to 4 bits
-  opt4.act_bits = 4;
-  runtime::CompiledNetwork baseline = runtime::compile(model, nullptr, cal, opt8);
-  runtime::CompiledNetwork bs8 = runtime::compile(model, &pooled, cal, opt8);
-  quant::CalibrateOptions qo4 = qo;
-  qo4.act_bits = 4;
-  quant::CalibrationResult cal4 = quant::calibrate(model, train, qo4);
-  runtime::CompiledNetwork bs4 = runtime::compile(model, &pooled, cal4, opt4);
+  // --- 3. compile sessions ---------------------------------------------------
+  // One builder, several precision targets: compile() re-calibrates with the
+  // right activation bitwidth each time. The int8 baseline uses the same
+  // pool-projected weights so the comparison is weight-for-weight.
+  Session baseline = Deployment::from(pooled_dep.graph()).calibrate(train).compile();
+  Session bs8 = pooled_dep.act_bits(8).compile();
+  Session bs4 = pooled_dep.act_bits(4).compile();  // arbitrary precision: 4 bits
 
   // --- 4. evaluate ----------------------------------------------------------
   Tensor sample({1, 3, 16, 16});
@@ -87,14 +76,14 @@ int main() {
   std::printf("%-30s %10s %12s %10s\n", "build", "accuracy", "latency", "flash");
   struct Entry {
     const char* name;
-    const runtime::CompiledNetwork* net;
+    const Session* session;
   };
   double cmsis_seconds = 0.0;
   for (const Entry& e : {Entry{"CMSIS-like int8", &baseline},
                          Entry{"bit-serial pool, 8-bit act", &bs8},
                          Entry{"bit-serial pool, 4-bit act", &bs4}}) {
-    const float acc = runtime::evaluate_accuracy(*e.net, test);
-    const runtime::LatencyReport r = runtime::estimate_latency(*e.net, mcu, sample);
+    const float acc = e.session->evaluate(test);
+    const runtime::LatencyReport r = e.session->estimate_latency(mcu, sample);
     if (cmsis_seconds == 0.0) cmsis_seconds = r.seconds;
     std::printf("%-30s %9.2f%% %10.2fms %8zukB   (%.2fx)\n", e.name, acc, 1e3 * r.seconds,
                 r.mem.flash_bytes / 1024, cmsis_seconds / r.seconds);
@@ -102,13 +91,27 @@ int main() {
   std::printf("\nReducing activation bitwidth truncates the bit-serial loop: the\n"
               "4-bit build is the paper's runtime/accuracy trade-off in action.\n");
 
-  // --- 5. ship it -----------------------------------------------------------
-  runtime::save_network(bs4, "/tmp/resnet_s_pool64_4bit.bswp");
-  const std::size_t flash =
-      runtime::export_c_header(bs4, "/tmp/resnet_s_pool64_4bit.h", "resnet_s");
-  runtime::CompiledNetwork reloaded = runtime::load_network("/tmp/resnet_s_pool64_4bit.bswp");
-  std::printf("\nserialized deployable artifact: /tmp/resnet_s_pool64_4bit.{bswp,h} "
+  // --- 5. batched inference (server-style traffic) ---------------------------
+  std::vector<Tensor> batch;
+  for (int i = 0; i < 8; ++i) {
+    Tensor x({1, 3, 16, 16});
+    test.sample(i, x.data());
+    batch.push_back(std::move(x));
+  }
+  const std::vector<QTensor> threaded = bs4.run_batch(batch, /*n_threads=*/4);
+  bool identical = true;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    identical = identical && threaded[i].data == bs4.run(batch[i]).data;
+  }
+  std::printf("\nrun_batch(8 images, 4 threads) bit-identical to sequential run: %s\n",
+              identical ? "yes" : "NO");
+
+  // --- 6. ship it -----------------------------------------------------------
+  bs4.save("/tmp/resnet_s_pool64_4bit.bswp");
+  const std::size_t flash = bs4.export_firmware("/tmp/resnet_s_pool64_4bit.h", "resnet_s");
+  Session reloaded = Session::load("/tmp/resnet_s_pool64_4bit.bswp");
+  std::printf("serialized deployable artifact: /tmp/resnet_s_pool64_4bit.{bswp,h} "
               "(%zu kB flash image; reload verified: %d plans)\n",
-              flash / 1024, static_cast<int>(reloaded.plans.size()));
+              flash / 1024, static_cast<int>(reloaded.network().plans.size()));
   return 0;
 }

@@ -1,0 +1,183 @@
+// bswp — unified deployment API for bit-serial weight-pool networks.
+//
+// This header is the single public entry point for the paper's host-side
+// workflow (Figure 1: train -> pool/cluster -> calibrate -> compile -> ship).
+// Two facades own everything the free functions in quant::/pool::/runtime::
+// used to be hand-wired for:
+//
+//   bswp::Deployment — fluent builder over a trained float graph:
+//
+//     bswp::Session s = bswp::Deployment::from(graph)
+//                           .with_pool(codec_options)
+//                           .finetune(train, test, ft_options)
+//                           .act_bits(4)
+//                           .calibrate(train)
+//                           .compile();
+//
+//     Option combinations are validated before any heavy work runs (e.g. a
+//     forced bit-serial variant without a pool, out-of-range bitwidths, or a
+//     missing calibration dataset). compile() may be called repeatedly with different
+//     bitwidths — calibration is re-run with the right target bitwidth each
+//     time (the act_bits/calibration mismatch footgun of the old free
+//     functions is gone).
+//
+//   bswp::Session — the inference object: run / run_batch (thread-pooled,
+//     bit-identical to sequential execution), evaluate, footprint,
+//     estimate_latency, save/load, export_firmware.
+//
+// The legacy free functions (runtime::compile, runtime::run, ...) remain as
+// thin deprecated wrappers for internal and test use; new code should go
+// through this header only.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "nn/graph.h"
+#include "pool/codec.h"
+#include "pool/finetune.h"
+#include "quant/calibrate.h"
+#include "runtime/evaluate.h"
+#include "runtime/pipeline.h"
+
+namespace bswp {
+
+/// A compiled, deployable network plus everything you do with one.
+class Session {
+ public:
+  /// Adopt an already-compiled network (the escape hatch for code that built
+  /// a CompiledNetwork through the legacy free functions).
+  explicit Session(runtime::CompiledNetwork net);
+
+  // --- inference -----------------------------------------------------------
+  /// Run one image (CHW or 1xCxHxW float tensor); returns quantized logits.
+  /// Throws std::invalid_argument if the image shape does not match the
+  /// compiled input plan.
+  QTensor run(const Tensor& image, sim::CostCounter* counter = nullptr) const;
+  /// Run and dequantize logits.
+  Tensor run_logits(const Tensor& image, sim::CostCounter* counter = nullptr) const;
+  /// Thread-pooled batched inference for server-style traffic. Results are
+  /// bit-identical to calling run() on each image sequentially, regardless
+  /// of n_threads. Cost counting is not supported in batch mode.
+  std::vector<QTensor> run_batch(std::span<const Tensor> images, int n_threads = 1) const;
+  std::vector<QTensor> run_batch(const std::vector<Tensor>& images, int n_threads = 1) const {
+    return run_batch(std::span<const Tensor>(images.data(), images.size()), n_threads);
+  }
+
+  // --- measurement ---------------------------------------------------------
+  /// Top-1 accuracy (%) on `ds` (first `max_samples` samples; 0 = all).
+  float evaluate(const data::Dataset& ds, int max_samples = 0) const;
+  /// Static flash image + peak SRAM of the deployment.
+  sim::MemoryFootprint footprint() const;
+  /// One-inference latency on a simulated MCU (a zero image of the input
+  /// shape is used; event counts depend only on network geometry).
+  runtime::LatencyReport estimate_latency(const sim::McuProfile& mcu) const;
+  runtime::LatencyReport estimate_latency(const sim::McuProfile& mcu, const Tensor& image) const;
+
+  // --- persistence ---------------------------------------------------------
+  /// Binary "BSWP" container round trip.
+  void save(const std::string& path) const;
+  static Session load(const std::string& path);
+  /// Emit the C-header flash image a firmware build links against. Returns
+  /// the number of flash bytes the emitted arrays occupy.
+  std::size_t export_firmware(const std::string& path, const std::string& symbol_prefix) const;
+
+  // --- introspection -------------------------------------------------------
+  const runtime::CompiledNetwork& network() const { return net_; }
+  /// CHW shape of the compiled input plan.
+  std::vector<int> input_chw() const;
+  int act_bits() const { return net_.act_bits; }
+
+ private:
+  runtime::CompiledNetwork net_;
+};
+
+/// Fluent builder owning the pool -> finetune -> calibrate -> compile
+/// pipeline. Copies the graph it is built from; the calibration (and
+/// finetuning) datasets are borrowed and must outlive compile().
+class Deployment {
+ public:
+  /// Start a deployment from a trained float graph (copied).
+  static Deployment from(const nn::Graph& graph);
+
+  // --- weight pool ---------------------------------------------------------
+  /// Cluster a shared weight pool with these options (runs lazily, before
+  /// finetune() or compile()). Replaces any previously supplied pool.
+  Deployment& with_pool(const pool::CodecOptions& options);
+  /// Use a pre-built (typically already fine-tuned) pool as-is.
+  Deployment& with_pool(pool::PooledNetwork pooled);
+  /// Fine-tune the graph with the pool held fixed (paper Figure 2). Runs
+  /// eagerly; requires a pool. Returns the builder for chaining; the
+  /// resulting accuracy is available via finetuned_acc().
+  Deployment& finetune(const data::Dataset& train, const data::Dataset& test,
+                       const pool::FinetuneOptions& options);
+
+  // --- precision / compilation options -------------------------------------
+  /// Activation bitwidth M in 1..8 (calibration is synced automatically).
+  Deployment& act_bits(int bits);
+  /// Weight bitwidth B_w in 2..8 for uncompressed layers and the pool quant.
+  Deployment& weight_bits(int bits);
+  /// LUT entry bitwidth B_l in 2..16. May exceed weight_bits: LUT entries
+  /// hold group dot products, so B_l=16 is the exact-LUT configuration.
+  Deployment& lut_bits(int bits);
+  Deployment& lut_order(pool::LutOrder order);
+  /// Enable/disable the automatic precompute policy (§4.3).
+  Deployment& auto_precompute(bool enabled);
+  /// Force one bit-serial variant for every pooled layer (ablations).
+  /// Requires a pool at compile() time.
+  Deployment& force_variant(kernels::BitSerialVariant variant);
+  /// Adopt a legacy CompileOptions wholesale (validated field by field) —
+  /// the migration bridge for code that sweeps CompileOptions structs.
+  Deployment& with_options(const runtime::CompileOptions& options);
+
+  // --- calibration ---------------------------------------------------------
+  /// Record the activation-range calibration dataset. `options.act_bits` is
+  /// overridden by the deployment's act_bits at compile() time.
+  Deployment& calibrate(const data::Dataset& ds,
+                        const quant::CalibrateOptions& options = quant::CalibrateOptions{});
+  /// Seed BatchNorm running statistics with one training-mode forward pass
+  /// over `batch` calibration samples before calibrating (needed when the
+  /// graph was built but never trained, e.g. capacity planning). Runs once:
+  /// repeated compile() calls reuse the seeded statistics so rebuilds stay
+  /// deterministic.
+  Deployment& seed_batchnorm(int batch = 16);
+
+  // --- build ---------------------------------------------------------------
+  /// Validate the configuration, run the pipeline and return a Session.
+  /// Throws std::invalid_argument on bad option combinations before any
+  /// heavy work starts. May be called repeatedly (e.g. per bitwidth).
+  Session compile();
+
+  // --- introspection -------------------------------------------------------
+  /// The graph as the deployment sees it (pool-projected after finetune() or
+  /// compile() when a pool is configured).
+  const nn::Graph& graph() const { return graph_; }
+  /// The clustered pool, or null if none is configured/built yet.
+  const pool::PooledNetwork* pooled() const { return has_pool_ ? &pooled_ : nullptr; }
+  /// Final test accuracy of the last finetune() run.
+  float finetuned_acc() const { return finetuned_acc_; }
+
+ private:
+  explicit Deployment(nn::Graph graph) : graph_(std::move(graph)) {}
+  void ensure_pool();
+  void validate() const;
+
+  nn::Graph graph_;
+
+  enum class PoolSource { kNone, kOptions, kProvided };
+  PoolSource pool_source_ = PoolSource::kNone;
+  pool::CodecOptions pool_options_;
+  pool::PooledNetwork pooled_;
+  bool has_pool_ = false;
+  float finetuned_acc_ = 0.0f;
+
+  runtime::CompileOptions opts_;
+  const data::Dataset* cal_ds_ = nullptr;
+  quant::CalibrateOptions cal_options_;
+  int seed_bn_batch_ = 0;
+  bool bn_seeded_ = false;
+};
+
+}  // namespace bswp

@@ -1,0 +1,103 @@
+// Registry adapter for the XNOR-popcount binarized conv (paper §5.5).
+//
+// A PlanKind::kConvBinary LayerPlan stores the per-weight signs in
+// `qweights` (OIHW, entries +-1) and folds the per-filter XNOR-Net alpha
+// scales — together with the input scale — into `rq`. Execution binarizes
+// the incoming quantized activation by sign, packs both operands and runs
+// the word-parallel XNOR kernel, then requantizes the +-count accumulators.
+// `binary::make_binary_conv_plan` builds such a plan from float weights.
+#include "binary/binary_backend.h"
+
+#include <cmath>
+
+#include "runtime/kernel_backend.h"
+
+namespace bswp::binary {
+
+runtime::LayerPlan make_binary_conv_plan(const Tensor& w, const nn::ConvSpec& spec,
+                                         const kernels::Requant& rq) {
+  check(w.rank() == 4 && w.dim(0) == spec.out_ch && w.dim(1) == spec.in_ch &&
+            w.dim(2) == spec.kh && w.dim(3) == spec.kw,
+        "make_binary_conv_plan: weight shape does not match spec");
+  check(rq.scale.size() == static_cast<std::size_t>(spec.out_ch) &&
+            rq.bias.size() == static_cast<std::size_t>(spec.out_ch),
+        "make_binary_conv_plan: rq.scale/bias must have out_ch entries");
+  runtime::LayerPlan plan;
+  plan.kind = runtime::PlanKind::kConvBinary;
+  plan.spec = spec;
+  plan.rq = rq;
+  // Fold the XNOR-Net per-filter alpha = mean|w| into the requant scales so
+  // the stored weights are pure signs.
+  plan.qweights = QTensor(w.shape(), /*bits=*/8, /*is_signed=*/true);
+  plan.qweights.scale = 1.0f;
+  const std::size_t per_filter = w.size() / static_cast<std::size_t>(spec.out_ch);
+  for (int o = 0; o < spec.out_ch; ++o) {
+    const float* wf = w.data() + static_cast<std::size_t>(o) * per_filter;
+    double mean_abs = 0.0;
+    for (std::size_t j = 0; j < per_filter; ++j) mean_abs += std::fabs(wf[j]);
+    const float alpha = static_cast<float>(mean_abs / static_cast<double>(per_filter));
+    plan.rq.scale[static_cast<std::size_t>(o)] *= alpha;
+    for (std::size_t j = 0; j < per_filter; ++j) {
+      plan.qweights.data[static_cast<std::size_t>(o) * per_filter + j] =
+          wf[j] >= 0.0f ? 1 : -1;
+    }
+  }
+  plan.rq.out_signed = rq.out_signed;
+  return plan;
+}
+
+namespace {
+
+class XnorConvBackend : public runtime::KernelBackend {
+ public:
+  const char* name() const override { return "binary/xnor-conv"; }
+  QTensor execute(const runtime::ExecContext& ctx) const override {
+    const runtime::LayerPlan& plan = ctx.plan;
+    const QTensor& in = ctx.input(0);
+    check(in.shape.size() == 4 && in.shape[0] == 1,
+          "xnor backend: input must be a single CHW activation");
+
+    // Binarize the activation by sign (real >= 0 maps to +1).
+    Tensor bin({in.shape[0], in.shape[1], in.shape[2], in.shape[3]});
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      bin[i] = in.data[i] >= in.zero_point ? 1.0f : -1.0f;
+    }
+    PackedBinaryInput packed_in = pack_binary_input(bin);
+
+    // Reconstruct and re-pack the +-1 weight tensor per call (alpha already
+    // folded into rq). Backends are stateless singletons shared across
+    // networks and threads, so per-plan caching would need keyed
+    // synchronization; this path is a comparison baseline, not a hot path.
+    Tensor w(plan.qweights.shape);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w[i] = plan.qweights.data[i] >= 0 ? 1.0f : -1.0f;
+    }
+    PackedBinaryConv packed_w = pack_binary_conv(w, plan.spec);
+
+    const Tensor counts = xnor_conv2d(packed_in, packed_w, ctx.counter);
+    QTensor out({counts.dim(0), counts.dim(1), counts.dim(2), counts.dim(3)}, plan.rq.out_bits,
+                plan.rq.out_signed);
+    out.scale = plan.rq.out_scale;
+    out.zero_point = plan.rq.out_zero_point;
+    const int hw = counts.dim(2) * counts.dim(3);
+    for (int o = 0; o < counts.dim(1); ++o) {
+      for (int i = 0; i < hw; ++i) {
+        const std::size_t idx = static_cast<std::size_t>(o) * hw + static_cast<std::size_t>(i);
+        out.data[idx] =
+            plan.rq.apply(static_cast<int32_t>(std::lround(counts[idx])), o);
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+}  // namespace bswp::binary
+
+namespace bswp::runtime::detail {
+
+void register_binary_backends(KernelRegistry& r) {
+  r.add(PlanKind::kConvBinary, kAnyVariant, std::make_unique<binary::XnorConvBackend>());
+}
+
+}  // namespace bswp::runtime::detail

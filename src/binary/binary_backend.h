@@ -1,0 +1,17 @@
+// Bridge between the binarized (§5.5) kernels and the runtime's
+// kernel-backend registry: builds PlanKind::kConvBinary layer plans that the
+// engine executes through the registered XNOR backend.
+#pragma once
+
+#include "binary/binarized.h"
+#include "runtime/compressed_network.h"
+
+namespace bswp::binary {
+
+/// Build a kConvBinary plan from float weights (entries of any magnitude;
+/// XNOR-Net alpha = mean|w| per filter is folded into `rq.scale`, the stored
+/// qweights are the signs). `rq.scale` must have spec.out_ch entries.
+runtime::LayerPlan make_binary_conv_plan(const Tensor& w, const nn::ConvSpec& spec,
+                                         const kernels::Requant& rq);
+
+}  // namespace bswp::binary

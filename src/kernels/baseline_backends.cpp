@@ -1,0 +1,63 @@
+// Registry adapters for the CMSIS-like int8 kernels (conv / linear / pooling
+// / residual add).
+#include "kernels/baseline_conv.h"
+#include "runtime/kernel_backend.h"
+
+namespace bswp::runtime {
+namespace {
+
+class BaselineConvBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "baseline/conv"; }
+  QTensor execute(const ExecContext& ctx) const override {
+    return kernels::baseline_conv2d(ctx.input(0), ctx.plan.qweights, ctx.plan.spec, ctx.plan.rq,
+                                    ctx.counter);
+  }
+};
+
+class BaselineLinearBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "baseline/linear"; }
+  QTensor execute(const ExecContext& ctx) const override {
+    return kernels::baseline_linear(ctx.input(0), ctx.plan.qweights, ctx.plan.rq, ctx.counter);
+  }
+};
+
+class MaxPoolBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "baseline/maxpool"; }
+  QTensor execute(const ExecContext& ctx) const override {
+    return kernels::maxpool_q(ctx.input(0), ctx.plan.pool_k, ctx.plan.pool_stride, ctx.counter);
+  }
+};
+
+class GlobalAvgPoolBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "baseline/gap"; }
+  QTensor execute(const ExecContext& ctx) const override {
+    return kernels::global_avgpool_q(ctx.input(0), ctx.plan.rq, ctx.counter);
+  }
+};
+
+class AddBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "baseline/add"; }
+  QTensor execute(const ExecContext& ctx) const override {
+    return kernels::add_q(ctx.input(0), ctx.input(1), ctx.plan.rq, ctx.counter);
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_baseline_backends(KernelRegistry& r) {
+  r.add(PlanKind::kConvBaseline, kAnyVariant, std::make_unique<BaselineConvBackend>());
+  r.add(PlanKind::kLinearBaseline, kAnyVariant, std::make_unique<BaselineLinearBackend>());
+  r.add(PlanKind::kMaxPool, kAnyVariant, std::make_unique<MaxPoolBackend>());
+  r.add(PlanKind::kGlobalAvgPool, kAnyVariant, std::make_unique<GlobalAvgPoolBackend>());
+  r.add(PlanKind::kAdd, kAnyVariant, std::make_unique<AddBackend>());
+}
+
+}  // namespace detail
+}  // namespace bswp::runtime

@@ -14,6 +14,7 @@ const char* plan_kind_name(PlanKind k) {
     case PlanKind::kAdd: return "add";
     case PlanKind::kFlatten: return "flatten";
     case PlanKind::kRelu: return "relu";
+    case PlanKind::kConvBinary: return "conv-xnor";
   }
   return "?";
 }

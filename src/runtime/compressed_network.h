@@ -27,7 +27,13 @@ enum class PlanKind {
   kAdd,
   kFlatten,
   kRelu,
+  /// XNOR-popcount binarized conv (§5.5 baseline). `qweights` holds the
+  /// per-weight signs (+-1); per-filter alpha scales live in `rq.scale`.
+  kConvBinary,
 };
+
+/// Number of PlanKind values (serialization bound / registry iteration).
+constexpr int kNumPlanKinds = static_cast<int>(PlanKind::kConvBinary) + 1;
 
 const char* plan_kind_name(PlanKind k);
 

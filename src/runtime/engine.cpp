@@ -3,77 +3,34 @@
 #include <algorithm>
 #include <cmath>
 
-#include "quant/quantize.h"
+#include "runtime/kernel_backend.h"
 
 namespace bswp::runtime {
 
-QTensor run(const CompiledNetwork& net, const Tensor& image, sim::CostCounter* counter) {
+std::vector<const KernelBackend*> resolve_backends(const CompiledNetwork& net) {
+  const KernelRegistry& registry = KernelRegistry::instance();
+  std::vector<const KernelBackend*> backends;
+  backends.reserve(net.plans.size());
+  for (const LayerPlan& plan : net.plans) {
+    backends.push_back(&registry.resolve(plan.kind, backend_variant_key(plan)));
+  }
+  return backends;
+}
+
+QTensor run(const CompiledNetwork& net, const Tensor& image, sim::CostCounter* counter,
+            const std::vector<const KernelBackend*>& backends) {
+  check(!net.plans.empty(), "engine: empty network");
+  check(backends.size() == net.plans.size(), "engine: backends do not match the network");
   std::vector<QTensor> acts(net.plans.size());
   for (std::size_t p = 0; p < net.plans.size(); ++p) {
-    const LayerPlan& plan = net.plans[p];
-    auto in = [&](int i) -> const QTensor& { return acts[static_cast<std::size_t>(plan.inputs[static_cast<std::size_t>(i)])]; };
-    switch (plan.kind) {
-      case PlanKind::kInput: {
-        Tensor img = image;
-        if (img.rank() == 3) {
-          img.reshape({1, img.dim(0), img.dim(1), img.dim(2)});
-        }
-        check(img.rank() == 4 && img.dim(0) == 1, "engine: input must be a single CHW image");
-        QTensor q({1, img.dim(1), img.dim(2), img.dim(3)}, 8, /*is_signed=*/true);
-        q.scale = plan.out_scale;
-        for (std::size_t i = 0; i < img.size(); ++i) {
-          q.data[i] = static_cast<int16_t>(
-              quant::clamp_q(static_cast<int32_t>(std::lround(img[i] / q.scale)), -128, 127));
-        }
-        acts[p] = std::move(q);
-        break;
-      }
-      case PlanKind::kConvBaseline:
-        acts[p] = kernels::baseline_conv2d(in(0), plan.qweights, plan.spec, plan.rq, counter);
-        break;
-      case PlanKind::kConvBitSerial:
-        acts[p] = kernels::bitserial_conv2d(in(0), plan.indices, net.lut, plan.spec, plan.rq,
-                                            plan.variant, counter);
-        break;
-      case PlanKind::kLinearBaseline:
-        acts[p] = kernels::baseline_linear(in(0), plan.qweights, plan.rq, counter);
-        break;
-      case PlanKind::kLinearBitSerial:
-        acts[p] = kernels::bitserial_linear(in(0), plan.indices, net.lut, plan.rq, plan.variant,
-                                            counter);
-        break;
-      case PlanKind::kMaxPool:
-        acts[p] = kernels::maxpool_q(in(0), plan.pool_k, plan.pool_stride, counter);
-        break;
-      case PlanKind::kGlobalAvgPool:
-        acts[p] = kernels::global_avgpool_q(in(0), plan.rq, counter);
-        break;
-      case PlanKind::kAdd:
-        acts[p] = kernels::add_q(in(0), in(1), plan.rq, counter);
-        break;
-      case PlanKind::kFlatten: {
-        QTensor q = in(0);
-        int total = 1;
-        for (int d : q.shape) total *= d;
-        q.shape = {1, total};
-        acts[p] = std::move(q);
-        break;
-      }
-      case PlanKind::kRelu: {
-        QTensor q = in(0);
-        const auto zp = static_cast<int16_t>(q.zero_point);
-        for (auto& v : q.data) v = std::max(v, zp);
-        if (counter != nullptr) {
-          counter->add(sim::Event::kSramRead, q.size());
-          counter->add(sim::Event::kAlu, q.size());
-          counter->add(sim::Event::kSramWrite, q.size());
-        }
-        acts[p] = std::move(q);
-        break;
-      }
-    }
+    ExecContext ctx{net, net.plans[p], &image, acts, counter};
+    acts[p] = backends[p]->execute(ctx);
   }
   return acts.back();
+}
+
+QTensor run(const CompiledNetwork& net, const Tensor& image, sim::CostCounter* counter) {
+  return run(net, image, counter, resolve_backends(net));
 }
 
 Tensor run_logits(const CompiledNetwork& net, const Tensor& image, sim::CostCounter* counter) {
@@ -97,6 +54,10 @@ sim::MemoryFootprint footprint(const CompiledNetwork& net) {
       case PlanKind::kConvBitSerial:
       case PlanKind::kLinearBitSerial:
         fp.flash_bytes += plan.indices.storage_bytes();
+        fp.flash_bytes += plan.rq.scale.size() * 8;
+        break;
+      case PlanKind::kConvBinary:
+        fp.flash_bytes += (plan.qweights.size() + 7) / 8;  // 1-bit packed signs
         fp.flash_bytes += plan.rq.scale.size() * 8;
         break;
       default:
@@ -164,6 +125,15 @@ sim::MemoryFootprint footprint(const CompiledNetwork& net) {
                           sp.kind == PlanKind::kConvBitSerial) &&
                          consumers[static_cast<std::size_t>(src)].size() == 1;
       live = fused ? out_bytes : out_bytes_of(src) + out_bytes;
+    } else if (plan.kind == PlanKind::kConvBinary) {
+      // XNOR conv scratch: the packed +-1 input map (1 bit/lane, word-padded
+      // along channels) lives in SRAM next to the unpacked input and output.
+      const LayerPlan& src = net.plans[static_cast<std::size_t>(plan.inputs[0])];
+      const int in_ch = plan.spec.in_ch;
+      const int words = (in_ch + 31) / 32;
+      const std::size_t in_hw = in_ch > 0 ? src.out_elems() / static_cast<std::size_t>(in_ch) : 0;
+      live = out_bytes_of(plan.inputs[0]) + out_bytes;
+      scratch = in_hw * static_cast<std::size_t>(words) * 4;
     } else if (plan.kind == PlanKind::kLinearBaseline || plan.kind == PlanKind::kLinearBitSerial) {
       live = out_bytes_of(plan.inputs[0]) + out_bytes;
       if (plan.kind == PlanKind::kLinearBitSerial) {

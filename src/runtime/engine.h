@@ -1,5 +1,10 @@
-// Integer inference engine: executes a CompiledNetwork with the
-// microcontroller-style kernels, optionally tallying cost events.
+// Integer inference engine: executes a CompiledNetwork by dispatching each
+// layer plan through the kernel-backend registry (runtime/kernel_backend.h),
+// optionally tallying cost events.
+//
+// DEPRECATED as a public API: these free functions are the implementation
+// layer behind bswp::Session (src/api/bswp.h); new call sites should use the
+// Session facade.
 #pragma once
 
 #include "core/tensor.h"
@@ -8,9 +13,19 @@
 
 namespace bswp::runtime {
 
+class KernelBackend;
+
 /// Run one image (CHW or 1xCxHxW float tensor) through the network.
 /// Returns the (quantized) logits tensor.
 QTensor run(const CompiledNetwork& net, const Tensor& image, sim::CostCounter* counter = nullptr);
+
+/// Resolve every plan's kernel backend once (hoists the registry lookups out
+/// of batch/evaluation loops). Throws if any plan has no backend.
+std::vector<const KernelBackend*> resolve_backends(const CompiledNetwork& net);
+
+/// run() with backends pre-resolved by resolve_backends on the same net.
+QTensor run(const CompiledNetwork& net, const Tensor& image, sim::CostCounter* counter,
+            const std::vector<const KernelBackend*>& backends);
 
 /// Run and dequantize logits.
 Tensor run_logits(const CompiledNetwork& net, const Tensor& image,

@@ -1,5 +1,8 @@
 // Evaluation helpers: accuracy of a compiled network on a dataset, and
 // latency / memory on a simulated MCU.
+//
+// DEPRECATED as a public API: implementation layer behind
+// bswp::Session::evaluate / estimate_latency (src/api/bswp.h).
 #pragma once
 
 #include "data/synthetic.h"

@@ -1,0 +1,79 @@
+#include "runtime/kernel_backend.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace bswp::runtime {
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry reg;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    detail::register_structural_backends(reg);
+    detail::register_baseline_backends(reg);
+    detail::register_bitserial_backends(reg);
+    detail::register_binary_backends(reg);
+  });
+  return reg;
+}
+
+std::unique_ptr<KernelBackend> KernelRegistry::add(PlanKind kind, int variant,
+                                                   std::unique_ptr<KernelBackend> backend,
+                                                   bool replace) {
+  check(backend != nullptr, "KernelRegistry::add: null backend");
+  const Key key{static_cast<int>(kind), variant};
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& entry : backends_) {
+    if (!(entry.first < key) && !(key < entry.first)) {
+      if (!replace) {
+        throw std::invalid_argument(std::string("KernelRegistry: backend already registered for ") +
+                                    plan_kind_name(kind) + " (use replace to override)");
+      }
+      std::swap(entry.second, backend);
+      return backend;  // the previous backend
+    }
+  }
+  backends_.emplace_back(key, std::move(backend));
+  return nullptr;
+}
+
+const KernelBackend* KernelRegistry::find(PlanKind kind, int variant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const KernelBackend* fallback = nullptr;
+  for (const auto& entry : backends_) {
+    if (entry.first.kind != static_cast<int>(kind)) continue;
+    if (entry.first.variant == variant) return entry.second.get();
+    if (entry.first.variant == kAnyVariant) fallback = entry.second.get();
+  }
+  return fallback;
+}
+
+const KernelBackend& KernelRegistry::resolve(PlanKind kind, int variant) const {
+  const KernelBackend* b = find(kind, variant);
+  if (b == nullptr) {
+    std::string msg = std::string("KernelRegistry: no backend for plan kind '") +
+                      plan_kind_name(kind) + "' variant " + std::to_string(variant) +
+                      "; registered:";
+    for (const std::string& line : registered()) msg += "\n  " + line;
+    throw std::runtime_error(msg);
+  }
+  return *b;
+}
+
+std::vector<std::string> KernelRegistry::registered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(backends_.size());
+  for (const auto& entry : backends_) {
+    std::string line = plan_kind_name(static_cast<PlanKind>(entry.first.kind));
+    line += "/";
+    line += entry.first.variant == kAnyVariant ? "*" : std::to_string(entry.first.variant);
+    line += " -> ";
+    line += entry.second->name();
+    out.push_back(std::move(line));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bswp::runtime

@@ -1,0 +1,110 @@
+// Kernel-backend registry: the extension seam between the compiled network
+// representation and the kernels that execute it.
+//
+// Every LayerPlan is executed by a KernelBackend looked up from the global
+// KernelRegistry under a (PlanKind, variant) key. The baseline int8 kernels,
+// the five bit-serial LUT variants and the XNOR binarized kernel all register
+// here; new backends (SIMD hosts, sharded/cached server execution, hardware
+// offload) plug in without touching the engine loop in engine.cpp.
+//
+// Variant keying: plans whose kind carries a BitSerialVariant resolve with
+// that variant; every other kind resolves with kAnyVariant. Lookup tries the
+// exact (kind, variant) key first and falls back to (kind, kAnyVariant).
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+#include "runtime/compressed_network.h"
+#include "sim/cost_counter.h"
+
+namespace bswp::runtime {
+
+/// Everything a backend may need to execute one layer plan.
+struct ExecContext {
+  const CompiledNetwork& net;
+  const LayerPlan& plan;
+  /// The raw float image (only meaningful for PlanKind::kInput plans).
+  const Tensor* image = nullptr;
+  /// Activations of already-executed plans, indexed by plan id.
+  const std::vector<QTensor>& acts;
+  sim::CostCounter* counter = nullptr;
+
+  /// Activation produced by the plan's i-th input.
+  const QTensor& input(int i) const {
+    return acts[static_cast<std::size_t>(plan.inputs[static_cast<std::size_t>(i)])];
+  }
+};
+
+/// One executable kernel implementation.
+class KernelBackend {
+ public:
+  virtual ~KernelBackend() = default;
+  /// Stable identifier, e.g. "baseline/conv" or "bitserial/cached".
+  virtual const char* name() const = 0;
+  virtual QTensor execute(const ExecContext& ctx) const = 0;
+};
+
+/// Wildcard variant key for plan kinds that carry no bit-serial variant.
+constexpr int kAnyVariant = -1;
+
+/// Variant key a plan resolves under.
+inline int backend_variant_key(const LayerPlan& plan) {
+  return (plan.kind == PlanKind::kConvBitSerial || plan.kind == PlanKind::kLinearBitSerial)
+             ? static_cast<int>(plan.variant)
+             : kAnyVariant;
+}
+
+/// Process-global backend registry. Thread-safe; the built-in backends are
+/// registered on first use of instance().
+class KernelRegistry {
+ public:
+  static KernelRegistry& instance();
+
+  /// Register `backend` under (kind, variant). Throws std::invalid_argument
+  /// if the key is taken and `replace` is false. Returns the previous
+  /// backend when replacing (so tests can restore it). Replacing transfers
+  /// ownership of the old backend to the caller while the engine holds raw
+  /// pointers for the duration of a run — hot-swapping requires quiescing
+  /// in-flight inference first (registration normally happens at setup).
+  std::unique_ptr<KernelBackend> add(PlanKind kind, int variant,
+                                     std::unique_ptr<KernelBackend> backend,
+                                     bool replace = false);
+
+  /// Exact (kind, variant) match, then (kind, kAnyVariant); null if neither.
+  const KernelBackend* find(PlanKind kind, int variant) const;
+
+  /// Like find, but throws std::runtime_error naming the missing key and the
+  /// registered backends.
+  const KernelBackend& resolve(PlanKind kind, int variant) const;
+
+  /// "kind/variant -> name" lines for every registered backend.
+  std::vector<std::string> registered() const;
+
+ private:
+  KernelRegistry() = default;
+  struct Key {
+    int kind;
+    int variant;
+    bool operator<(const Key& o) const {
+      return kind != o.kind ? kind < o.kind : variant < o.variant;
+    }
+  };
+  mutable std::mutex mu_;
+  std::vector<std::pair<Key, std::unique_ptr<KernelBackend>>> backends_;
+};
+
+namespace detail {
+/// Built-in backend registration hooks (defined next to their kernels; called
+/// once from KernelRegistry::instance so static-library linking cannot drop
+/// them).
+void register_structural_backends(KernelRegistry& r);
+void register_baseline_backends(KernelRegistry& r);
+void register_bitserial_backends(KernelRegistry& r);
+void register_binary_backends(KernelRegistry& r);
+}  // namespace detail
+
+}  // namespace bswp::runtime

@@ -6,6 +6,10 @@
 // assigns every inter-layer activation an M-bit quantization from the
 // calibration result. BatchNorm folds into per-channel *requantization*
 // (never into weights — that would break pool sharing across layers).
+//
+// DEPRECATED as a public API: compile() is the implementation layer behind
+// bswp::Deployment (src/api/bswp.h); new call sites should use the facade,
+// which also keeps calibration act_bits in sync automatically.
 #pragma once
 
 #include "pool/codec.h"

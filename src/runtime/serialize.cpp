@@ -191,7 +191,7 @@ CompiledNetwork load_network(std::istream& is) {
   net.plans.resize(num_plans);
   for (LayerPlan& p : net.plans) {
     const auto kind = read_pod<int32_t>(is);
-    if (kind < 0 || kind > static_cast<int32_t>(PlanKind::kRelu)) {
+    if (kind < 0 || kind >= static_cast<int32_t>(kNumPlanKinds)) {
       throw std::runtime_error("bswp: unknown plan kind");
     }
     p.kind = static_cast<PlanKind>(kind);
@@ -297,6 +297,15 @@ std::size_t export_c_header(const CompiledNetwork& net, const std::string& path,
       case PlanKind::kLinearBitSerial:
         emit_u8(base + "_indices", p.indices.idx.data(), p.indices.idx.size());
         break;
+      case PlanKind::kConvBinary: {
+        // 1-bit packed signs (bit = 1 for +1), flat OIHW order.
+        std::vector<uint8_t> packed((p.qweights.size() + 7) / 8, 0);
+        for (std::size_t i = 0; i < p.qweights.size(); ++i) {
+          if (p.qweights.data[i] >= 0) packed[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+        }
+        emit_u8(base + "_sign_bits", packed.data(), packed.size());
+        break;
+      }
       default:
         continue;
     }

@@ -9,6 +9,9 @@
 //  * a C header export that emits the flash image (LUT, packed indices,
 //    int8 weights, requantization constants) as const arrays, the form a
 //    firmware build actually links against.
+//
+// DEPRECATED as a public API: implementation layer behind
+// bswp::Session::save / load / export_firmware (src/api/bswp.h).
 #pragma once
 
 #include <iosfwd>

@@ -1,0 +1,82 @@
+// Structural (non-arithmetic) backends: input quantization, flatten, relu.
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantize.h"
+#include "runtime/kernel_backend.h"
+
+namespace bswp::runtime {
+namespace {
+
+/// Quantizes the raw float image into the input plan's int8 domain. Rejects
+/// anything that is not a single image of exactly the compiled CHW shape —
+/// a mismatched image would otherwise be read out of range by the first conv.
+class InputBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "structural/input"; }
+  QTensor execute(const ExecContext& ctx) const override {
+    check(ctx.image != nullptr, "engine: input plan executed without an image");
+    Tensor img = *ctx.image;
+    if (img.rank() == 3) {
+      img.reshape({1, img.dim(0), img.dim(1), img.dim(2)});
+    }
+    check(img.rank() == 4 && img.dim(0) == 1, "engine: input must be a single CHW image");
+    const std::vector<int>& want = ctx.plan.out_chw;
+    if (want.size() == 3 &&
+        (img.dim(1) != want[0] || img.dim(2) != want[1] || img.dim(3) != want[2])) {
+      throw std::invalid_argument(
+          "engine: input image shape " + std::to_string(img.dim(1)) + "x" +
+          std::to_string(img.dim(2)) + "x" + std::to_string(img.dim(3)) +
+          " does not match the network input " + std::to_string(want[0]) + "x" +
+          std::to_string(want[1]) + "x" + std::to_string(want[2]));
+    }
+    QTensor q({1, img.dim(1), img.dim(2), img.dim(3)}, 8, /*is_signed=*/true);
+    q.scale = ctx.plan.out_scale;
+    for (std::size_t i = 0; i < img.size(); ++i) {
+      q.data[i] = static_cast<int16_t>(
+          quant::clamp_q(static_cast<int32_t>(std::lround(img[i] / q.scale)), -128, 127));
+    }
+    return q;
+  }
+};
+
+class FlattenBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "structural/flatten"; }
+  QTensor execute(const ExecContext& ctx) const override {
+    QTensor q = ctx.input(0);
+    int total = 1;
+    for (int d : q.shape) total *= d;
+    q.shape = {1, total};
+    return q;
+  }
+};
+
+class ReluBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "structural/relu"; }
+  QTensor execute(const ExecContext& ctx) const override {
+    QTensor q = ctx.input(0);
+    const auto zp = static_cast<int16_t>(q.zero_point);
+    for (auto& v : q.data) v = std::max(v, zp);
+    if (ctx.counter != nullptr) {
+      ctx.counter->add(sim::Event::kSramRead, q.size());
+      ctx.counter->add(sim::Event::kAlu, q.size());
+      ctx.counter->add(sim::Event::kSramWrite, q.size());
+    }
+    return q;
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_structural_backends(KernelRegistry& r) {
+  r.add(PlanKind::kInput, kAnyVariant, std::make_unique<InputBackend>());
+  r.add(PlanKind::kFlatten, kAnyVariant, std::make_unique<FlattenBackend>());
+  r.add(PlanKind::kRelu, kAnyVariant, std::make_unique<ReluBackend>());
+}
+
+}  // namespace detail
+}  // namespace bswp::runtime

@@ -1,16 +1,16 @@
+// End-to-end engine tests, driven through the bswp::Deployment /
+// bswp::Session facade (the engine free functions stay covered via the
+// facade's implementation).
 #include "runtime/engine.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
 
+#include "api/bswp.h"
 #include "core/rng.h"
-#include "data/synthetic.h"
 #include "models/zoo.h"
 #include "nn/trainer.h"
-#include "runtime/evaluate.h"
-#include "pool/finetune.h"
-#include "runtime/pipeline.h"
 
 namespace bswp::runtime {
 namespace {
@@ -53,15 +53,13 @@ Trained& trained() {
   return t;
 }
 
-CompiledNetwork compile_plain(Trained& t, const CompileOptions& opt = CompileOptions{}) {
+Session compile_plain(Trained& t, const CompileOptions& opt = CompileOptions{}) {
   quant::CalibrateOptions qo;
   qo.num_samples = 64;
-  quant::CalibrationResult cal = quant::calibrate(t.graph, t.train, qo);
-  return compile(t.graph, nullptr, cal, opt);
+  return Deployment::from(t.graph).with_options(opt).calibrate(t.train, qo).compile();
 }
 
-CompiledNetwork compile_pooled(Trained& t, int pool_size, const CompileOptions& opt,
-                               pool::PooledNetwork* out_pooled = nullptr) {
+Session compile_pooled(Trained& t, int pool_size, const CompileOptions& opt) {
   // Full Figure 2 pipeline: cluster -> fine-tune with the pool fixed ->
   // calibrate -> compile. Skipping the fine-tune step collapses accuracy
   // (reconstruction alone is ~60% relative weight error).
@@ -69,46 +67,46 @@ CompiledNetwork compile_pooled(Trained& t, int pool_size, const CompileOptions& 
   co.pool_size = pool_size;
   co.kmeans_iters = 10;
   co.max_cluster_vectors = 6000;
-  nn::Graph copy = t.graph;
-  pool::PooledNetwork pooled = pool::build_weight_pool(copy, co);
   pool::FinetuneOptions fo;
   fo.train.epochs = 3;
   fo.train.batch_size = 32;
   fo.train.lr = 0.02f;
-  pool::finetune_pooled(copy, pooled, t.train, t.test, fo);
   quant::CalibrateOptions qo;
   qo.num_samples = 64;
-  quant::CalibrationResult cal = quant::calibrate(copy, t.train, qo);
-  if (out_pooled != nullptr) *out_pooled = pooled;
-  return compile(copy, &pooled, cal, opt);
+  return Deployment::from(t.graph)
+      .with_pool(co)
+      .finetune(t.train, t.test, fo)
+      .with_options(opt)
+      .calibrate(t.train, qo)
+      .compile();
 }
 
 TEST(Engine, Int8BaselineTracksFloatAccuracy) {
   Trained& t = trained();
   ASSERT_GT(t.float_acc, 55.0f);  // the float model actually learned
-  CompiledNetwork net = compile_plain(t);
-  const float acc = evaluate_accuracy(net, t.test);
+  Session net = compile_plain(t);
+  const float acc = net.evaluate(t.test);
   EXPECT_GT(acc, t.float_acc - 8.0f);
 }
 
 TEST(Engine, PooledBitSerialCloseToBaseline) {
   Trained& t = trained();
-  CompiledNetwork base = compile_plain(t);
-  CompiledNetwork pooled = compile_pooled(t, 64, CompileOptions{});
-  const float base_acc = evaluate_accuracy(base, t.test);
-  const float pooled_acc = evaluate_accuracy(pooled, t.test);
+  Session base = compile_plain(t);
+  Session pooled = compile_pooled(t, 64, CompileOptions{});
+  const float base_acc = base.evaluate(t.test);
+  const float pooled_acc = pooled.evaluate(t.test);
   // Pooling costs some accuracy but must stay in the same league (Table 4).
   EXPECT_GT(pooled_acc, base_acc - 15.0f);
 }
 
 TEST(Engine, LogitsApproximateFloatLogits) {
   Trained& t = trained();
-  CompiledNetwork net = compile_plain(t);
+  Session net = compile_plain(t);
   data::Batch b = t.test.batch(0, 1);
   const Tensor& flogits = t.graph.forward(b.images, false);
   Tensor x({1, 3, 16, 16});
   for (std::size_t i = 0; i < x.size(); ++i) x[i] = b.images[i];
-  Tensor qlogits = run_logits(net, x);
+  Tensor qlogits = net.run_logits(x);
   ASSERT_EQ(qlogits.size(), flogits.size());
   // Same argmax most of the time; check relative ordering of top class.
   int fbest = 0, qbest = 0;
@@ -126,11 +124,11 @@ TEST(Engine, VariantChoiceDoesNotChangeOutputs) {
   a.forced_variant = kernels::BitSerialVariant::kInputReuse;
   b.force_variant = true;
   b.forced_variant = kernels::BitSerialVariant::kCachedPrecompute;
-  CompiledNetwork na = compile_pooled(t, 32, a);
-  CompiledNetwork nb = compile_pooled(t, 32, b);
+  Session na = compile_pooled(t, 32, a);
+  Session nb = compile_pooled(t, 32, b);
   Tensor x({1, 3, 16, 16}, 0.3f);
-  QTensor la = run(na, x);
-  QTensor lb = run(nb, x);
+  QTensor la = na.run(x);
+  QTensor lb = nb.run(x);
   for (std::size_t i = 0; i < la.data.size(); ++i) EXPECT_EQ(la.data[i], lb.data[i]);
 }
 
@@ -140,9 +138,9 @@ TEST(Engine, LowerActBitsDegradeGracefully) {
   o8.act_bits = 8;
   o4.act_bits = 4;
   o2.act_bits = 2;
-  const float a8 = evaluate_accuracy(compile_pooled(t, 64, o8), t.test);
-  const float a4 = evaluate_accuracy(compile_pooled(t, 64, o4), t.test);
-  const float a2 = evaluate_accuracy(compile_pooled(t, 64, o2), t.test);
+  const float a8 = compile_pooled(t, 64, o8).evaluate(t.test);
+  const float a4 = compile_pooled(t, 64, o4).evaluate(t.test);
+  const float a2 = compile_pooled(t, 64, o2).evaluate(t.test);
   EXPECT_GE(a8 + 1.0f, a4 - 10.0f);  // sanity: not wildly inverted
   EXPECT_GT(a8, a2 - 5.0f);          // 2-bit should not beat 8-bit by much
 }
@@ -152,12 +150,12 @@ TEST(Engine, CostScalesDownWithActBits) {
   CompileOptions o8, o3;
   o8.act_bits = 8;
   o3.act_bits = 3;
-  CompiledNetwork n8 = compile_pooled(t, 64, o8);
-  CompiledNetwork n3 = compile_pooled(t, 64, o3);
+  Session n8 = compile_pooled(t, 64, o8);
+  Session n3 = compile_pooled(t, 64, o3);
   Tensor x({1, 3, 16, 16}, 0.3f);
   sim::CostCounter c8, c3;
-  run(n8, x, &c8);
-  run(n3, x, &c3);
+  n8.run(x, &c8);
+  n3.run(x, &c3);
   const sim::McuProfile mcu = sim::mc_large();
   EXPECT_LT(mcu.cycles(c3), mcu.cycles(c8));
 }
@@ -167,19 +165,19 @@ TEST(Engine, FootprintShrinksWithPooling) {
   // tiny width-0.25 model (a 64-vector LUT alone is 16 kB — more than the
   // whole model; that is the Table 3 "LUT overhead" effect).
   Trained& t = trained();
-  CompiledNetwork base = compile_plain(t);
-  CompiledNetwork pooled = compile_pooled(t, 16, CompileOptions{});
-  const sim::MemoryFootprint fb = footprint(base);
-  const sim::MemoryFootprint fp = footprint(pooled);
+  Session base = compile_plain(t);
+  Session pooled = compile_pooled(t, 16, CompileOptions{});
+  const sim::MemoryFootprint fb = base.footprint();
+  const sim::MemoryFootprint fp = pooled.footprint();
   EXPECT_LT(fp.flash_bytes, fb.flash_bytes);
   EXPECT_GT(fp.flash_bytes, 1024u);
 }
 
 TEST(Engine, LatencyReportConsistent) {
   Trained& t = trained();
-  CompiledNetwork net = compile_pooled(t, 64, CompileOptions{});
+  Session net = compile_pooled(t, 64, CompileOptions{});
   Tensor x({1, 3, 16, 16}, 0.3f);
-  const LatencyReport r = estimate_latency(net, sim::mc_large(), x);
+  const LatencyReport r = net.estimate_latency(sim::mc_large(), x);
   EXPECT_GT(r.cycles, 0.0);
   EXPECT_NEAR(r.seconds, r.cycles / 120e6, 1e-12);
   EXPECT_TRUE(r.fits);
@@ -187,20 +185,24 @@ TEST(Engine, LatencyReportConsistent) {
 
 TEST(Engine, DeterministicAcrossRuns) {
   Trained& t = trained();
-  CompiledNetwork net = compile_pooled(t, 32, CompileOptions{});
+  Session net = compile_pooled(t, 32, CompileOptions{});
   Tensor x({1, 3, 16, 16}, 0.7f);
-  QTensor a = run(net, x);
-  QTensor b = run(net, x);
+  QTensor a = net.run(x);
+  QTensor b = net.run(x);
   EXPECT_EQ(a.data, b.data);
 }
 
 TEST(Engine, AcceptsChwInput) {
   Trained& t = trained();
-  CompiledNetwork net = compile_plain(t);
+  Session net = compile_plain(t);
   Tensor chw({3, 16, 16}, 0.2f);
-  EXPECT_NO_THROW(run(net, chw));
+  EXPECT_NO_THROW(net.run(chw));
   Tensor batch2({2, 3, 16, 16});
-  EXPECT_THROW(run(net, batch2), std::invalid_argument);
+  EXPECT_THROW(net.run(batch2), std::invalid_argument);
+  // Satellite bugfix: CHW shape mismatches are rejected up front instead of
+  // reading out of range.
+  Tensor wrong({3, 8, 8}, 0.2f);
+  EXPECT_THROW(net.run(wrong), std::invalid_argument);
 }
 
 }  // namespace

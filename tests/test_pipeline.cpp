@@ -142,7 +142,9 @@ TEST(Pipeline, ActBitsPropagateToPlans) {
   CompiledNetwork net = compile(s.graph, &s.pooled, s.cal, opt);
   EXPECT_EQ(net.act_bits, 4);
   for (const LayerPlan& p : net.plans) {
-    if (p.kind == PlanKind::kConvBitSerial) EXPECT_EQ(p.rq.out_bits, 4);
+    if (p.kind == PlanKind::kConvBitSerial) {
+      EXPECT_EQ(p.rq.out_bits, 4);
+    }
   }
   EXPECT_THROW(
       {

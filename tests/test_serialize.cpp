@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "core/rng.h"
@@ -20,6 +21,7 @@ struct Env {
   pool::PooledNetwork pooled;
   CompiledNetwork net;
   Tensor sample{std::vector<int>{1, 3, 12, 12}};
+  std::unique_ptr<data::SyntheticCifar> ds;
 
   Env() {
     int x = graph.input(3, 12, 12);
@@ -37,8 +39,8 @@ struct Env {
     data::SyntheticCifarOptions o;
     o.train_size = 32;
     o.image_size = 12;
-    data::SyntheticCifar ds(o, true);
-    data::Batch b = ds.batch(0, 16);
+    ds = std::make_unique<data::SyntheticCifar>(o, true);
+    data::Batch b = ds->batch(0, 16);
     graph.forward(b.images, true);
 
     pool::CodecOptions co;
@@ -48,10 +50,12 @@ struct Env {
     pool::reconstruct_weights(graph, pooled);
     quant::CalibrateOptions qo;
     qo.num_samples = 16;
-    quant::CalibrationResult cal = quant::calibrate(graph, ds, qo);
+    quant::CalibrationResult cal = quant::calibrate(graph, *ds, qo);
     net = compile(graph, &pooled, cal, CompileOptions{});
-    ds.sample(0, sample.data());
+    ds->sample(0, sample.data());
   }
+
+  const data::Dataset* cal_data() const { return ds.get(); }
 };
 
 Env& env() {
@@ -144,6 +148,166 @@ TEST(ExportCHeader, EmitsArraysAndCountsFlash) {
   EXPECT_NE(s.find("_weights"), std::string::npos);  // first conv stays int8
   EXPECT_NE(s.find("#include <stdint.h>"), std::string::npos);
   std::remove(path.c_str());
+}
+
+// --- exhaustive round-trip coverage -----------------------------------------
+
+void expect_networks_equal(const CompiledNetwork& a, const CompiledNetwork& b) {
+  ASSERT_EQ(a.plans.size(), b.plans.size());
+  EXPECT_EQ(a.act_bits, b.act_bits);
+  EXPECT_EQ(a.input_scale, b.input_scale);
+  EXPECT_EQ(a.has_lut, b.has_lut);
+  EXPECT_EQ(a.lut.entries, b.lut.entries);
+  EXPECT_EQ(a.lut.bitwidth, b.lut.bitwidth);
+  EXPECT_EQ(a.lut.group_size, b.lut.group_size);
+  for (std::size_t i = 0; i < a.plans.size(); ++i) {
+    const LayerPlan& p = a.plans[i];
+    const LayerPlan& q = b.plans[i];
+    EXPECT_EQ(p.kind, q.kind) << i;
+    EXPECT_EQ(p.name, q.name) << i;
+    EXPECT_EQ(p.inputs, q.inputs) << i;
+    EXPECT_EQ(p.variant, q.variant) << i;
+    EXPECT_EQ(p.qweights.data, q.qweights.data) << i;
+    EXPECT_EQ(p.qweights.scale, q.qweights.scale) << i;
+    EXPECT_EQ(p.indices.idx, q.indices.idx) << i;
+    EXPECT_EQ(p.rq.scale, q.rq.scale) << i;
+    EXPECT_EQ(p.rq.bias, q.rq.bias) << i;
+    EXPECT_EQ(p.rq.out_bits, q.rq.out_bits) << i;
+    EXPECT_EQ(p.out_scale, q.out_scale) << i;
+    EXPECT_EQ(p.out_zero_point, q.out_zero_point) << i;
+    EXPECT_EQ(p.out_bits, q.out_bits) << i;
+    EXPECT_EQ(p.out_signed, q.out_signed) << i;
+    EXPECT_EQ(p.out_chw, q.out_chw) << i;
+  }
+}
+
+CompiledNetwork roundtrip(const CompiledNetwork& net) {
+  std::stringstream buf;
+  save_network(net, buf);
+  return load_network(buf);
+}
+
+class ActBitsRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(ActBitsRoundTrip, BitIdenticalAcrossActBitwidths) {
+  Env& e = env();
+  CompileOptions opt;
+  opt.act_bits = GetParam();
+  quant::CalibrateOptions qo;
+  qo.num_samples = 16;
+  qo.act_bits = GetParam();
+  nn::Graph g = e.graph;
+  quant::CalibrationResult cal = quant::calibrate(g, *e.cal_data(), qo);
+  CompiledNetwork net = compile(g, &e.pooled, cal, opt);
+  CompiledNetwork loaded = roundtrip(net);
+  expect_networks_equal(net, loaded);
+  EXPECT_EQ(run(loaded, e.sample).data, run(net, e.sample).data);
+  // The classifier keeps its 16-bit signed logits plan through the container.
+  EXPECT_EQ(loaded.plans.back().out_bits, 16);
+  EXPECT_TRUE(loaded.plans.back().out_signed);
+}
+
+INSTANTIATE_TEST_SUITE_P(TwoFourEight, ActBitsRoundTrip, ::testing::Values(2, 4, 8));
+
+TEST(Serialize, SixteenBitActivationsAreRejectedAtCompileTime) {
+  // 16-bit activations exist only on the classifier output; the engine's
+  // activation path is 1..8 bits and compile() enforces it.
+  Env& e = env();
+  CompileOptions opt;
+  opt.act_bits = 16;
+  quant::CalibrateOptions qo;
+  qo.num_samples = 8;
+  nn::Graph g = e.graph;
+  quant::CalibrationResult cal = quant::calibrate(g, *e.cal_data(), qo);
+  EXPECT_THROW(compile(g, &e.pooled, cal, opt), std::invalid_argument);
+}
+
+class VariantRoundTrip : public ::testing::TestWithParam<kernels::BitSerialVariant> {};
+
+TEST_P(VariantRoundTrip, EveryBitSerialVariantRoundTrips) {
+  Env& e = env();
+  CompileOptions opt;
+  opt.force_variant = true;
+  opt.forced_variant = GetParam();
+  quant::CalibrateOptions qo;
+  qo.num_samples = 16;
+  nn::Graph g = e.graph;
+  quant::CalibrationResult cal = quant::calibrate(g, *e.cal_data(), qo);
+  CompiledNetwork net = compile(g, &e.pooled, cal, opt);
+  CompiledNetwork loaded = roundtrip(net);
+  expect_networks_equal(net, loaded);
+  for (const LayerPlan& p : loaded.plans) {
+    if (p.kind == PlanKind::kConvBitSerial) {
+      EXPECT_EQ(p.variant, GetParam());
+    }
+  }
+  EXPECT_EQ(run(loaded, e.sample).data, run(net, e.sample).data);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllVariants, VariantRoundTrip,
+                         ::testing::Values(kernels::BitSerialVariant::kNaive,
+                                           kernels::BitSerialVariant::kInputReuse,
+                                           kernels::BitSerialVariant::kCached,
+                                           kernels::BitSerialVariant::kCachedPrecompute,
+                                           kernels::BitSerialVariant::kCachedMemoize));
+
+TEST(Serialize, EveryPlanKindRoundTrips) {
+  // A second topology covering the plan kinds Env lacks: residual add,
+  // standalone relu, flatten, and a bit-serial (pooled) linear layer. The
+  // first conv (4 input channels, not a multiple of G=8) stays baseline so
+  // the bit-serial layers see unsigned activations.
+  nn::Graph g;
+  int x = g.input(4, 8, 8);
+  int c1 = g.conv2d(x, 16, 3, 1, 1);
+  c1 = g.relu(c1);
+  int c2 = g.conv2d(c1, 16, 3, 1, 1);
+  int s = g.add(c1, c2);
+  s = g.relu(s);
+  s = g.maxpool(s, 2, 2);
+  s = g.relu(s);  // after maxpool: compiles to a standalone relu plan
+  s = g.flatten(s);
+  g.linear(s, 6);
+  Rng rng(21);
+  g.init_weights(rng);
+
+  quant::CalibrationResult cal;
+  cal.input_abs_max = 1.0f;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    cal.node_range[i] = 1.0f;
+    cal.node_abs_range[i] = 1.0f;
+  }
+  pool::CodecOptions co;
+  co.pool_size = 16;
+  co.kmeans_iters = 5;
+  co.pool_fc = true;  // footnote-1 configuration: pooled FC -> kLinearBitSerial
+  pool::PooledNetwork pooled = pool::build_weight_pool(g, co);
+  pool::reconstruct_weights(g, pooled);
+  CompiledNetwork net = compile(g, &pooled, cal, CompileOptions{});
+
+  EXPECT_GT(net.count_kind(PlanKind::kConvBaseline), 0);
+  EXPECT_GT(net.count_kind(PlanKind::kConvBitSerial), 0);
+  EXPECT_GT(net.count_kind(PlanKind::kLinearBitSerial), 0);
+  EXPECT_GT(net.count_kind(PlanKind::kAdd), 0);
+  EXPECT_GT(net.count_kind(PlanKind::kRelu), 0);
+  EXPECT_GT(net.count_kind(PlanKind::kFlatten), 0);
+  EXPECT_GT(net.count_kind(PlanKind::kMaxPool), 0);
+
+  CompiledNetwork loaded = roundtrip(net);
+  expect_networks_equal(net, loaded);
+  Tensor img({4, 8, 8}, 0.4f);
+  EXPECT_EQ(run(loaded, img).data, run(net, img).data);
+}
+
+TEST(Serialize, RejectsTruncationAtEveryPrefix) {
+  Env& e = env();
+  std::stringstream buf;
+  save_network(e.net, buf);
+  const std::string full = buf.str();
+  for (double frac : {0.05, 0.25, 0.5, 0.75, 0.95, 0.999}) {
+    std::stringstream cut;
+    cut << full.substr(0, static_cast<std::size_t>(static_cast<double>(full.size()) * frac));
+    EXPECT_THROW(load_network(cut), std::runtime_error) << "fraction " << frac;
+  }
 }
 
 TEST(ExportCHeader, FlashBytesTrackFootprintWeights) {

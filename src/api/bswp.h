@@ -21,15 +21,20 @@
 //     time (the act_bits/calibration mismatch footgun of the old free
 //     functions is gone).
 //
-//   bswp::Session — the inference object: run / run_batch (thread-pooled,
-//     bit-identical to sequential execution), evaluate, footprint,
-//     estimate_latency, save/load, export_firmware.
+//   bswp::Session — the inference object: run / run_batch (persistent
+//     serving pool, bit-identical to sequential execution), evaluate,
+//     footprint, estimate_latency, save/load, export_firmware.
 //
-// The legacy free functions (runtime::compile, runtime::run, ...) remain as
-// thin deprecated wrappers for internal and test use; new code should go
-// through this header only.
+// Execution is arena-based end to end: every Session inference runs through
+// a runtime::Executor whose activations and scratch live in one
+// MemoryPlanner-laid-out block, and run_batch keeps a lazily created
+// ServingPool of executor-per-worker threads alive across batches. Code
+// that needs a long-lived single-thread inference loop can hold a
+// runtime::Executor (src/runtime/executor.h) directly.
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -41,29 +46,47 @@
 #include "quant/calibrate.h"
 #include "runtime/evaluate.h"
 #include "runtime/pipeline.h"
+#include "runtime/serving_pool.h"
 
 namespace bswp {
 
+/// Batched inference outputs plus the batch's latency distribution.
+struct BatchResult {
+  std::vector<QTensor> logits;
+  runtime::BatchStats stats;
+};
+
 /// A compiled, deployable network plus everything you do with one.
+/// Move-only: the session owns its persistent serving pool.
 class Session {
  public:
   /// Adopt an already-compiled network (the escape hatch for code that built
-  /// a CompiledNetwork through the legacy free functions).
+  /// a CompiledNetwork through the pipeline layer by hand).
   explicit Session(runtime::CompiledNetwork net);
 
   // --- inference -----------------------------------------------------------
   /// Run one image (CHW or 1xCxHxW float tensor); returns quantized logits.
   /// Throws std::invalid_argument if the image shape does not match the
-  /// compiled input plan.
+  /// compiled input plan. Stateless and safe from any thread; hot loops
+  /// should prefer run_batch or a dedicated runtime::Executor, which reuse
+  /// their arena across calls.
   QTensor run(const Tensor& image, sim::CostCounter* counter = nullptr) const;
   /// Run and dequantize logits.
   Tensor run_logits(const Tensor& image, sim::CostCounter* counter = nullptr) const;
-  /// Thread-pooled batched inference for server-style traffic. Results are
-  /// bit-identical to calling run() on each image sequentially, regardless
-  /// of n_threads. Cost counting is not supported in batch mode.
+  /// Batched inference for server-style traffic on the session's persistent
+  /// worker pool (created on first use, reused across batches; one arena
+  /// Executor per worker). Results are bit-identical to calling run() on
+  /// each image sequentially, regardless of n_threads. The first per-image
+  /// error stops the batch early and is rethrown. Cost counting is not
+  /// supported in batch mode.
   std::vector<QTensor> run_batch(std::span<const Tensor> images, int n_threads = 1) const;
   std::vector<QTensor> run_batch(const std::vector<Tensor>& images, int n_threads = 1) const {
     return run_batch(std::span<const Tensor>(images.data(), images.size()), n_threads);
+  }
+  /// run_batch + the batch's p50/p95/p99 per-image latency and throughput.
+  BatchResult run_batch_stats(std::span<const Tensor> images, int n_threads = 1) const;
+  BatchResult run_batch_stats(const std::vector<Tensor>& images, int n_threads = 1) const {
+    return run_batch_stats(std::span<const Tensor>(images.data(), images.size()), n_threads);
   }
 
   // --- measurement ---------------------------------------------------------
@@ -85,13 +108,20 @@ class Session {
   std::size_t export_firmware(const std::string& path, const std::string& symbol_prefix) const;
 
   // --- introspection -------------------------------------------------------
-  const runtime::CompiledNetwork& network() const { return net_; }
+  const runtime::CompiledNetwork& network() const { return *net_; }
   /// CHW shape of the compiled input plan.
   std::vector<int> input_chw() const;
-  int act_bits() const { return net_.act_bits; }
+  int act_bits() const { return net_->act_bits; }
 
  private:
-  runtime::CompiledNetwork net_;
+  runtime::ServingPool& pool() const;
+
+  /// Heap-pinned so the serving pool's borrowed pointer survives moves.
+  std::unique_ptr<runtime::CompiledNetwork> net_;
+  /// Lazily created persistent worker pool (unique_ptr keeps the Session
+  /// movable; the heap mutex guards first-use creation from racing threads).
+  mutable std::unique_ptr<runtime::ServingPool> pool_;
+  mutable std::unique_ptr<std::mutex> pool_mu_;
 };
 
 /// Fluent builder owning the pool -> finetune -> calibrate -> compile

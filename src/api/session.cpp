@@ -1,78 +1,49 @@
-#include <atomic>
-#include <exception>
-#include <mutex>
-#include <thread>
-
 #include "api/bswp.h"
 #include "runtime/serialize.h"
 
 namespace bswp {
 
-Session::Session(runtime::CompiledNetwork net) : net_(std::move(net)) {
-  check(!net_.plans.empty(), "Session: empty compiled network");
+Session::Session(runtime::CompiledNetwork net)
+    : net_(std::make_unique<runtime::CompiledNetwork>(std::move(net))),
+      pool_mu_(std::make_unique<std::mutex>()) {
+  check(!net_->plans.empty(), "Session: empty compiled network");
 }
 
 QTensor Session::run(const Tensor& image, sim::CostCounter* counter) const {
-  return runtime::run(net_, image, counter);
+  runtime::Executor exec(*net_);
+  return exec.run(image, counter);
 }
 
 Tensor Session::run_logits(const Tensor& image, sim::CostCounter* counter) const {
-  return runtime::run_logits(net_, image, counter);
+  return run(image, counter).dequantize();
+}
+
+runtime::ServingPool& Session::pool() const {
+  std::lock_guard<std::mutex> lock(*pool_mu_);
+  if (pool_ == nullptr) pool_ = std::make_unique<runtime::ServingPool>(*net_);
+  return *pool_;
 }
 
 std::vector<QTensor> Session::run_batch(std::span<const Tensor> images, int n_threads) const {
   check(n_threads >= 1, "Session::run_batch: n_threads must be >= 1");
-  std::vector<QTensor> out(images.size());
-  if (images.empty()) return out;
+  return pool().run(images, n_threads, nullptr);
+}
 
-  // Resolve each plan's kernel backend once for the whole batch so workers
-  // never touch the registry lock.
-  const std::vector<const runtime::KernelBackend*> backends = runtime::resolve_backends(net_);
-
-  const std::size_t workers =
-      std::min<std::size_t>(static_cast<std::size_t>(n_threads), images.size());
-  if (workers == 1) {
-    for (std::size_t i = 0; i < images.size(); ++i) {
-      out[i] = runtime::run(net_, images[i], nullptr, backends);
-    }
-    return out;
-  }
-
-  // Work-stealing stripe over the batch. Each image runs through the same
-  // deterministic integer kernels as run(), so results are bit-identical to
-  // sequential execution whatever the thread count / scheduling order.
-  std::atomic<std::size_t> next{0};
-  std::mutex err_mu;
-  std::exception_ptr error;
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t t = 0; t < workers; ++t) {
-    pool.emplace_back([&] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= images.size()) break;
-        try {
-          out[i] = runtime::run(net_, images[i], nullptr, backends);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(err_mu);
-          if (!error) error = std::current_exception();
-        }
-      }
-    });
-  }
-  for (std::thread& th : pool) th.join();
-  if (error) std::rethrow_exception(error);
-  return out;
+BatchResult Session::run_batch_stats(std::span<const Tensor> images, int n_threads) const {
+  check(n_threads >= 1, "Session::run_batch_stats: n_threads must be >= 1");
+  BatchResult r;
+  r.logits = pool().run(images, n_threads, &r.stats);
+  return r;
 }
 
 float Session::evaluate(const data::Dataset& ds, int max_samples) const {
-  return runtime::evaluate_accuracy(net_, ds, max_samples);
+  return runtime::evaluate_accuracy(*net_, ds, max_samples);
 }
 
-sim::MemoryFootprint Session::footprint() const { return runtime::footprint(net_); }
+sim::MemoryFootprint Session::footprint() const { return runtime::footprint(*net_); }
 
 std::vector<int> Session::input_chw() const {
-  for (const runtime::LayerPlan& p : net_.plans) {
+  for (const runtime::LayerPlan& p : net_->plans) {
     if (p.kind == runtime::PlanKind::kInput) return p.out_chw;
   }
   throw std::runtime_error("Session: compiled network has no input plan");
@@ -86,10 +57,10 @@ runtime::LatencyReport Session::estimate_latency(const sim::McuProfile& mcu) con
 
 runtime::LatencyReport Session::estimate_latency(const sim::McuProfile& mcu,
                                                  const Tensor& image) const {
-  return runtime::estimate_latency(net_, mcu, image);
+  return runtime::estimate_latency(*net_, mcu, image);
 }
 
-void Session::save(const std::string& path) const { runtime::save_network(net_, path); }
+void Session::save(const std::string& path) const { runtime::save_network(*net_, path); }
 
 Session Session::load(const std::string& path) {
   return Session(runtime::load_network(path));
@@ -97,7 +68,7 @@ Session Session::load(const std::string& path) {
 
 std::size_t Session::export_firmware(const std::string& path,
                                      const std::string& symbol_prefix) const {
-  return runtime::export_c_header(net_, path, symbol_prefix);
+  return runtime::export_c_header(*net_, path, symbol_prefix);
 }
 
 }  // namespace bswp

@@ -1,5 +1,6 @@
 #include "binary/binarized.h"
 
+#include <algorithm>
 #include <bit>
 #include <cmath>
 
@@ -85,15 +86,50 @@ PackedBinaryInput pack_binary_input(const Tensor& x) {
   return p;
 }
 
-Tensor xnor_conv2d(const PackedBinaryInput& input, const PackedBinaryConv& conv,
-                   sim::CostCounter* counter) {
-  const nn::ConvSpec& spec = conv.spec;
-  check(input.channels == spec.in_ch, "xnor_conv2d: channel mismatch");
-  const int oh = spec.out_h(input.h), ow = spec.out_w(input.w);
-  Tensor out({1, spec.out_ch, oh, ow});
+void pack_binary_input_q(const int16_t* data, int channels, int h, int w, int zero_point,
+                         uint32_t* bits) {
+  const int words = binary_pack_words(channels);
+  std::fill(bits, bits + static_cast<std::size_t>(h) * w * words, 0u);
+  for (int c = 0; c < channels; ++c) {
+    for (int y = 0; y < h; ++y) {
+      for (int x = 0; x < w; ++x) {
+        if (data[(static_cast<std::size_t>(c) * h + y) * w + x] >= zero_point) {
+          bits[(static_cast<std::size_t>(y) * w + x) * words + static_cast<std::size_t>(c) / 32] |=
+              1u << (c % 32);
+        }
+      }
+    }
+  }
+}
+
+void pack_binary_weights_q(const int16_t* w, const nn::ConvSpec& spec, uint32_t* bits) {
+  check(spec.groups == 1, "pack_binary_weights_q: grouped convs unsupported");
+  const int words = binary_pack_words(spec.in_ch);
+  std::fill(bits, bits + static_cast<std::size_t>(spec.out_ch) * spec.kh * spec.kw * words, 0u);
+  for (int o = 0; o < spec.out_ch; ++o) {
+    for (int c = 0; c < spec.in_ch; ++c) {
+      for (int ky = 0; ky < spec.kh; ++ky) {
+        for (int kx = 0; kx < spec.kw; ++kx) {
+          const std::size_t wi =
+              ((static_cast<std::size_t>(o) * spec.in_ch + c) * spec.kh + ky) * spec.kw + kx;
+          if (w[wi] >= 0) {
+            bits[((static_cast<std::size_t>(o) * spec.kh + ky) * spec.kw + kx) * words +
+                 static_cast<std::size_t>(c) / 32] |= 1u << (c % 32);
+          }
+        }
+      }
+    }
+  }
+}
+
+void xnor_conv2d_counts(const uint32_t* in_bits, int in_ch, int h, int w,
+                        const uint32_t* weight_bits, const nn::ConvSpec& spec, int32_t* counts,
+                        sim::CostCounter* counter) {
+  check(in_ch == spec.in_ch, "xnor_conv2d: channel mismatch");
+  const int words = binary_pack_words(in_ch);
+  const int oh = spec.out_h(h), ow = spec.out_w(w);
   // Lanes beyond in_ch inside the last word must not contribute: build a mask.
-  const uint32_t tail_mask =
-      spec.in_ch % 32 == 0 ? 0xffffffffu : ((1u << (spec.in_ch % 32)) - 1u);
+  const uint32_t tail_mask = in_ch % 32 == 0 ? 0xffffffffu : ((1u << (in_ch % 32)) - 1u);
 
   for (int oy = 0; oy < oh; ++oy) {
     for (int ox = 0; ox < ow; ++ox) {
@@ -105,35 +141,52 @@ Tensor xnor_conv2d(const PackedBinaryInput& input, const PackedBinaryConv& conv,
             const int ix = ox * spec.stride + kx - spec.pad;
             const std::size_t wbase =
                 ((static_cast<std::size_t>(o) * spec.kh + ky) * spec.kw + kx) *
-                conv.words_per_tap;
-            for (int wd = 0; wd < conv.words_per_tap; ++wd) {
-              const uint32_t mask = wd == conv.words_per_tap - 1 ? tail_mask : 0xffffffffu;
+                static_cast<std::size_t>(words);
+            for (int wd = 0; wd < words; ++wd) {
+              const uint32_t mask = wd == words - 1 ? tail_mask : 0xffffffffu;
               // Padding encodes as activation bits 0 (-1); still counted
               // lanes, matching a zero-padded packed buffer on the MCU.
               uint32_t a = 0;
-              if (iy >= 0 && iy < input.h && ix >= 0 && ix < input.w) {
-                a = input.bits[(static_cast<std::size_t>(iy) * input.w + ix) * input.words + wd];
+              if (iy >= 0 && iy < h && ix >= 0 && ix < w) {
+                a = in_bits[(static_cast<std::size_t>(iy) * w + ix) * words + wd];
               }
-              const uint32_t wbits = conv.weight_bits[wbase + wd];
+              const uint32_t wbits = weight_bits[wbase + wd];
               matches += std::popcount(~(a ^ wbits) & mask);
               total_lanes += std::popcount(mask);
             }
           }
         }
         // matches - mismatches = 2*matches - total.
-        out.at(0, o, oy, ox) =
-            conv.alpha[static_cast<std::size_t>(o)] * static_cast<float>(2 * matches - total_lanes);
+        counts[(static_cast<std::size_t>(o) * oh + oy) * ow + ox] = 2 * matches - total_lanes;
       }
     }
   }
   if (counter != nullptr) {
     const uint64_t inner = static_cast<uint64_t>(oh) * ow * spec.out_ch * spec.kh * spec.kw *
-                           static_cast<uint64_t>(conv.words_per_tap);
+                           static_cast<uint64_t>(words);
     counter->add(Event::kSramRead, inner);        // packed activations
     counter->add(Event::kFlashSeqWord, inner);    // packed weights
     counter->add(Event::kAlu, 3 * inner);         // xor + popcount + accumulate
     counter->add(Event::kRequant, static_cast<uint64_t>(oh) * ow * spec.out_ch);
     counter->add(Event::kSramWrite, static_cast<uint64_t>(oh) * ow * spec.out_ch);
+  }
+}
+
+Tensor xnor_conv2d(const PackedBinaryInput& input, const PackedBinaryConv& conv,
+                   sim::CostCounter* counter) {
+  const nn::ConvSpec& spec = conv.spec;
+  const int oh = spec.out_h(input.h), ow = spec.out_w(input.w);
+  std::vector<int32_t> counts(static_cast<std::size_t>(spec.out_ch) * oh * ow);
+  xnor_conv2d_counts(input.bits.data(), input.channels, input.h, input.w,
+                     conv.weight_bits.data(), spec, counts.data(), counter);
+  Tensor out({1, spec.out_ch, oh, ow});
+  const int hw = oh * ow;
+  for (int o = 0; o < spec.out_ch; ++o) {
+    const float alpha = conv.alpha[static_cast<std::size_t>(o)];
+    for (int i = 0; i < hw; ++i) {
+      const std::size_t idx = static_cast<std::size_t>(o) * hw + static_cast<std::size_t>(i);
+      out[idx] = alpha * static_cast<float>(counts[idx]);
+    }
   }
   return out;
 }

@@ -53,4 +53,30 @@ PackedBinaryInput pack_binary_input(const Tensor& x);
 Tensor xnor_conv2d(const PackedBinaryInput& input, const PackedBinaryConv& conv,
                    sim::CostCounter* counter);
 
+// --- raw-buffer cores (arena execution) --------------------------------------
+//
+// Pointer-based variants of the packing and convolution steps so the XNOR
+// backend can stage packed operands in ScratchArena memory instead of
+// heap-allocated structs. Layouts match the struct API exactly.
+
+/// Words per (y, x) position / per kernel tap when packing `channels` lanes.
+inline int binary_pack_words(int channels) { return (channels + 31) / 32; }
+
+/// Pack a quantized activation by sign (q >= zero_point -> +1) into
+/// `bits[(y*w + x)*words + c/32]`. `bits` must hold h*w*words words (cleared
+/// by this call).
+void pack_binary_input_q(const int16_t* data, int channels, int h, int w, int zero_point,
+                         uint32_t* bits);
+
+/// Pack +-1 sign weights (int16, OIHW) into `bits[((o*kh+ky)*kw+kx)*words +
+/// c/32]`. `bits` must hold out_ch*kh*kw*words words (cleared by this call).
+void pack_binary_weights_q(const int16_t* w, const nn::ConvSpec& spec, uint32_t* bits);
+
+/// XNOR-popcount conv core over packed buffers: writes the +-match balance
+/// (2*matches - lanes) for every (o, oy, ox) into `counts` (out_ch*oh*ow
+/// int32). Both struct and arena paths execute (and cost-count) through here.
+void xnor_conv2d_counts(const uint32_t* in_bits, int in_ch, int h, int w,
+                        const uint32_t* weight_bits, const nn::ConvSpec& spec, int32_t* counts,
+                        sim::CostCounter* counter);
+
 }  // namespace bswp::binary

@@ -51,43 +51,57 @@ namespace {
 class XnorConvBackend : public runtime::KernelBackend {
  public:
   const char* name() const override { return "binary/xnor-conv"; }
-  QTensor execute(const runtime::ExecContext& ctx) const override {
+  void execute(const runtime::ExecContext& ctx) const override {
     const runtime::LayerPlan& plan = ctx.plan;
-    const QTensor& in = ctx.input(0);
-    check(in.shape.size() == 4 && in.shape[0] == 1,
+    const kernels::QView& in = ctx.input(0);
+    check(in.rank == 4 && in.shape[0] == 1,
           "xnor backend: input must be a single CHW activation");
+    const nn::ConvSpec& spec = plan.spec;
+    check(in.dim(1) == spec.in_ch, "xnor backend: channel mismatch");
+    const int h = in.dim(2), w = in.dim(3);
+    const int oh = spec.out_h(h), ow = spec.out_w(w);
+    const int words = binary_pack_words(spec.in_ch);
 
-    // Binarize the activation by sign (real >= 0 maps to +1).
-    Tensor bin({in.shape[0], in.shape[1], in.shape[2], in.shape[3]});
-    for (std::size_t i = 0; i < in.size(); ++i) {
-      bin[i] = in.data[i] >= in.zero_point ? 1.0f : -1.0f;
-    }
-    PackedBinaryInput packed_in = pack_binary_input(bin);
+    // Stage packed operands in scratch: the activation binarized by sign
+    // (q >= zero_point maps to +1) and the stored sign weights (alpha is
+    // already folded into rq, so the packed weights carry no scale).
+    // Re-packing weights per call keeps the backend a stateless singleton
+    // shared across networks and threads; this path is a comparison
+    // baseline, not a hot path.
+    uint32_t* in_bits = ctx.scratch->alloc<uint32_t>(static_cast<std::size_t>(h) * w * words);
+    uint32_t* w_bits = ctx.scratch->alloc<uint32_t>(static_cast<std::size_t>(spec.out_ch) *
+                                                    spec.kh * spec.kw * words);
+    int32_t* counts = ctx.scratch->alloc<int32_t>(static_cast<std::size_t>(spec.out_ch) * oh * ow);
+    pack_binary_input_q(in.data, spec.in_ch, h, w, in.zero_point, in_bits);
+    pack_binary_weights_q(plan.qweights.data.data(), spec, w_bits);
+    xnor_conv2d_counts(in_bits, spec.in_ch, h, w, w_bits, spec, counts, ctx.counter);
 
-    // Reconstruct and re-pack the +-1 weight tensor per call (alpha already
-    // folded into rq). Backends are stateless singletons shared across
-    // networks and threads, so per-plan caching would need keyed
-    // synchronization; this path is a comparison baseline, not a hot path.
-    Tensor w(plan.qweights.shape);
-    for (std::size_t i = 0; i < w.size(); ++i) {
-      w[i] = plan.qweights.data[i] >= 0 ? 1.0f : -1.0f;
-    }
-    PackedBinaryConv packed_w = pack_binary_conv(w, plan.spec);
-
-    const Tensor counts = xnor_conv2d(packed_in, packed_w, ctx.counter);
-    QTensor out({counts.dim(0), counts.dim(1), counts.dim(2), counts.dim(3)}, plan.rq.out_bits,
-                plan.rq.out_signed);
+    kernels::QView& out = *ctx.out;
+    out.set_shape({1, spec.out_ch, oh, ow});
+    out.bits = plan.rq.out_bits;
+    out.is_signed = plan.rq.out_signed;
     out.scale = plan.rq.out_scale;
     out.zero_point = plan.rq.out_zero_point;
-    const int hw = counts.dim(2) * counts.dim(3);
-    for (int o = 0; o < counts.dim(1); ++o) {
+    const int hw = oh * ow;
+    for (int o = 0; o < spec.out_ch; ++o) {
       for (int i = 0; i < hw; ++i) {
         const std::size_t idx = static_cast<std::size_t>(o) * hw + static_cast<std::size_t>(i);
-        out.data[idx] =
-            plan.rq.apply(static_cast<int32_t>(std::lround(counts[idx])), o);
+        out.data[idx] = plan.rq.apply(counts[idx], o);
       }
     }
-    return out;
+  }
+
+  std::size_t scratch_bytes(const runtime::CompiledNetwork& net,
+                            const runtime::LayerPlan& plan) const override {
+    const nn::ConvSpec& spec = plan.spec;
+    const runtime::LayerPlan& src = net.plans[static_cast<std::size_t>(plan.inputs[0])];
+    const std::size_t words = static_cast<std::size_t>(binary_pack_words(spec.in_ch));
+    const std::size_t in_hw =
+        spec.in_ch > 0 ? src.out_elems() / static_cast<std::size_t>(spec.in_ch) : 0;
+    const std::size_t taps = static_cast<std::size_t>(spec.out_ch) * spec.kh * spec.kw;
+    return ScratchArena::bytes_for<uint32_t>(in_hw * words) +
+           ScratchArena::bytes_for<uint32_t>(taps * words) +
+           ScratchArena::bytes_for<int32_t>(plan.out_elems());
   }
 };
 

@@ -1,0 +1,71 @@
+// Bump-allocated scratch arena for steady-state (allocation-free) inference.
+//
+// Kernels draw per-layer temporaries (accumulators, precompute buffers,
+// packed bit planes) from a ScratchArena instead of heap-allocating vectors.
+// The arena is sized once from the MemoryPlanner's per-backend scratch
+// high-water mark and reset between layers, so a warm Executor::run() touches
+// the allocator zero times. Overflow throws: a backend that under-reports its
+// scratch_bytes() is a bug, not a condition to paper over with heap fallback.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+namespace bswp {
+
+class ScratchArena {
+ public:
+  ScratchArena() = default;
+  /// Arena owning a heap block of `capacity` bytes (allocated up front).
+  explicit ScratchArena(std::size_t capacity)
+      : owned_(capacity > 0 ? std::make_unique<std::byte[]>(capacity) : nullptr),
+        base_(owned_.get()),
+        capacity_(capacity) {}
+  /// Arena over caller-owned storage (e.g. a slice of a larger block).
+  ScratchArena(std::byte* base, std::size_t capacity) : base_(base), capacity_(capacity) {}
+
+  ScratchArena(ScratchArena&&) = default;
+  ScratchArena& operator=(ScratchArena&&) = default;
+
+  /// Allocate `n` elements of T, aligned for T. Throws std::runtime_error on
+  /// overflow (a backend under-reported its scratch requirement).
+  template <typename T>
+  T* alloc(std::size_t n) {
+    const std::size_t align = alignof(T);
+    std::size_t off = (used_ + align - 1) & ~(align - 1);
+    const std::size_t bytes = n * sizeof(T);
+    if (off + bytes > capacity_) {
+      throw std::runtime_error("ScratchArena: overflow (backend under-reported scratch_bytes)");
+    }
+    used_ = off + bytes;
+    if (used_ > high_water_) high_water_ = used_;
+    return reinterpret_cast<T*>(base_ + off);
+  }
+
+  /// Free everything (pointers from alloc() become dangling). Called between
+  /// layers; the high-water mark survives resets.
+  void reset() { used_ = 0; }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t used() const { return used_; }
+  /// Largest `used()` ever observed (instrumentation for tests and benches).
+  std::size_t high_water() const { return high_water_; }
+
+  /// Upper bound for a T[n] allocation including alignment slack — what a
+  /// scratch_bytes() implementation should charge per array it draws.
+  template <typename T>
+  static constexpr std::size_t bytes_for(std::size_t n) {
+    return n * sizeof(T) + alignof(T);
+  }
+
+ private:
+  std::unique_ptr<std::byte[]> owned_;
+  std::byte* base_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace bswp

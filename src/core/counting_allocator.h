@@ -1,0 +1,59 @@
+// Global allocation counter for zero-allocation verification.
+//
+// Including this header REPLACES the program-wide operator new/delete with
+// counting versions; `bswp::alloc_count()` then reports how many heap
+// allocations have happened. Used by tests/test_executor.cpp to *assert*
+// the Executor's steady-state zero-allocation guarantee and by
+// bench/bench_serving.cpp to report allocs/inference.
+//
+// Strictly test/bench tooling: include it in exactly one translation unit
+// of a binary (the definitions are deliberately non-inline so a second
+// inclusion fails at link time instead of double-counting), and never in
+// library code.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace bswp {
+
+namespace detail {
+inline std::atomic<std::uint64_t> g_alloc_count{0};
+
+inline void* counted_alloc(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+inline void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(align, (size + align - 1) / align * align)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace detail
+
+/// Number of heap allocations (any operator new) since program start.
+inline std::uint64_t alloc_count() {
+  return detail::g_alloc_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace bswp
+
+void* operator new(std::size_t size) { return bswp::detail::counted_alloc(size); }
+void* operator new[](std::size_t size) { return bswp::detail::counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t al) {
+  return bswp::detail::counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+void* operator new[](std::size_t size, std::align_val_t al) {
+  return bswp::detail::counted_aligned_alloc(size, static_cast<std::size_t>(al));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }

@@ -107,5 +107,10 @@ struct QTensor {
 inline void check(bool cond, const std::string& msg) {
   if (!cond) throw std::invalid_argument(msg);
 }
+/// Literal-message overload: keeps hot paths allocation-free (no temporary
+/// std::string on the passing side of the check).
+inline void check(bool cond, const char* msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
 
 }  // namespace bswp

@@ -1,5 +1,6 @@
 // Registry adapters for the CMSIS-like int8 kernels (conv / linear / pooling
-// / residual add).
+// / residual add). All execute straight into the arena output view; none of
+// the host kernels needs scratch.
 #include "kernels/baseline_conv.h"
 #include "runtime/kernel_backend.h"
 
@@ -9,41 +10,42 @@ namespace {
 class BaselineConvBackend : public KernelBackend {
  public:
   const char* name() const override { return "baseline/conv"; }
-  QTensor execute(const ExecContext& ctx) const override {
-    return kernels::baseline_conv2d(ctx.input(0), ctx.plan.qweights, ctx.plan.spec, ctx.plan.rq,
-                                    ctx.counter);
+  void execute(const ExecContext& ctx) const override {
+    kernels::baseline_conv2d(ctx.input(0), ctx.plan.qweights, ctx.plan.spec, ctx.plan.rq,
+                             *ctx.out, ctx.counter);
   }
 };
 
 class BaselineLinearBackend : public KernelBackend {
  public:
   const char* name() const override { return "baseline/linear"; }
-  QTensor execute(const ExecContext& ctx) const override {
-    return kernels::baseline_linear(ctx.input(0), ctx.plan.qweights, ctx.plan.rq, ctx.counter);
+  void execute(const ExecContext& ctx) const override {
+    kernels::baseline_linear(ctx.input(0), ctx.plan.qweights, ctx.plan.rq, *ctx.out, ctx.counter);
   }
 };
 
 class MaxPoolBackend : public KernelBackend {
  public:
   const char* name() const override { return "baseline/maxpool"; }
-  QTensor execute(const ExecContext& ctx) const override {
-    return kernels::maxpool_q(ctx.input(0), ctx.plan.pool_k, ctx.plan.pool_stride, ctx.counter);
+  void execute(const ExecContext& ctx) const override {
+    kernels::maxpool_q(ctx.input(0), ctx.plan.pool_k, ctx.plan.pool_stride, *ctx.out,
+                       ctx.counter);
   }
 };
 
 class GlobalAvgPoolBackend : public KernelBackend {
  public:
   const char* name() const override { return "baseline/gap"; }
-  QTensor execute(const ExecContext& ctx) const override {
-    return kernels::global_avgpool_q(ctx.input(0), ctx.plan.rq, ctx.counter);
+  void execute(const ExecContext& ctx) const override {
+    kernels::global_avgpool_q(ctx.input(0), ctx.plan.rq, *ctx.out, ctx.counter);
   }
 };
 
 class AddBackend : public KernelBackend {
  public:
   const char* name() const override { return "baseline/add"; }
-  QTensor execute(const ExecContext& ctx) const override {
-    return kernels::add_q(ctx.input(0), ctx.input(1), ctx.plan.rq, ctx.counter);
+  void execute(const ExecContext& ctx) const override {
+    kernels::add_q(ctx.input(0), ctx.input(1), ctx.plan.rq, *ctx.out, ctx.counter);
   }
 };
 

@@ -7,20 +7,22 @@ namespace bswp::kernels {
 using sim::Event;
 using sim::tally;
 
-QTensor baseline_conv2d(const QTensor& input, const QTensor& weights, const nn::ConvSpec& spec,
-                        const Requant& rq, sim::CostCounter* counter) {
-  check(input.shape.size() == 4 && input.shape[0] == 1, "baseline_conv2d: input must be 1xCxHxW");
-  check(input.dim(1) == spec.in_ch, "baseline_conv2d: channel mismatch");
-  const int h = input.dim(2), w = input.dim(3);
+void baseline_conv2d(const QView& in, const QTensor& weights, const nn::ConvSpec& spec,
+                     const Requant& rq, QView& out, sim::CostCounter* counter) {
+  check(in.rank == 4 && in.shape[0] == 1, "baseline_conv2d: input must be 1xCxHxW");
+  check(in.dim(1) == spec.in_ch, "baseline_conv2d: channel mismatch");
+  const int h = in.dim(2), w = in.dim(3);
   const int oh = spec.out_h(h), ow = spec.out_w(w);
   const int cg = spec.in_ch / spec.groups;
   const int og = spec.out_ch / spec.groups;
   const std::size_t wstride = static_cast<std::size_t>(cg) * spec.kh * spec.kw;
 
-  QTensor out({1, spec.out_ch, oh, ow}, rq.out_bits, rq.out_signed);
+  out.set_shape({1, spec.out_ch, oh, ow});
+  out.bits = rq.out_bits;
+  out.is_signed = rq.out_signed;
   out.scale = rq.out_scale;
   out.zero_point = rq.out_zero_point;
-  const int32_t in_zp = input.zero_point;
+  const int32_t in_zp = in.zero_point;
 
   for (int oy = 0; oy < oh; ++oy) {
     for (int ox = 0; ox < ow; ++ox) {
@@ -48,8 +50,7 @@ QTensor baseline_conv2d(const QTensor& input, const QTensor& weights, const nn::
               for (int kx = 0; kx < spec.kw; ++kx, ++widx) {
                 const int ix = ox * spec.stride + kx - spec.pad;
                 if (iy < 0 || iy >= h || ix < 0 || ix >= w) continue;
-                const int16_t a =
-                    input.data[(static_cast<std::size_t>(in_c) * h + iy) * w + ix];
+                const int16_t a = in.data[(static_cast<std::size_t>(in_c) * h + iy) * w + ix];
                 acc += (static_cast<int32_t>(a) - in_zp) * wrow[widx];
               }
             }
@@ -81,23 +82,24 @@ QTensor baseline_conv2d(const QTensor& input, const QTensor& weights, const nn::
       }
     }
   }
-  return out;
 }
 
-QTensor baseline_linear(const QTensor& input, const QTensor& weights, const Requant& rq,
-                        sim::CostCounter* counter) {
-  check(input.shape.size() == 2 && input.shape[0] == 1, "baseline_linear: input must be 1xF");
-  const int fin = input.dim(1), fout = weights.dim(0);
+void baseline_linear(const QView& in, const QTensor& weights, const Requant& rq, QView& out,
+                     sim::CostCounter* counter) {
+  check(in.rank == 2 && in.shape[0] == 1, "baseline_linear: input must be 1xF");
+  const int fin = in.dim(1), fout = weights.dim(0);
   check(weights.dim(1) == fin, "baseline_linear: shape mismatch");
-  QTensor out({1, fout}, rq.out_bits, rq.out_signed);
+  out.set_shape({1, fout});
+  out.bits = rq.out_bits;
+  out.is_signed = rq.out_signed;
   out.scale = rq.out_scale;
   out.zero_point = rq.out_zero_point;
-  const int32_t in_zp = input.zero_point;
+  const int32_t in_zp = in.zero_point;
   for (int o = 0; o < fout; ++o) {
     int32_t acc = 0;
     const int16_t* wrow = weights.data.data() + static_cast<std::size_t>(o) * fin;
     for (int i = 0; i < fin; ++i)
-      acc += (static_cast<int32_t>(input.data[static_cast<std::size_t>(i)]) - in_zp) * wrow[i];
+      acc += (static_cast<int32_t>(in.data[static_cast<std::size_t>(i)]) - in_zp) * wrow[i];
     out.data[static_cast<std::size_t>(o)] = rq.apply(acc, o);
   }
   if (counter != nullptr) {
@@ -109,23 +111,21 @@ QTensor baseline_linear(const QTensor& input, const QTensor& weights, const Requ
     counter->add(Event::kRequant, static_cast<uint64_t>(fout));
     counter->add(Event::kSramWrite, static_cast<uint64_t>(fout));
   }
-  return out;
 }
 
-QTensor maxpool_q(const QTensor& input, int k, int stride, sim::CostCounter* counter) {
-  const int c = input.dim(1), h = input.dim(2), w = input.dim(3);
+void maxpool_q(const QView& in, int k, int stride, QView& out, sim::CostCounter* counter) {
+  const int c = in.dim(1), h = in.dim(2), w = in.dim(3);
   const int oh = (h - k) / stride + 1, ow = (w - k) / stride + 1;
-  QTensor out({1, c, oh, ow}, input.bits, input.is_signed);
-  out.scale = input.scale;
-  out.zero_point = input.zero_point;
+  out.set_shape({1, c, oh, ow});
+  out.set_meta(in);
   for (int ch = 0; ch < c; ++ch) {
     for (int oy = 0; oy < oh; ++oy) {
       for (int ox = 0; ox < ow; ++ox) {
-        int16_t m = input.data[(static_cast<std::size_t>(ch) * h + oy * stride) * w + ox * stride];
+        int16_t m = in.data[(static_cast<std::size_t>(ch) * h + oy * stride) * w + ox * stride];
         for (int ky = 0; ky < k; ++ky)
           for (int kx = 0; kx < k; ++kx)
-            m = std::max(m, input.data[(static_cast<std::size_t>(ch) * h + oy * stride + ky) * w +
-                                       ox * stride + kx]);
+            m = std::max(m, in.data[(static_cast<std::size_t>(ch) * h + oy * stride + ky) * w +
+                                    ox * stride + kx]);
         out.data[(static_cast<std::size_t>(ch) * oh + oy) * ow + ox] = m;
       }
     }
@@ -136,16 +136,18 @@ QTensor maxpool_q(const QTensor& input, int k, int stride, sim::CostCounter* cou
     counter->add(Event::kAlu, outs * static_cast<uint64_t>(k) * k);
     counter->add(Event::kSramWrite, outs);
   }
-  return out;
 }
 
-QTensor global_avgpool_q(const QTensor& input, const Requant& rq, sim::CostCounter* counter) {
-  const int c = input.dim(1), h = input.dim(2), w = input.dim(3);
-  QTensor out({1, c}, rq.out_bits, rq.out_signed);
+void global_avgpool_q(const QView& in, const Requant& rq, QView& out, sim::CostCounter* counter) {
+  const int c = in.dim(1), h = in.dim(2), w = in.dim(3);
+  out.set_shape({1, c});
+  out.bits = rq.out_bits;
+  out.is_signed = rq.out_signed;
   out.scale = rq.out_scale;
+  out.zero_point = 0;
   for (int ch = 0; ch < c; ++ch) {
     int32_t acc = 0;
-    const int16_t* src = input.data.data() + static_cast<std::size_t>(ch) * h * w;
+    const int16_t* src = in.data + static_cast<std::size_t>(ch) * h * w;
     for (int i = 0; i < h * w; ++i) acc += src[i];
     out.data[static_cast<std::size_t>(ch)] = rq.apply(acc, ch);
   }
@@ -155,12 +157,16 @@ QTensor global_avgpool_q(const QTensor& input, const Requant& rq, sim::CostCount
     counter->add(Event::kRequant, static_cast<uint64_t>(c));
     counter->add(Event::kSramWrite, static_cast<uint64_t>(c));
   }
-  return out;
 }
 
-QTensor add_q(const QTensor& a, const QTensor& b, const Requant& rq, sim::CostCounter* counter) {
-  check(a.shape == b.shape, "add_q: shape mismatch");
-  QTensor out(a.shape, rq.out_bits, rq.out_signed);
+void add_q(const QView& a, const QView& b, const Requant& rq, QView& out,
+           sim::CostCounter* counter) {
+  check(a.same_shape(b), "add_q: shape mismatch");
+  out.rank = a.rank;
+  for (int i = 0; i < a.rank; ++i) out.shape[i] = a.shape[i];
+  out.len = a.len;
+  out.bits = rq.out_bits;
+  out.is_signed = rq.out_signed;
   out.scale = rq.out_scale;
   out.zero_point = rq.out_zero_point;
   const int32_t lo = rq.qmin(), hi = rq.qmax();
@@ -177,6 +183,72 @@ QTensor add_q(const QTensor& a, const QTensor& b, const Requant& rq, sim::CostCo
     counter->add(Event::kAlu, a.size());
     counter->add(Event::kSramWrite, a.size());
   }
+}
+
+// --- owning wrappers ---------------------------------------------------------
+
+namespace {
+
+/// Owning output tensor sized for a view core's result, plus its view.
+QTensor make_out(std::vector<int> shape, const Requant& rq) {
+  QTensor t(std::move(shape), rq.out_bits, rq.out_signed);
+  t.scale = rq.out_scale;
+  t.zero_point = rq.out_zero_point;
+  return t;
+}
+
+void adopt_meta(QTensor& t, const QView& v) {
+  t.scale = v.scale;
+  t.zero_point = v.zero_point;
+  t.bits = v.bits;
+  t.is_signed = v.is_signed;
+}
+
+}  // namespace
+
+QTensor baseline_conv2d(const QTensor& input, const QTensor& weights, const nn::ConvSpec& spec,
+                        const Requant& rq, sim::CostCounter* counter) {
+  check(input.shape.size() == 4 && input.shape[0] == 1, "baseline_conv2d: input must be 1xCxHxW");
+  const int oh = spec.out_h(input.dim(2)), ow = spec.out_w(input.dim(3));
+  QTensor out = make_out({1, spec.out_ch, oh, ow}, rq);
+  QView ov = QView::of(out);
+  baseline_conv2d(QView::of(input), weights, spec, rq, ov, counter);
+  return out;
+}
+
+QTensor baseline_linear(const QTensor& input, const QTensor& weights, const Requant& rq,
+                        sim::CostCounter* counter) {
+  check(input.shape.size() == 2 && input.shape[0] == 1, "baseline_linear: input must be 1xF");
+  QTensor out = make_out({1, weights.dim(0)}, rq);
+  QView ov = QView::of(out);
+  baseline_linear(QView::of(input), weights, rq, ov, counter);
+  return out;
+}
+
+QTensor maxpool_q(const QTensor& input, int k, int stride, sim::CostCounter* counter) {
+  const int c = input.dim(1), h = input.dim(2), w = input.dim(3);
+  const int oh = (h - k) / stride + 1, ow = (w - k) / stride + 1;
+  QTensor out({1, c, oh, ow}, input.bits, input.is_signed);
+  QView ov = QView::of(out);
+  maxpool_q(QView::of(input), k, stride, ov, counter);
+  adopt_meta(out, ov);
+  return out;
+}
+
+QTensor global_avgpool_q(const QTensor& input, const Requant& rq, sim::CostCounter* counter) {
+  QTensor out = make_out({1, input.dim(1)}, rq);
+  out.zero_point = 0;
+  QView ov = QView::of(out);
+  global_avgpool_q(QView::of(input), rq, ov, counter);
+  adopt_meta(out, ov);
+  return out;
+}
+
+QTensor add_q(const QTensor& a, const QTensor& b, const Requant& rq, sim::CostCounter* counter) {
+  check(a.shape == b.shape, "add_q: shape mismatch");
+  QTensor out = make_out(a.shape, rq);
+  QView ov = QView::of(out);
+  add_q(QView::of(a), QView::of(b), rq, ov, counter);
   return out;
 }
 

@@ -1,7 +1,8 @@
 // Registry adapters for the bit-serial LUT kernels. Each BitSerialVariant is
 // registered as its own backend so ablations and future per-variant
 // replacements (e.g. a SIMD host build of kCachedPrecompute) can swap one
-// variant without touching the others.
+// variant without touching the others. Accumulators, precompute/memo buffers
+// and channel-group staging come from the executor's scratch arena.
 #include "kernels/bitserial_conv.h"
 #include "runtime/kernel_backend.h"
 
@@ -14,9 +15,13 @@ class BitSerialConvBackend : public KernelBackend {
     name_ = std::string("bitserial/conv-") + kernels::variant_name(v);
   }
   const char* name() const override { return name_.c_str(); }
-  QTensor execute(const ExecContext& ctx) const override {
-    return kernels::bitserial_conv2d(ctx.input(0), ctx.plan.indices, ctx.net.lut, ctx.plan.spec,
-                                     ctx.plan.rq, variant_, ctx.counter);
+  void execute(const ExecContext& ctx) const override {
+    kernels::bitserial_conv2d(ctx.input(0), ctx.plan.indices, ctx.net.lut, ctx.plan.spec,
+                              ctx.plan.rq, variant_, *ctx.out, *ctx.scratch, ctx.counter);
+  }
+  std::size_t scratch_bytes(const CompiledNetwork& net, const LayerPlan& plan) const override {
+    return kernels::bitserial_host_scratch_bytes(plan.spec.out_ch, net.lut.pool_size,
+                                                 net.lut.group_size);
   }
 
  private:
@@ -30,9 +35,13 @@ class BitSerialLinearBackend : public KernelBackend {
     name_ = std::string("bitserial/linear-") + kernels::variant_name(v);
   }
   const char* name() const override { return name_.c_str(); }
-  QTensor execute(const ExecContext& ctx) const override {
-    return kernels::bitserial_linear(ctx.input(0), ctx.plan.indices, ctx.net.lut, ctx.plan.rq,
-                                     variant_, ctx.counter);
+  void execute(const ExecContext& ctx) const override {
+    kernels::bitserial_linear(ctx.input(0), ctx.plan.indices, ctx.net.lut, ctx.plan.rq, variant_,
+                              *ctx.out, *ctx.scratch, ctx.counter);
+  }
+  std::size_t scratch_bytes(const CompiledNetwork& net, const LayerPlan& plan) const override {
+    return kernels::bitserial_host_scratch_bytes(plan.indices.out_ch, net.lut.pool_size,
+                                                 net.lut.group_size);
   }
 
  private:

@@ -152,39 +152,41 @@ void accumulate_filters(const GroupContext& ctx, BitSerialVariant variant, int32
 
 }  // namespace
 
-QTensor bitserial_conv2d(const QTensor& input, const PackedIndices& indices,
-                         const pool::DotLut& lut, const nn::ConvSpec& spec, const Requant& rq,
-                         BitSerialVariant variant, sim::CostCounter* counter) {
-  check(input.shape.size() == 4 && input.shape[0] == 1, "bitserial_conv2d: input must be 1xCxHxW");
-  check(!input.is_signed, "bitserial_conv2d: activations must be unsigned-quantized");
+void bitserial_conv2d(const QView& in, const PackedIndices& indices, const pool::DotLut& lut,
+                      const nn::ConvSpec& spec, const Requant& rq, BitSerialVariant variant,
+                      QView& out, ScratchArena& scratch, sim::CostCounter* counter) {
+  check(in.rank == 4 && in.shape[0] == 1, "bitserial_conv2d: input must be 1xCxHxW");
+  check(!in.is_signed, "bitserial_conv2d: activations must be unsigned-quantized");
   check(spec.groups == 1, "bitserial_conv2d: grouped convs are not poolable");
   check(spec.in_ch % lut.group_size == 0, "bitserial_conv2d: in_ch must divide by group size");
   check(indices.out_ch == spec.out_ch && indices.kh == spec.kh && indices.kw == spec.kw &&
             indices.groups == spec.in_ch / lut.group_size,
         "bitserial_conv2d: index map does not match conv spec");
-  const int M = input.bits;
+  const int M = in.bits;
   check(M >= 1 && M <= 16, "bitserial_conv2d: activation bits out of range");
 
   const int G = lut.group_size;
   const int gcnt = spec.in_ch / G;
-  const int h = input.dim(2), w = input.dim(3);
+  const int h = in.dim(2), w = in.dim(3);
   const int oh = spec.out_h(h), ow = spec.out_w(w);
   const int F = spec.out_ch;
   const int S = lut.pool_size;
 
-  QTensor out({1, F, oh, ow}, rq.out_bits, rq.out_signed);
+  out.set_shape({1, F, oh, ow});
+  out.bits = rq.out_bits;
+  out.is_signed = rq.out_signed;
   out.scale = rq.out_scale;
   out.zero_point = rq.out_zero_point;
 
-  std::vector<int32_t> acc(static_cast<std::size_t>(F));
-  std::vector<int32_t> precomp(static_cast<std::size_t>(S));
-  std::vector<uint8_t> memo_valid(static_cast<std::size_t>(S));
-  std::vector<int16_t> group_vals(static_cast<std::size_t>(G));
+  int32_t* acc = scratch.alloc<int32_t>(static_cast<std::size_t>(F));
+  int32_t* precomp = scratch.alloc<int32_t>(static_cast<std::size_t>(S));
+  uint8_t* memo_valid = scratch.alloc<uint8_t>(static_cast<std::size_t>(S));
+  int16_t* group_vals = scratch.alloc<int16_t>(static_cast<std::size_t>(G));
   uint32_t bitvec[16] = {};
 
   for (int oy = 0; oy < oh; ++oy) {
     for (int ox = 0; ox < ow; ++ox) {
-      std::fill(acc.begin(), acc.end(), 0);
+      std::fill(acc, acc + F, 0);
       sim::tally(counter, Event::kSramWrite, static_cast<uint64_t>(F));  // accumulator init
       for (int ky = 0; ky < spec.kh; ++ky) {
         const int iy = oy * spec.stride + ky - spec.pad;
@@ -197,23 +199,22 @@ QTensor bitserial_conv2d(const QTensor& input, const PackedIndices& indices,
             // HWC layout a real deployment would use).
             for (int j = 0; j < G; ++j) {
               group_vals[static_cast<std::size_t>(j)] =
-                  input.data[(static_cast<std::size_t>(g * G + j) * h + iy) * w + ix];
+                  in.data[(static_cast<std::size_t>(g * G + j) * h + iy) * w + ix];
             }
             if (variant != BitSerialVariant::kNaive) {
               // Algorithm 1 line 7: decomposition shared across the filter loop.
-              unpack_bits(group_vals.data(), G, M, bitvec, counter);
+              unpack_bits(group_vals, G, M, bitvec, counter);
             }
             if (uses_cache(variant)) count_cache_fill(counter, M, lut);
 
             GroupContext ctx{lut, indices.idx.data() + indices.flat(ky, kx, g, 0), F, M, bitvec};
-            accumulate_filters(ctx, variant, acc.data(), group_vals.data(), G, precomp.data(),
-                               memo_valid.data(), counter);
+            accumulate_filters(ctx, variant, acc, group_vals, G, precomp, memo_valid, counter);
             sim::tally(counter, Event::kBranch, 1);
           }
         }
       }
       for (int o = 0; o < F; ++o) {
-        out.data[(static_cast<std::size_t>(o) * oh + oy) * ow + ox] = rq.apply(acc[static_cast<std::size_t>(o)], o);
+        out.data[(static_cast<std::size_t>(o) * oh + oy) * ow + ox] = rq.apply(acc[o], o);
       }
       if (counter != nullptr) {
         counter->add(Event::kRequant, static_cast<uint64_t>(F));
@@ -222,46 +223,83 @@ QTensor bitserial_conv2d(const QTensor& input, const PackedIndices& indices,
       }
     }
   }
+}
+
+void bitserial_linear(const QView& in, const PackedIndices& indices, const pool::DotLut& lut,
+                      const Requant& rq, BitSerialVariant variant, QView& out,
+                      ScratchArena& scratch, sim::CostCounter* counter) {
+  check(in.rank == 2 && in.shape[0] == 1, "bitserial_linear: input must be 1xF");
+  check(!in.is_signed, "bitserial_linear: activations must be unsigned-quantized");
+  const int fin = in.dim(1);
+  const int G = lut.group_size;
+  check(fin % G == 0, "bitserial_linear: input features must divide by group size");
+  check(indices.kh == 1 && indices.kw == 1 && indices.groups == fin / G,
+        "bitserial_linear: index map mismatch");
+  const int M = in.bits;
+  const int F = indices.out_ch;
+  const int S = lut.pool_size;
+
+  out.set_shape({1, F});
+  out.bits = rq.out_bits;
+  out.is_signed = rq.out_signed;
+  out.scale = rq.out_scale;
+  out.zero_point = rq.out_zero_point;
+
+  int32_t* acc = scratch.alloc<int32_t>(static_cast<std::size_t>(F));
+  int32_t* precomp = scratch.alloc<int32_t>(static_cast<std::size_t>(S));
+  uint8_t* memo_valid = scratch.alloc<uint8_t>(static_cast<std::size_t>(S));
+  std::fill(acc, acc + F, 0);
+  uint32_t bitvec[16] = {};
+  sim::tally(counter, Event::kSramWrite, static_cast<uint64_t>(F));
+
+  for (int g = 0; g < fin / G; ++g) {
+    const int16_t* group_vals = in.data + static_cast<std::size_t>(g) * G;
+    if (variant != BitSerialVariant::kNaive) unpack_bits(group_vals, G, M, bitvec, counter);
+    if (uses_cache(variant)) count_cache_fill(counter, M, lut);
+    GroupContext ctx{lut, indices.idx.data() + indices.flat(0, 0, g, 0), F, M, bitvec};
+    accumulate_filters(ctx, variant, acc, group_vals, G, precomp, memo_valid, counter);
+  }
+  for (int o = 0; o < F; ++o) out.data[static_cast<std::size_t>(o)] = rq.apply(acc[o], o);
+  if (counter != nullptr) {
+    counter->add(Event::kRequant, static_cast<uint64_t>(F));
+    counter->add(Event::kSramRead, static_cast<uint64_t>(F));
+    counter->add(Event::kSramWrite, static_cast<uint64_t>(F));
+  }
+}
+
+std::size_t bitserial_host_scratch_bytes(int out_ch, int pool_size, int group_size) {
+  return ScratchArena::bytes_for<int32_t>(static_cast<std::size_t>(out_ch)) +
+         ScratchArena::bytes_for<int32_t>(static_cast<std::size_t>(pool_size)) +
+         ScratchArena::bytes_for<uint8_t>(static_cast<std::size_t>(pool_size)) +
+         ScratchArena::bytes_for<int16_t>(static_cast<std::size_t>(group_size));
+}
+
+// --- owning wrappers ---------------------------------------------------------
+
+QTensor bitserial_conv2d(const QTensor& input, const PackedIndices& indices,
+                         const pool::DotLut& lut, const nn::ConvSpec& spec, const Requant& rq,
+                         BitSerialVariant variant, sim::CostCounter* counter) {
+  check(input.shape.size() == 4 && input.shape[0] == 1, "bitserial_conv2d: input must be 1xCxHxW");
+  const int oh = spec.out_h(input.dim(2)), ow = spec.out_w(input.dim(3));
+  QTensor out({1, spec.out_ch, oh, ow}, rq.out_bits, rq.out_signed);
+  out.scale = rq.out_scale;
+  out.zero_point = rq.out_zero_point;
+  ScratchArena scratch(bitserial_host_scratch_bytes(spec.out_ch, lut.pool_size, lut.group_size));
+  QView ov = QView::of(out);
+  bitserial_conv2d(QView::of(input), indices, lut, spec, rq, variant, ov, scratch, counter);
   return out;
 }
 
 QTensor bitserial_linear(const QTensor& input, const PackedIndices& indices,
                          const pool::DotLut& lut, const Requant& rq, BitSerialVariant variant,
                          sim::CostCounter* counter) {
-  check(input.shape.size() == 2 && input.shape[0] == 1, "bitserial_linear: input must be 1xF");
-  check(!input.is_signed, "bitserial_linear: activations must be unsigned-quantized");
-  const int fin = input.dim(1);
-  const int G = lut.group_size;
-  check(fin % G == 0, "bitserial_linear: input features must divide by group size");
-  check(indices.kh == 1 && indices.kw == 1 && indices.groups == fin / G,
-        "bitserial_linear: index map mismatch");
-  const int M = input.bits;
-  const int F = indices.out_ch;
-  const int S = lut.pool_size;
-
-  QTensor out({1, F}, rq.out_bits, rq.out_signed);
+  QTensor out({1, indices.out_ch}, rq.out_bits, rq.out_signed);
   out.scale = rq.out_scale;
   out.zero_point = rq.out_zero_point;
-  std::vector<int32_t> acc(static_cast<std::size_t>(F), 0);
-  std::vector<int32_t> precomp(static_cast<std::size_t>(S));
-  std::vector<uint8_t> memo_valid(static_cast<std::size_t>(S));
-  uint32_t bitvec[16] = {};
-  sim::tally(counter, Event::kSramWrite, static_cast<uint64_t>(F));
-
-  for (int g = 0; g < fin / G; ++g) {
-    const int16_t* group_vals = input.data.data() + static_cast<std::size_t>(g) * G;
-    if (variant != BitSerialVariant::kNaive) unpack_bits(group_vals, G, M, bitvec, counter);
-    if (uses_cache(variant)) count_cache_fill(counter, M, lut);
-    GroupContext ctx{lut, indices.idx.data() + indices.flat(0, 0, g, 0), F, M, bitvec};
-    accumulate_filters(ctx, variant, acc.data(), group_vals, G, precomp.data(), memo_valid.data(),
-                       counter);
-  }
-  for (int o = 0; o < F; ++o) out.data[static_cast<std::size_t>(o)] = rq.apply(acc[static_cast<std::size_t>(o)], o);
-  if (counter != nullptr) {
-    counter->add(Event::kRequant, static_cast<uint64_t>(F));
-    counter->add(Event::kSramRead, static_cast<uint64_t>(F));
-    counter->add(Event::kSramWrite, static_cast<uint64_t>(F));
-  }
+  ScratchArena scratch(
+      bitserial_host_scratch_bytes(indices.out_ch, lut.pool_size, lut.group_size));
+  QView ov = QView::of(out);
+  bitserial_linear(QView::of(input), indices, lut, rq, variant, ov, scratch, counter);
   return out;
 }
 

@@ -19,8 +19,14 @@
 //                     inside the filter loop
 //
 // All variants produce bit-identical outputs; they differ only in cost.
+//
+// The view cores draw their temporaries (accumulators, precompute/memo
+// buffers, channel-group staging) from a caller-provided ScratchArena so a
+// warm Executor performs zero heap allocations; the owning-QTensor wrappers
+// allocate their own scratch and remain for tests and one-off callers.
 #pragma once
 
+#include "core/arena.h"
 #include "kernels/common.h"
 #include "pool/lut.h"
 
@@ -36,21 +42,38 @@ enum class BitSerialVariant {
 
 const char* variant_name(BitSerialVariant v);
 
-/// Bit-serial pooled convolution. `input` must be unsigned-quantized with
-/// `input.bits` <= the LUT's supported range (activation bitwidth M is taken
-/// from the input tensor — reducing M truncates the bit-serial loop).
+// --- arena (view) cores ------------------------------------------------------
+
+/// Bit-serial pooled convolution into `out`. `in` must be unsigned-quantized
+/// with `in.bits` <= the LUT's supported range (activation bitwidth M is
+/// taken from the input view — reducing M truncates the bit-serial loop).
 /// `spec.groups` must be 1 and `spec.in_ch` divisible by the pool group size.
+void bitserial_conv2d(const QView& in, const PackedIndices& indices, const pool::DotLut& lut,
+                      const nn::ConvSpec& spec, const Requant& rq, BitSerialVariant variant,
+                      QView& out, ScratchArena& scratch, sim::CostCounter* counter);
+
+/// Bit-serial pooled fully-connected layer (footnote-1 configuration).
+void bitserial_linear(const QView& in, const PackedIndices& indices, const pool::DotLut& lut,
+                      const Requant& rq, BitSerialVariant variant, QView& out,
+                      ScratchArena& scratch, sim::CostCounter* counter);
+
+/// Host scratch bytes the view cores draw from their arena for a layer with
+/// `out_ch` filters against a pool of `pool_size` vectors and group size
+/// `group_size` (conservative: sized for the hungriest variant).
+std::size_t bitserial_host_scratch_bytes(int out_ch, int pool_size, int group_size);
+
+// --- owning wrappers ---------------------------------------------------------
+
 QTensor bitserial_conv2d(const QTensor& input, const PackedIndices& indices,
                          const pool::DotLut& lut, const nn::ConvSpec& spec, const Requant& rq,
                          BitSerialVariant variant, sim::CostCounter* counter);
-
-/// Bit-serial pooled fully-connected layer (footnote-1 configuration).
 QTensor bitserial_linear(const QTensor& input, const PackedIndices& indices,
                          const pool::DotLut& lut, const Requant& rq, BitSerialVariant variant,
                          sim::CostCounter* counter);
 
-/// Peak SRAM scratch for a layer under a variant: bit-vectors, LUT cache,
-/// precompute/memo buffers and the per-position accumulator array.
+/// Peak SRAM scratch for a layer under a variant on the modeled MCU:
+/// bit-vectors, LUT cache, precompute/memo buffers and the per-position
+/// accumulator array (feeds the simulator's memory plan).
 std::size_t bitserial_scratch_bytes(const nn::ConvSpec& spec, const pool::DotLut& lut,
                                     BitSerialVariant variant, int act_bits);
 

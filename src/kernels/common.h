@@ -1,8 +1,10 @@
 // Shared types for the integer (microcontroller-style) kernels.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <initializer_list>
 #include <vector>
 
 #include "core/tensor.h"
@@ -11,6 +13,79 @@
 #include "sim/cost_counter.h"
 
 namespace bswp::kernels {
+
+/// Non-owning view of a quantized activation — the currency of arena
+/// execution. The data pointer targets a MemoryPlanner-assigned slot; shape
+/// is a fixed rank<=4 array so views can be re-stamped every run without
+/// heap traffic. Kernels read input views and write output views in place;
+/// the owning-QTensor kernel entry points below are thin wrappers for tests
+/// and one-off callers.
+struct QView {
+  int16_t* data = nullptr;
+  std::size_t len = 0;
+  int shape[4] = {1, 1, 1, 1};
+  int rank = 0;
+  float scale = 1.0f;
+  int zero_point = 0;
+  int bits = 8;
+  bool is_signed = true;
+
+  std::size_t size() const { return len; }
+  int dim(int i) const { return shape[i]; }
+
+  void set_shape(std::initializer_list<int> dims) {
+    rank = 0;
+    len = 1;
+    for (int d : dims) {
+      shape[rank++] = d;
+      len *= static_cast<std::size_t>(d);
+    }
+  }
+  /// Copy quantization metadata (not shape or data) from another view.
+  void set_meta(const QView& o) {
+    scale = o.scale;
+    zero_point = o.zero_point;
+    bits = o.bits;
+    is_signed = o.is_signed;
+  }
+  bool same_shape(const QView& o) const {
+    if (rank != o.rank) return false;
+    for (int i = 0; i < rank; ++i)
+      if (shape[i] != o.shape[i]) return false;
+    return true;
+  }
+
+  /// View over an owning tensor. The const overload const_casts the data
+  /// pointer: it exists so read-only kernel wrappers can view const inputs;
+  /// callers must not write through it.
+  static QView of(QTensor& t) {
+    QView v = of(static_cast<const QTensor&>(t));
+    return v;
+  }
+  static QView of(const QTensor& t) {
+    check(t.shape.size() <= 4, "QView: rank > 4");
+    QView v;
+    v.data = const_cast<int16_t*>(t.data.data());
+    v.len = t.data.size();
+    v.rank = static_cast<int>(t.shape.size());
+    for (int i = 0; i < v.rank; ++i) v.shape[i] = t.shape[static_cast<std::size_t>(i)];
+    v.scale = t.scale;
+    v.zero_point = t.zero_point;
+    v.bits = t.bits;
+    v.is_signed = t.is_signed;
+    return v;
+  }
+
+  /// Materialize an owning copy (allocates; not for steady-state paths).
+  QTensor to_qtensor() const {
+    QTensor t(std::vector<int>(shape, shape + rank), bits, is_signed);
+    t.scale = scale;
+    t.zero_point = zero_point;
+    check(t.data.size() == len, "QView: shape/len mismatch");
+    std::copy(data, data + len, t.data.begin());
+    return t;
+  }
+};
 
 /// Per-layer requantization: maps an int32 accumulator to the next layer's
 /// quantized activation domain. Per-output-channel scale/bias absorb both the

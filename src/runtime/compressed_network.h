@@ -61,8 +61,6 @@ struct LayerPlan {
     for (int d : out_chw) n *= static_cast<std::size_t>(d);
     return n;
   }
-  /// Bytes one activation element of this plan occupies on the MCU.
-  std::size_t bytes_per_elem() const { return out_bits > 8 ? 2 : 1; }
 };
 
 struct CompiledNetwork {

@@ -7,25 +7,25 @@ namespace bswp::runtime {
 float evaluate_accuracy(const CompiledNetwork& net, const data::Dataset& ds, int max_samples) {
   const int total = max_samples > 0 ? std::min(max_samples, ds.size()) : ds.size();
   int correct = 0;
-  std::vector<float> img(static_cast<std::size_t>(ds.channels()) * ds.height() * ds.width());
+  Executor exec(net);
+  Tensor x({1, ds.channels(), ds.height(), ds.width()});
   for (int i = 0; i < total; ++i) {
-    Tensor x({1, ds.channels(), ds.height(), ds.width()});
     const int label = ds.sample(i, x.data());
-    const QTensor logits = run(net, x, nullptr);
+    const kernels::QView& logits = exec.run_view(x, nullptr);
     int best = 0;
     for (int j = 1; j < static_cast<int>(logits.size()); ++j) {
       if (logits.data[static_cast<std::size_t>(j)] > logits.data[static_cast<std::size_t>(best)]) best = j;
     }
     if (best == label) ++correct;
   }
-  (void)img;
   return total ? 100.0f * correct / total : 0.0f;
 }
 
 LatencyReport estimate_latency(const CompiledNetwork& net, const sim::McuProfile& mcu,
                                const Tensor& image) {
   LatencyReport r;
-  run(net, image, &r.counter);
+  Executor exec(net);
+  exec.run_view(image, &r.counter);
   r.cycles = mcu.cycles(r.counter);
   r.seconds = mcu.seconds(r.counter);
   r.mem = footprint(net);

@@ -1,12 +1,12 @@
 // Evaluation helpers: accuracy of a compiled network on a dataset, and
 // latency / memory on a simulated MCU.
 //
-// DEPRECATED as a public API: implementation layer behind
-// bswp::Session::evaluate / estimate_latency (src/api/bswp.h).
+// Implementation layer behind bswp::Session::evaluate / estimate_latency
+// (src/api/bswp.h); both reuse one arena Executor across the whole sweep.
 #pragma once
 
 #include "data/synthetic.h"
-#include "runtime/engine.h"
+#include "runtime/executor.h"
 #include "sim/mcu.h"
 
 namespace bswp::runtime {

@@ -1,0 +1,53 @@
+#include "runtime/executor.h"
+
+namespace bswp::runtime {
+
+Executor::Executor(const CompiledNetwork& net) : net_(&net) {
+  check(!net.plans.empty(), "Executor: empty network");
+  const KernelRegistry& registry = KernelRegistry::instance();
+  backends_.reserve(net.plans.size());
+  for (const LayerPlan& plan : net.plans) {
+    backends_.push_back(&registry.resolve(plan.kind, backend_variant_key(plan)));
+  }
+  plan_ = MemoryPlanner::plan_host(net, backends_);
+
+  // One backing block: [activation region | scratch region].
+  arena_ = std::make_unique<std::byte[]>(plan_.peak_bytes());
+  scratch_ = ScratchArena(arena_.get() + plan_.act_bytes, plan_.scratch_bytes);
+
+  views_.resize(net.plans.size());
+  input_start_.reserve(net.plans.size());
+  std::size_t total_inputs = 0;
+  for (const LayerPlan& plan : net.plans) total_inputs += plan.inputs.size();
+  inputs_.reserve(total_inputs);
+  for (std::size_t p = 0; p < net.plans.size(); ++p) {
+    views_[p].data = reinterpret_cast<int16_t*>(arena_.get() + plan_.buffers[p].offset);
+    input_start_.push_back(inputs_.size());
+    for (int in : net.plans[p].inputs) inputs_.push_back(&views_[static_cast<std::size_t>(in)]);
+  }
+}
+
+const kernels::QView& Executor::run_view(const Tensor& image, sim::CostCounter* counter) {
+  const CompiledNetwork& net = *net_;
+  for (std::size_t p = 0; p < net.plans.size(); ++p) {
+    scratch_.reset();
+    ExecContext ctx{net,
+                    net.plans[p],
+                    &image,
+                    inputs_.data() + input_start_[p],
+                    static_cast<int>(net.plans[p].inputs.size()),
+                    &views_[p],
+                    &scratch_,
+                    counter};
+    backends_[p]->execute(ctx);
+    check(views_[p].len <= net.plans[p].out_elems(),
+          "Executor: backend overflowed its planned output slot");
+  }
+  return views_.back();
+}
+
+QTensor Executor::run(const Tensor& image, sim::CostCounter* counter) {
+  return run_view(image, counter).to_qtensor();
+}
+
+}  // namespace bswp::runtime

@@ -1,0 +1,61 @@
+// Reusable inference executor over a planned memory arena.
+//
+// An Executor resolves every plan's kernel backend once, lays out one arena
+// from the MemoryPlanner's host plan (liveness-shared activation slots + the
+// backends' scratch high-water), and then serves run() calls that perform
+// zero heap allocations: activations are written into fixed arena slots
+// through QViews and temporaries come from a bump-reset ScratchArena.
+//
+// This replaces the PR-1-era free functions runtime::run / run_logits /
+// resolve_backends (which allocated every activation on every call). One-off
+// callers go through bswp::Session; sustained traffic holds an Executor (or
+// a ServingPool of them) and reuses it across inferences.
+//
+// Thread safety: an Executor is a mutable execution context — one thread at
+// a time. For parallel serving, build one Executor per worker (they share
+// the immutable CompiledNetwork and the stateless backends).
+#pragma once
+
+#include <memory>
+
+#include "runtime/kernel_backend.h"
+#include "runtime/memory_planner.h"
+
+namespace bswp::runtime {
+
+class Executor {
+ public:
+  /// Resolve backends, plan the arena and allocate it. `net` is borrowed and
+  /// must outlive the executor. Throws if any plan has no registered backend.
+  explicit Executor(const CompiledNetwork& net);
+
+  Executor(Executor&&) = default;
+  Executor& operator=(Executor&&) = default;
+
+  /// Run one image (CHW or 1xCxHxW float tensor) and return a view of the
+  /// quantized logits inside the arena. Zero heap allocations. The view is
+  /// valid until the next run_view()/run() call or destruction.
+  const kernels::QView& run_view(const Tensor& image, sim::CostCounter* counter = nullptr);
+
+  /// run_view() + materialize the logits as an owning QTensor.
+  QTensor run(const Tensor& image, sim::CostCounter* counter = nullptr);
+
+  const CompiledNetwork& network() const { return *net_; }
+  const MemoryPlan& memory_plan() const { return plan_; }
+  /// Bytes of the one backing allocation (activation region + scratch).
+  std::size_t arena_bytes() const { return plan_.peak_bytes(); }
+  /// Deepest scratch use observed so far (<= plan_.scratch_bytes).
+  std::size_t scratch_high_water() const { return scratch_.high_water(); }
+
+ private:
+  const CompiledNetwork* net_;
+  std::vector<const KernelBackend*> backends_;
+  MemoryPlan plan_;
+  std::unique_ptr<std::byte[]> arena_;
+  ScratchArena scratch_;                       // borrows the arena's tail
+  std::vector<kernels::QView> views_;          // per plan, data pointer fixed
+  std::vector<const kernels::QView*> inputs_;  // flattened per-plan input views
+  std::vector<std::size_t> input_start_;       // per-plan offset into inputs_
+};
+
+}  // namespace bswp::runtime

@@ -5,7 +5,15 @@
 // KernelRegistry under a (PlanKind, variant) key. The baseline int8 kernels,
 // the five bit-serial LUT variants and the XNOR binarized kernel all register
 // here; new backends (SIMD hosts, sharded/cached server execution, hardware
-// offload) plug in without touching the engine loop in engine.cpp.
+// offload) plug in without touching the Executor loop in executor.cpp.
+//
+// Execution contract (arena model): execute(ctx) writes the layer's result
+// into `ctx.out` — a view over a MemoryPlanner-assigned slot of the
+// Executor's arena — and draws any temporaries from `ctx.scratch`, a bump
+// arena reset between layers. A backend must write every element of its
+// output, fill the view's shape/quantization metadata, and report its peak
+// scratch need via scratch_bytes() so the Executor can size the arena once;
+// a warm Executor::run() then performs zero heap allocations.
 //
 // Variant keying: plans whose kind carries a BitSerialVariant resolve with
 // that variant; every other kind resolves with kAnyVariant. Lookup tries the
@@ -17,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "core/arena.h"
 #include "core/tensor.h"
 #include "runtime/compressed_network.h"
 #include "sim/cost_counter.h"
@@ -29,14 +38,20 @@ struct ExecContext {
   const LayerPlan& plan;
   /// The raw float image (only meaningful for PlanKind::kInput plans).
   const Tensor* image = nullptr;
-  /// Activations of already-executed plans, indexed by plan id.
-  const std::vector<QTensor>& acts;
+  /// Views of the activations produced by the plan's inputs, in plan.inputs
+  /// order (num_inputs entries).
+  const kernels::QView* const* inputs = nullptr;
+  int num_inputs = 0;
+  /// Arena slot to write this plan's activation into. `out->data` and the
+  /// slot capacity (plan.out_elems() elements) are fixed by the memory plan;
+  /// the backend stamps shape and quantization metadata.
+  kernels::QView* out = nullptr;
+  /// Per-layer scratch (reset before each execute call).
+  ScratchArena* scratch = nullptr;
   sim::CostCounter* counter = nullptr;
 
   /// Activation produced by the plan's i-th input.
-  const QTensor& input(int i) const {
-    return acts[static_cast<std::size_t>(plan.inputs[static_cast<std::size_t>(i)])];
-  }
+  const kernels::QView& input(int i) const { return *inputs[i]; }
 };
 
 /// One executable kernel implementation.
@@ -45,7 +60,17 @@ class KernelBackend {
   virtual ~KernelBackend() = default;
   /// Stable identifier, e.g. "baseline/conv" or "bitserial/cached".
   virtual const char* name() const = 0;
-  virtual QTensor execute(const ExecContext& ctx) const = 0;
+  /// Execute `ctx.plan`, writing the result into `ctx.out` and drawing
+  /// temporaries from `ctx.scratch` (never the heap).
+  virtual void execute(const ExecContext& ctx) const = 0;
+  /// Upper bound on the scratch bytes execute() draws for this plan. The
+  /// MemoryPlanner sizes the Executor's scratch region from the maximum over
+  /// all plans; an under-report makes the ScratchArena throw at run time.
+  virtual std::size_t scratch_bytes(const CompiledNetwork& net, const LayerPlan& plan) const {
+    (void)net;
+    (void)plan;
+    return 0;
+  }
 };
 
 /// Wildcard variant key for plan kinds that carry no bit-serial variant.
@@ -67,8 +92,8 @@ class KernelRegistry {
   /// Register `backend` under (kind, variant). Throws std::invalid_argument
   /// if the key is taken and `replace` is false. Returns the previous
   /// backend when replacing (so tests can restore it). Replacing transfers
-  /// ownership of the old backend to the caller while the engine holds raw
-  /// pointers for the duration of a run — hot-swapping requires quiescing
+  /// ownership of the old backend to the caller while Executors hold raw
+  /// pointers for their lifetime — hot-swapping requires quiescing
   /// in-flight inference first (registration normally happens at setup).
   std::unique_ptr<KernelBackend> add(PlanKind kind, int variant,
                                      std::unique_ptr<KernelBackend> backend,

@@ -1,0 +1,189 @@
+#include "runtime/serving_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+
+namespace bswp::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double micros_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+/// Nearest-rank percentile over an unsorted latency vector (copies + sorts).
+void fill_percentiles(std::vector<double> lat, BatchStats& s) {
+  if (lat.empty()) return;
+  std::sort(lat.begin(), lat.end());
+  auto rank = [&](double q) {
+    const auto n = static_cast<double>(lat.size());
+    auto idx = static_cast<std::size_t>(std::ceil(q * n));
+    return lat[std::min(lat.size() - 1, idx > 0 ? idx - 1 : 0)];
+  };
+  s.p50_us = rank(0.50);
+  s.p95_us = rank(0.95);
+  s.p99_us = rank(0.99);
+  double sum = 0.0;
+  for (double v : lat) sum += v;
+  s.mean_us = sum / static_cast<double>(lat.size());
+}
+
+}  // namespace
+
+/// One in-flight batch, shared between run() and the workers.
+struct ServingPool::Batch {
+  std::span<const Tensor> images;
+  std::vector<QTensor>* out = nullptr;
+  std::vector<double>* lat_us = nullptr;
+  int workers = 0;  // participating worker count (ids < workers)
+
+  std::atomic<std::size_t> next{0};   // work-stealing cursor
+  std::atomic<bool> failed{false};    // set on first error; stops stealing
+  std::exception_ptr error;           // first error (guarded by err_mu)
+  std::mutex err_mu;
+  int active = 0;  // participating workers still running (guarded by pool mu_)
+};
+
+ServingPool::ServingPool(const CompiledNetwork& net) : net_(&net) {
+  check(!net.plans.empty(), "ServingPool: empty network");
+}
+
+ServingPool::~ServingPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+int ServingPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(threads_.size());
+}
+
+void ServingPool::ensure_workers(int n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (static_cast<int>(threads_.size()) < n) {
+    const int id = static_cast<int>(threads_.size());
+    threads_.emplace_back([this, id] { worker_main(id); });
+  }
+}
+
+void ServingPool::worker_main(int id) {
+  // The worker's executor is built lazily on its first batch and reused for
+  // the life of the pool: the arena stays warm across batches.
+  std::unique_ptr<Executor> exec;
+  std::uint64_t seen = 0;
+  for (;;) {
+    Batch* b = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stop_ || (batch_ != nullptr && generation_ != seen); });
+      if (stop_) return;
+      seen = generation_;
+      if (id >= batch_->workers) continue;  // this batch wants fewer workers
+      b = batch_;
+    }
+
+    if (exec == nullptr) {
+      try {
+        exec = std::make_unique<Executor>(*net_);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(b->err_mu);
+          if (!b->error) b->error = std::current_exception();
+        }
+        b->failed.store(true, std::memory_order_release);
+      }
+    }
+
+    if (exec != nullptr) {
+      // Steal loop. Checking the failure flag here (not just the cursor) is
+      // the early-exit contract: once any image fails, no worker starts
+      // another image and the rest of the queue drains unexecuted.
+      while (!b->failed.load(std::memory_order_acquire)) {
+        const std::size_t i = b->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= b->images.size()) break;
+        const Clock::time_point t0 = Clock::now();
+        try {
+          (*b->out)[i] = exec->run_view(b->images[i]).to_qtensor();
+          (*b->lat_us)[i] = micros_since(t0);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(b->err_mu);
+            if (!b->error) b->error = std::current_exception();
+          }
+          b->failed.store(true, std::memory_order_release);
+        }
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--b->active == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+std::vector<QTensor> ServingPool::run(std::span<const Tensor> images, int n_workers,
+                                      BatchStats* stats) {
+  check(n_workers >= 1, "ServingPool::run: n_workers must be >= 1");
+  std::vector<QTensor> out(images.size());
+  if (stats != nullptr) *stats = BatchStats{};
+  if (images.empty()) return out;
+
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(n_workers), images.size()));
+  std::vector<double> lat_us(images.size(), 0.0);
+  const Clock::time_point t_batch = Clock::now();
+
+  if (workers == 1) {
+    // Inline on the caller thread; the sequential executor persists too.
+    if (seq_exec_ == nullptr) seq_exec_ = std::make_unique<Executor>(*net_);
+    for (std::size_t i = 0; i < images.size(); ++i) {
+      const Clock::time_point t0 = Clock::now();
+      out[i] = seq_exec_->run_view(images[i]).to_qtensor();
+      lat_us[i] = micros_since(t0);
+    }
+  } else {
+    ensure_workers(workers);
+    Batch b;
+    b.images = images;
+    b.out = &out;
+    b.lat_us = &lat_us;
+    b.workers = workers;
+    b.active = workers;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      batch_ = &b;
+      ++generation_;
+    }
+    cv_.notify_all();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      done_cv_.wait(lock, [&] { return b.active == 0; });
+      batch_ = nullptr;
+    }
+    if (b.error) std::rethrow_exception(b.error);
+  }
+
+  if (stats != nullptr) {
+    stats->images = images.size();
+    stats->workers = workers;
+    stats->wall_seconds =
+        std::chrono::duration<double>(Clock::now() - t_batch).count();
+    stats->throughput_ips =
+        stats->wall_seconds > 0.0 ? static_cast<double>(images.size()) / stats->wall_seconds : 0.0;
+    fill_percentiles(std::move(lat_us), *stats);
+  }
+  return out;
+}
+
+}  // namespace bswp::runtime

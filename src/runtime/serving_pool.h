@@ -1,0 +1,84 @@
+// Persistent serving pool: long-lived worker threads, one arena Executor
+// each, fed work-stealing batches of images.
+//
+// This is the server-side steady state the ROADMAP asks for: workers are
+// created lazily on the first multi-threaded batch and reused across
+// batches, so per-worker arenas are warm after the first image and
+// steady-state serving performs no per-inference heap allocation inside the
+// engine. Results are bit-identical to sequential execution for any worker
+// count (the kernels are deterministic integer code and each image is
+// independent).
+//
+// Error semantics: the first exception is recorded, every worker's steal
+// loop observes the failure flag and stops taking new images (the remaining
+// queue is drained unexecuted), and the error is rethrown to the caller
+// after the batch quiesces.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "runtime/executor.h"
+
+namespace bswp::runtime {
+
+/// Latency distribution of one served batch.
+struct BatchStats {
+  std::size_t images = 0;
+  int workers = 0;               // workers that participated (1 = inline)
+  double wall_seconds = 0.0;     // batch wall time, submit to last result
+  double throughput_ips = 0.0;   // images / wall_seconds
+  // Per-image engine latency percentiles (microseconds, nearest-rank).
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+};
+
+class ServingPool {
+ public:
+  /// The pool serves exactly one compiled network; `net` is borrowed and
+  /// must outlive the pool. No threads are created until a batch needs them.
+  explicit ServingPool(const CompiledNetwork& net);
+  ~ServingPool();
+
+  ServingPool(const ServingPool&) = delete;
+  ServingPool& operator=(const ServingPool&) = delete;
+
+  /// Serve one batch on up to `n_workers` persistent workers (grown on
+  /// demand, reused afterwards). Batches are serialized: concurrent run()
+  /// calls queue on an internal mutex. Throws the first per-image error
+  /// after the batch quiesces; `stats` (optional) receives the latency
+  /// distribution of a successful batch.
+  std::vector<QTensor> run(std::span<const Tensor> images, int n_workers,
+                           BatchStats* stats = nullptr);
+
+  /// Worker threads currently alive (grows, never shrinks).
+  int worker_count() const;
+
+ private:
+  struct Batch;
+  void ensure_workers(int n);
+  void worker_main(int id);
+
+  const CompiledNetwork* net_;
+
+  std::mutex run_mu_;  // serializes batches
+
+  mutable std::mutex mu_;  // guards batch_, generation_, stop_, threads_
+  std::condition_variable cv_;       // workers wait for a batch / shutdown
+  std::condition_variable done_cv_;  // run() waits for batch quiescence
+  std::vector<std::thread> threads_;
+  Batch* batch_ = nullptr;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+
+  std::unique_ptr<Executor> seq_exec_;  // lazy, for single-worker batches
+};
+
+}  // namespace bswp::runtime

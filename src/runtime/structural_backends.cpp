@@ -1,4 +1,6 @@
 // Structural (non-arithmetic) backends: input quantization, flatten, relu.
+//
+// All three write straight into their arena output view; none needs scratch.
 #include <algorithm>
 #include <cmath>
 
@@ -14,57 +16,69 @@ namespace {
 class InputBackend : public KernelBackend {
  public:
   const char* name() const override { return "structural/input"; }
-  QTensor execute(const ExecContext& ctx) const override {
+  void execute(const ExecContext& ctx) const override {
     check(ctx.image != nullptr, "engine: input plan executed without an image");
-    Tensor img = *ctx.image;
+    const Tensor& img = *ctx.image;
+    int c = 0, h = 0, w = 0;
     if (img.rank() == 3) {
-      img.reshape({1, img.dim(0), img.dim(1), img.dim(2)});
+      c = img.dim(0);
+      h = img.dim(1);
+      w = img.dim(2);
+    } else {
+      check(img.rank() == 4 && img.dim(0) == 1, "engine: input must be a single CHW image");
+      c = img.dim(1);
+      h = img.dim(2);
+      w = img.dim(3);
     }
-    check(img.rank() == 4 && img.dim(0) == 1, "engine: input must be a single CHW image");
     const std::vector<int>& want = ctx.plan.out_chw;
-    if (want.size() == 3 &&
-        (img.dim(1) != want[0] || img.dim(2) != want[1] || img.dim(3) != want[2])) {
+    if (want.size() == 3 && (c != want[0] || h != want[1] || w != want[2])) {
       throw std::invalid_argument(
-          "engine: input image shape " + std::to_string(img.dim(1)) + "x" +
-          std::to_string(img.dim(2)) + "x" + std::to_string(img.dim(3)) +
-          " does not match the network input " + std::to_string(want[0]) + "x" +
-          std::to_string(want[1]) + "x" + std::to_string(want[2]));
+          "engine: input image shape " + std::to_string(c) + "x" + std::to_string(h) + "x" +
+          std::to_string(w) + " does not match the network input " + std::to_string(want[0]) +
+          "x" + std::to_string(want[1]) + "x" + std::to_string(want[2]));
     }
-    QTensor q({1, img.dim(1), img.dim(2), img.dim(3)}, 8, /*is_signed=*/true);
-    q.scale = ctx.plan.out_scale;
+    kernels::QView& out = *ctx.out;
+    out.set_shape({1, c, h, w});
+    out.bits = 8;
+    out.is_signed = true;
+    out.scale = ctx.plan.out_scale;
+    out.zero_point = 0;
     for (std::size_t i = 0; i < img.size(); ++i) {
-      q.data[i] = static_cast<int16_t>(
-          quant::clamp_q(static_cast<int32_t>(std::lround(img[i] / q.scale)), -128, 127));
+      out.data[i] = static_cast<int16_t>(
+          quant::clamp_q(static_cast<int32_t>(std::lround(img[i] / out.scale)), -128, 127));
     }
-    return q;
   }
 };
 
 class FlattenBackend : public KernelBackend {
  public:
   const char* name() const override { return "structural/flatten"; }
-  QTensor execute(const ExecContext& ctx) const override {
-    QTensor q = ctx.input(0);
-    int total = 1;
-    for (int d : q.shape) total *= d;
-    q.shape = {1, total};
-    return q;
+  void execute(const ExecContext& ctx) const override {
+    const kernels::QView& in = ctx.input(0);
+    kernels::QView& out = *ctx.out;
+    out.set_shape({1, static_cast<int>(in.size())});
+    out.set_meta(in);
+    std::copy(in.data, in.data + in.size(), out.data);
   }
 };
 
 class ReluBackend : public KernelBackend {
  public:
   const char* name() const override { return "structural/relu"; }
-  QTensor execute(const ExecContext& ctx) const override {
-    QTensor q = ctx.input(0);
-    const auto zp = static_cast<int16_t>(q.zero_point);
-    for (auto& v : q.data) v = std::max(v, zp);
+  void execute(const ExecContext& ctx) const override {
+    const kernels::QView& in = ctx.input(0);
+    kernels::QView& out = *ctx.out;
+    out.rank = in.rank;
+    for (int i = 0; i < in.rank; ++i) out.shape[i] = in.shape[i];
+    out.len = in.len;
+    out.set_meta(in);
+    const auto zp = static_cast<int16_t>(in.zero_point);
+    for (std::size_t i = 0; i < in.size(); ++i) out.data[i] = std::max(in.data[i], zp);
     if (ctx.counter != nullptr) {
-      ctx.counter->add(sim::Event::kSramRead, q.size());
-      ctx.counter->add(sim::Event::kAlu, q.size());
-      ctx.counter->add(sim::Event::kSramWrite, q.size());
+      ctx.counter->add(sim::Event::kSramRead, in.size());
+      ctx.counter->add(sim::Event::kAlu, in.size());
+      ctx.counter->add(sim::Event::kSramWrite, in.size());
     }
-    return q;
   }
 };
 

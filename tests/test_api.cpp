@@ -115,24 +115,25 @@ TEST(Deployment, FinetuneWithoutPoolRejected) {
 
 // --- pipeline equivalence ---------------------------------------------------
 
-TEST(Deployment, CompileMatchesLegacyFreeFunctions) {
+TEST(Deployment, CompileMatchesLegacyPipeline) {
   Env& e = env();
   // Facade build.
   Session session = Deployment::from(e.graph)
                         .with_pool(e.pool_opts())
                         .calibrate(e.data, e.cal_opts())
                         .compile();
-  // Hand-wired legacy build (same steps in the same order).
+  // Hand-wired legacy build (same steps in the same order), adopted through
+  // the Session escape hatch.
   nn::Graph copy = e.graph;
   pool::PooledNetwork pooled = pool::build_weight_pool(copy, e.pool_opts());
   pool::reconstruct_weights(copy, pooled);
   quant::CalibrationResult cal = quant::calibrate(copy, e.data, e.cal_opts());
-  runtime::CompiledNetwork legacy = runtime::compile(copy, &pooled, cal, {});
+  Session legacy(runtime::compile(copy, &pooled, cal, {}));
 
   QTensor a = session.run(e.sample);
-  QTensor b = runtime::run(legacy, e.sample);
+  QTensor b = legacy.run(e.sample);
   EXPECT_EQ(a.data, b.data);
-  EXPECT_EQ(session.footprint().flash_bytes, runtime::footprint(legacy).flash_bytes);
+  EXPECT_EQ(session.footprint().flash_bytes, legacy.footprint().flash_bytes);
 }
 
 TEST(Deployment, ActBitsSyncCalibrationAndPlans) {

@@ -1,8 +1,6 @@
 // End-to-end engine tests, driven through the bswp::Deployment /
-// bswp::Session facade (the engine free functions stay covered via the
-// facade's implementation).
-#include "runtime/engine.h"
-
+// bswp::Session facade (the arena Executor stays covered via the facade's
+// implementation; executor-specific behavior is in test_executor.cpp).
 #include <gtest/gtest.h>
 
 #include <cmath>

@@ -111,7 +111,8 @@ TEST_P(LutBitwidthSweep, EntriesWithinBitwidthRange) {
   LutOptions opt;
   opt.bitwidth = bl;
   DotLut lut = build_lut(p, opt);
-  const int32_t qmax = (1 << (bl - 1)) - 1;
+  // 64-bit arithmetic: bl = 32 would overflow (UB) in int32.
+  const int64_t qmax = (int64_t{1} << (bl - 1)) - 1;
   for (int32_t e : lut.entries) {
     EXPECT_LE(e, qmax);
     EXPECT_GE(e, -qmax - 1);

@@ -5,7 +5,7 @@
 #include "core/rng.h"
 #include "data/synthetic.h"
 #include "models/zoo.h"
-#include "runtime/engine.h"
+#include "runtime/executor.h"
 
 namespace bswp::runtime {
 namespace {
@@ -212,7 +212,7 @@ TEST(Pipeline, MobileNetCompilesWithSignedPointwiseInputs) {
   EXPECT_GT(grouped_baseline, 5);
   // And it runs.
   Tensor x({1, 3, 16, 16}, 0.5f);
-  EXPECT_NO_THROW(run(net, x, nullptr));
+  EXPECT_NO_THROW(Executor(net).run(x));
 }
 
 }  // namespace

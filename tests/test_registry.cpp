@@ -5,16 +5,23 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 #include "binary/binary_backend.h"
 #include "core/rng.h"
-#include "runtime/engine.h"
+#include "runtime/executor.h"
 #include "runtime/pipeline.h"
 #include "runtime/serialize.h"
 
 namespace bswp::runtime {
 namespace {
+
+/// One-shot arena run for the hand-built networks below.
+QTensor run(const CompiledNetwork& net, const Tensor& image) {
+  Executor exec(net);
+  return exec.run(image);
+}
 
 TEST(Registry, BuiltinBackendsRegistered) {
   KernelRegistry& reg = KernelRegistry::instance();
@@ -52,7 +59,15 @@ TEST(Registry, DuplicateRegistrationRejectedUnlessReplacing) {
   class Dummy : public KernelBackend {
    public:
     const char* name() const override { return "test/dummy"; }
-    QTensor execute(const ExecContext& ctx) const override { return ctx.input(0); }
+    void execute(const ExecContext& ctx) const override {
+      const kernels::QView& in = ctx.input(0);
+      kernels::QView& out = *ctx.out;
+      out.rank = in.rank;
+      for (int i = 0; i < in.rank; ++i) out.shape[i] = in.shape[i];
+      out.len = in.len;
+      out.set_meta(in);
+      std::copy(in.data, in.data + in.len, out.data);
+    }
   };
 
   EXPECT_THROW(reg.add(PlanKind::kRelu, kAnyVariant, std::make_unique<Dummy>()),
@@ -69,15 +84,18 @@ TEST(Registry, DuplicateRegistrationRejectedUnlessReplacing) {
 TEST(Registry, CustomBackendExecutesThroughEngine) {
   KernelRegistry& reg = KernelRegistry::instance();
 
-  // A counting wrapper around the real maxpool backend: engine dispatch must
-  // reach backends injected after the fact, with zero engine changes.
+  // A counting wrapper around the real maxpool backend: executor dispatch
+  // must reach backends injected after the fact, with zero executor changes.
   struct CountingBackend : KernelBackend {
     const KernelBackend* inner = nullptr;
     mutable int calls = 0;
     const char* name() const override { return "test/counting-maxpool"; }
-    QTensor execute(const ExecContext& ctx) const override {
+    void execute(const ExecContext& ctx) const override {
       ++calls;
-      return inner->execute(ctx);
+      inner->execute(ctx);
+    }
+    std::size_t scratch_bytes(const CompiledNetwork& net, const LayerPlan& plan) const override {
+      return inner->scratch_bytes(net, plan);
     }
   };
 

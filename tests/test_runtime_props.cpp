@@ -12,6 +12,16 @@
 namespace bswp::runtime {
 namespace {
 
+/// One-shot arena run helpers (each sweep point compiles its own network).
+QTensor run(const CompiledNetwork& net, const Tensor& image, sim::CostCounter* counter = nullptr) {
+  Executor exec(net);
+  return exec.run(image, counter);
+}
+
+Tensor run_logits(const CompiledNetwork& net, const Tensor& image) {
+  return run(net, image).dequantize();
+}
+
 struct Env {
   nn::Graph graph;
   pool::PooledNetwork pooled;

@@ -10,11 +10,17 @@
 #include "core/rng.h"
 #include "data/synthetic.h"
 #include "quant/calibrate.h"
-#include "runtime/engine.h"
+#include "runtime/executor.h"
 #include "runtime/pipeline.h"
 
 namespace bswp::runtime {
 namespace {
+
+/// One-shot arena run (the tests here compare saved/loaded networks).
+QTensor run(const CompiledNetwork& net, const Tensor& image, sim::CostCounter* counter = nullptr) {
+  Executor exec(net);
+  return exec.run(image, counter);
+}
 
 struct Env {
   nn::Graph graph;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -20,6 +21,18 @@
 #include "pool/storage_model.h"
 
 namespace bswp::bench {
+
+/// Benchmark smoke mode (BSWP_BENCH_SMOKE=1): shrink datasets, training
+/// epochs and calibration so every bench binary exercises its full pipeline
+/// in seconds. CI runs each bench this way so the targets cannot rot between
+/// performance PRs; numbers printed under smoke mode are meaningless.
+inline bool smoke_mode() {
+  static const bool on = std::getenv("BSWP_BENCH_SMOKE") != nullptr;
+  return on;
+}
+
+/// `full` normally, a small-but-nonzero stand-in under smoke mode.
+inline int smoke_scaled(int full, int smoke) { return smoke_mode() ? smoke : full; }
 
 // ---------------------------------------------------------------------------
 // Datasets: fixed-seed synthetic stand-ins (see DESIGN.md substitution table).
@@ -35,8 +48,8 @@ struct BenchDataset {
 inline BenchDataset cifar_like() {
   data::SyntheticCifarOptions o;
   o.num_classes = 10;
-  o.train_size = 768;
-  o.test_size = 192;
+  o.train_size = smoke_scaled(768, 96);
+  o.test_size = smoke_scaled(192, 48);
   o.image_size = 16;
   o.templates_per_class = 4;
   o.noise_stddev = 0.15f;  // calibrated so float ResNet-14 lands near the
@@ -55,8 +68,8 @@ inline BenchDataset cifar_like() {
 inline BenchDataset quickdraw_like() {
   data::SyntheticQuickdrawOptions o;
   o.num_classes = 24;
-  o.train_size = 960;
-  o.test_size = 192;
+  o.train_size = smoke_scaled(960, 96);
+  o.test_size = smoke_scaled(192, 48);
   o.image_size = 20;
   o.jitter = 0.08f;
   o.seed = 7;
@@ -92,7 +105,7 @@ inline TrainedModel train_float(const std::string& name,
   Rng rng(seed);
   m.graph.init_weights(rng);
   nn::TrainConfig cfg;
-  cfg.epochs = epochs;
+  cfg.epochs = smoke_scaled(epochs, 1);
   cfg.batch_size = 32;
   cfg.lr = 0.08f;
   cfg.lr_step = 4;
@@ -118,11 +131,11 @@ inline PooledModel pool_and_finetune(const TrainedModel& base, const BenchDatase
   co.pool_size = pool_size;
   co.group_size = group_size;
   co.metric = metric;
-  co.kmeans_iters = 12;
-  co.max_cluster_vectors = 8000;
+  co.kmeans_iters = smoke_scaled(12, 3);
+  co.max_cluster_vectors = smoke_scaled(8000, 2000);
   p.net = pool::build_weight_pool(p.graph, co);
   pool::FinetuneOptions fo;
-  fo.train.epochs = finetune_epochs;
+  fo.train.epochs = smoke_scaled(finetune_epochs, 1);
   fo.train.batch_size = 32;
   fo.train.lr = lr;
   fo.train.lr_step = 0;
@@ -138,7 +151,7 @@ inline Deployment make_deployment(const nn::Graph& graph, const pool::PooledNetw
   Deployment dep = Deployment::from(graph);
   if (net != nullptr) dep.with_pool(*net);
   quant::CalibrateOptions qo;
-  qo.num_samples = cal_samples;
+  qo.num_samples = smoke_scaled(cal_samples, 16);
   dep.with_options(opt).calibrate(*ds.train, qo);
   return dep;
 }

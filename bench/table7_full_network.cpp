@@ -95,7 +95,9 @@ struct Cell {
 };
 
 Cell measure(Prepared& p, Deployment& dep, int act_bits, const sim::McuProfile& mcu) {
-  Session session = dep.act_bits(act_bits).compile();
+  // Variant selection optimizes the MCU the row is measured on: the cost
+  // model prices each layer's candidates with this profile's event costs.
+  Session session = dep.cost_profile(mcu).act_bits(act_bits).compile();
   runtime::LatencyReport r = session.estimate_latency(mcu, p.sample);
   Cell c;
   c.seconds = r.seconds;

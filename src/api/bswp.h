@@ -153,7 +153,16 @@ class Deployment {
   /// hold group dot products, so B_l=16 is the exact-LUT configuration.
   Deployment& lut_bits(int bits);
   Deployment& lut_order(pool::LutOrder order);
-  /// Enable/disable the automatic precompute policy (§4.3).
+  /// How SelectBackends picks bit-serial variants: the cost model (default)
+  /// or the paper's §4.3 filters-vs-pool-size heuristic.
+  Deployment& backend_select(runtime::BackendSelect mode);
+  /// MCU profile pricing the cost model (defaults to MC-large). Pass the
+  /// profile you will deploy on so variant choice optimizes that target.
+  Deployment& cost_profile(const sim::McuProfile& profile);
+  /// Record per-pass lowering trace entries in compile_report().
+  Deployment& pass_trace(bool enabled);
+  /// Heuristic mode only: enable/disable the automatic precompute policy
+  /// (§4.3). Ignored by the cost model, which prices precompute directly.
   Deployment& auto_precompute(bool enabled);
   /// Force one bit-serial variant for every pooled layer (ablations).
   /// Requires a pool at compile() time.
@@ -188,6 +197,9 @@ class Deployment {
   const pool::PooledNetwork* pooled() const { return has_pool_ ? &pooled_ : nullptr; }
   /// Final test accuracy of the last finetune() run.
   float finetuned_acc() const { return finetuned_acc_; }
+  /// Lowering introspection from the last compile(): the per-layer backend
+  /// selection report, plus the pass trace when pass_trace(true) is set.
+  const runtime::CompileReport& compile_report() const { return report_; }
 
  private:
   explicit Deployment(nn::Graph graph) : graph_(std::move(graph)) {}
@@ -204,6 +216,7 @@ class Deployment {
   float finetuned_acc_ = 0.0f;
 
   runtime::CompileOptions opts_;
+  runtime::CompileReport report_;
   const data::Dataset* cal_ds_ = nullptr;
   quant::CalibrateOptions cal_options_;
   int seed_bn_batch_ = 0;

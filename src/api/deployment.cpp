@@ -69,6 +69,21 @@ Deployment& Deployment::lut_order(pool::LutOrder order) {
   return *this;
 }
 
+Deployment& Deployment::backend_select(runtime::BackendSelect mode) {
+  opts_.backend_select = mode;
+  return *this;
+}
+
+Deployment& Deployment::cost_profile(const sim::McuProfile& profile) {
+  opts_.cost_profile = profile;
+  return *this;
+}
+
+Deployment& Deployment::pass_trace(bool enabled) {
+  opts_.pass_trace = enabled;
+  return *this;
+}
+
 Deployment& Deployment::auto_precompute(bool enabled) {
   opts_.auto_precompute = enabled;
   return *this;
@@ -85,6 +100,9 @@ Deployment& Deployment::with_options(const runtime::CompileOptions& options) {
   weight_bits(options.weight_bits);
   lut_bits(options.lut_bits);
   lut_order(options.lut_order);
+  backend_select(options.backend_select);
+  cost_profile(options.cost_profile);
+  pass_trace(options.pass_trace);
   auto_precompute(options.auto_precompute);
   opts_.force_variant = options.force_variant;
   opts_.forced_variant = options.forced_variant;
@@ -142,7 +160,9 @@ Session Deployment::compile() {
   co.act_bits = opts_.act_bits;  // keep calibration and compilation in sync
   const quant::CalibrationResult cal = quant::calibrate(graph_, *cal_ds_, co);
 
-  return Session(runtime::compile(graph_, has_pool_ ? &pooled_ : nullptr, cal, opts_));
+  report_ = runtime::CompileReport{};
+  return Session(
+      runtime::compile(graph_, has_pool_ ? &pooled_ : nullptr, cal, opts_, &report_));
 }
 
 }  // namespace bswp

@@ -42,7 +42,7 @@ runtime::LayerPlan make_binary_conv_plan(const Tensor& w, const nn::ConvSpec& sp
           wf[j] >= 0.0f ? 1 : -1;
     }
   }
-  plan.rq.out_signed = rq.out_signed;
+  plan.rq.out.is_signed = rq.out.is_signed;
   return plan;
 }
 
@@ -78,10 +78,10 @@ class XnorConvBackend : public runtime::KernelBackend {
 
     kernels::QView& out = *ctx.out;
     out.set_shape({1, spec.out_ch, oh, ow});
-    out.bits = plan.rq.out_bits;
-    out.is_signed = plan.rq.out_signed;
-    out.scale = plan.rq.out_scale;
-    out.zero_point = plan.rq.out_zero_point;
+    out.bits = plan.rq.out.bits;
+    out.is_signed = plan.rq.out.is_signed;
+    out.scale = plan.rq.out.scale;
+    out.zero_point = plan.rq.out.zero_point;
     const int hw = oh * ow;
     for (int o = 0; o < spec.out_ch; ++o) {
       for (int i = 0; i < hw; ++i) {

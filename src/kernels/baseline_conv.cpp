@@ -18,10 +18,10 @@ void baseline_conv2d(const QView& in, const QTensor& weights, const nn::ConvSpec
   const std::size_t wstride = static_cast<std::size_t>(cg) * spec.kh * spec.kw;
 
   out.set_shape({1, spec.out_ch, oh, ow});
-  out.bits = rq.out_bits;
-  out.is_signed = rq.out_signed;
-  out.scale = rq.out_scale;
-  out.zero_point = rq.out_zero_point;
+  out.bits = rq.out.bits;
+  out.is_signed = rq.out.is_signed;
+  out.scale = rq.out.scale;
+  out.zero_point = rq.out.zero_point;
   const int32_t in_zp = in.zero_point;
 
   for (int oy = 0; oy < oh; ++oy) {
@@ -90,10 +90,10 @@ void baseline_linear(const QView& in, const QTensor& weights, const Requant& rq,
   const int fin = in.dim(1), fout = weights.dim(0);
   check(weights.dim(1) == fin, "baseline_linear: shape mismatch");
   out.set_shape({1, fout});
-  out.bits = rq.out_bits;
-  out.is_signed = rq.out_signed;
-  out.scale = rq.out_scale;
-  out.zero_point = rq.out_zero_point;
+  out.bits = rq.out.bits;
+  out.is_signed = rq.out.is_signed;
+  out.scale = rq.out.scale;
+  out.zero_point = rq.out.zero_point;
   const int32_t in_zp = in.zero_point;
   for (int o = 0; o < fout; ++o) {
     int32_t acc = 0;
@@ -141,9 +141,9 @@ void maxpool_q(const QView& in, int k, int stride, QView& out, sim::CostCounter*
 void global_avgpool_q(const QView& in, const Requant& rq, QView& out, sim::CostCounter* counter) {
   const int c = in.dim(1), h = in.dim(2), w = in.dim(3);
   out.set_shape({1, c});
-  out.bits = rq.out_bits;
-  out.is_signed = rq.out_signed;
-  out.scale = rq.out_scale;
+  out.bits = rq.out.bits;
+  out.is_signed = rq.out.is_signed;
+  out.scale = rq.out.scale;
   out.zero_point = 0;
   for (int ch = 0; ch < c; ++ch) {
     int32_t acc = 0;
@@ -165,16 +165,16 @@ void add_q(const QView& a, const QView& b, const Requant& rq, QView& out,
   out.rank = a.rank;
   for (int i = 0; i < a.rank; ++i) out.shape[i] = a.shape[i];
   out.len = a.len;
-  out.bits = rq.out_bits;
-  out.is_signed = rq.out_signed;
-  out.scale = rq.out_scale;
-  out.zero_point = rq.out_zero_point;
+  out.bits = rq.out.bits;
+  out.is_signed = rq.out.is_signed;
+  out.scale = rq.out.scale;
+  out.zero_point = rq.out.zero_point;
   const int32_t lo = rq.qmin(), hi = rq.qmax();
   for (std::size_t i = 0; i < a.size(); ++i) {
     float real = a.scale * static_cast<float>(a.data[i] - a.zero_point) +
                  b.scale * static_cast<float>(b.data[i] - b.zero_point);
     if (rq.fuse_relu && real < 0.0f) real = 0.0f;
-    auto q = static_cast<int32_t>(std::lround(real / rq.out_scale)) + rq.out_zero_point;
+    auto q = static_cast<int32_t>(std::lround(real / rq.out.scale)) + rq.out.zero_point;
     out.data[i] = static_cast<int16_t>(q < lo ? lo : (q > hi ? hi : q));
   }
   if (counter != nullptr) {
@@ -191,9 +191,9 @@ namespace {
 
 /// Owning output tensor sized for a view core's result, plus its view.
 QTensor make_out(std::vector<int> shape, const Requant& rq) {
-  QTensor t(std::move(shape), rq.out_bits, rq.out_signed);
-  t.scale = rq.out_scale;
-  t.zero_point = rq.out_zero_point;
+  QTensor t(std::move(shape), rq.out.bits, rq.out.is_signed);
+  t.scale = rq.out.scale;
+  t.zero_point = rq.out.zero_point;
   return t;
 }
 

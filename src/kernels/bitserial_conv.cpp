@@ -173,10 +173,10 @@ void bitserial_conv2d(const QView& in, const PackedIndices& indices, const pool:
   const int S = lut.pool_size;
 
   out.set_shape({1, F, oh, ow});
-  out.bits = rq.out_bits;
-  out.is_signed = rq.out_signed;
-  out.scale = rq.out_scale;
-  out.zero_point = rq.out_zero_point;
+  out.bits = rq.out.bits;
+  out.is_signed = rq.out.is_signed;
+  out.scale = rq.out.scale;
+  out.zero_point = rq.out.zero_point;
 
   int32_t* acc = scratch.alloc<int32_t>(static_cast<std::size_t>(F));
   int32_t* precomp = scratch.alloc<int32_t>(static_cast<std::size_t>(S));
@@ -240,10 +240,10 @@ void bitserial_linear(const QView& in, const PackedIndices& indices, const pool:
   const int S = lut.pool_size;
 
   out.set_shape({1, F});
-  out.bits = rq.out_bits;
-  out.is_signed = rq.out_signed;
-  out.scale = rq.out_scale;
-  out.zero_point = rq.out_zero_point;
+  out.bits = rq.out.bits;
+  out.is_signed = rq.out.is_signed;
+  out.scale = rq.out.scale;
+  out.zero_point = rq.out.zero_point;
 
   int32_t* acc = scratch.alloc<int32_t>(static_cast<std::size_t>(F));
   int32_t* precomp = scratch.alloc<int32_t>(static_cast<std::size_t>(S));
@@ -281,9 +281,9 @@ QTensor bitserial_conv2d(const QTensor& input, const PackedIndices& indices,
                          BitSerialVariant variant, sim::CostCounter* counter) {
   check(input.shape.size() == 4 && input.shape[0] == 1, "bitserial_conv2d: input must be 1xCxHxW");
   const int oh = spec.out_h(input.dim(2)), ow = spec.out_w(input.dim(3));
-  QTensor out({1, spec.out_ch, oh, ow}, rq.out_bits, rq.out_signed);
-  out.scale = rq.out_scale;
-  out.zero_point = rq.out_zero_point;
+  QTensor out({1, spec.out_ch, oh, ow}, rq.out.bits, rq.out.is_signed);
+  out.scale = rq.out.scale;
+  out.zero_point = rq.out.zero_point;
   ScratchArena scratch(bitserial_host_scratch_bytes(spec.out_ch, lut.pool_size, lut.group_size));
   QView ov = QView::of(out);
   bitserial_conv2d(QView::of(input), indices, lut, spec, rq, variant, ov, scratch, counter);
@@ -293,9 +293,9 @@ QTensor bitserial_conv2d(const QTensor& input, const PackedIndices& indices,
 QTensor bitserial_linear(const QTensor& input, const PackedIndices& indices,
                          const pool::DotLut& lut, const Requant& rq, BitSerialVariant variant,
                          sim::CostCounter* counter) {
-  QTensor out({1, indices.out_ch}, rq.out_bits, rq.out_signed);
-  out.scale = rq.out_scale;
-  out.zero_point = rq.out_zero_point;
+  QTensor out({1, indices.out_ch}, rq.out.bits, rq.out.is_signed);
+  out.scale = rq.out.scale;
+  out.zero_point = rq.out.zero_point;
   ScratchArena scratch(
       bitserial_host_scratch_bytes(indices.out_ch, lut.pool_size, lut.group_size));
   QView ov = QView::of(out);

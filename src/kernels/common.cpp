@@ -9,9 +9,9 @@ Requant Requant::uniform(int channels, float acc_scale, const std::vector<float>
   r.bias = b_real;
   if (r.bias.empty()) r.bias.assign(static_cast<std::size_t>(channels), 0.0f);
   check(r.bias.size() == static_cast<std::size_t>(channels), "Requant: bias size mismatch");
-  r.out_scale = out_scale;
-  r.out_bits = out_bits;
-  r.out_signed = out_signed;
+  r.out.scale = out_scale;
+  r.out.bits = out_bits;
+  r.out.is_signed = out_signed;
   r.fuse_relu = fuse_relu;
   return r;
 }

@@ -87,6 +87,22 @@ struct QView {
   }
 };
 
+/// Quantization of one activation tensor: real = scale * (q - zero_point).
+/// Shared by Requant (the domain a kernel writes) and LayerPlan (the domain a
+/// plan's output occupies) so the two can never drift apart.
+struct OutputQuant {
+  float scale = 1.0f;  // real -> q step
+  /// Offset-unsigned representation: signed intermediates (residual-add
+  /// outputs) use zero_point = 2^(M-1) so the bit-serial kernels always see
+  /// unsigned bit patterns.
+  int zero_point = 0;
+  int bits = 8;
+  bool is_signed = false;
+
+  int32_t qmin() const { return is_signed ? -(1 << (bits - 1)) : 0; }
+  int32_t qmax() const { return is_signed ? (1 << (bits - 1)) - 1 : (1 << bits) - 1; }
+};
+
 /// Per-layer requantization: maps an int32 accumulator to the next layer's
 /// quantized activation domain. Per-output-channel scale/bias absorb both the
 /// conv bias and any BatchNorm affine (BN is folded into requantization, not
@@ -94,23 +110,17 @@ struct QView {
 struct Requant {
   std::vector<float> scale;  // acc -> real, per output channel
   std::vector<float> bias;   // real-domain additive term per output channel
-  float out_scale = 1.0f;    // real -> q step of the output tensor
-  int out_bits = 8;
-  bool out_signed = false;
-  /// Offset-unsigned representation: real = out_scale * (q - out_zero_point).
-  /// Signed intermediates (residual-add outputs) use zero_point = 2^(M-1) so
-  /// the bit-serial kernels always see unsigned bit patterns.
-  int out_zero_point = 0;
+  OutputQuant out;           // quantization of the tensor this layer writes
   bool fuse_relu = true;
 
-  int32_t qmin() const { return out_signed ? -(1 << (out_bits - 1)) : 0; }
-  int32_t qmax() const { return out_signed ? (1 << (out_bits - 1)) - 1 : (1 << out_bits) - 1; }
+  int32_t qmin() const { return out.qmin(); }
+  int32_t qmax() const { return out.qmax(); }
 
   int16_t apply(int32_t acc, int ch) const {
     float real = static_cast<float>(acc) * scale[static_cast<std::size_t>(ch)] +
                  bias[static_cast<std::size_t>(ch)];
     if (fuse_relu && real < 0.0f) real = 0.0f;
-    const auto q = static_cast<int32_t>(std::lround(real / out_scale)) + out_zero_point;
+    const auto q = static_cast<int32_t>(std::lround(real / out.scale)) + out.zero_point;
     const int32_t lo = qmin(), hi = qmax();
     return static_cast<int16_t>(q < lo ? lo : (q > hi ? hi : q));
   }

@@ -33,9 +33,40 @@ enum class PlanKind {
 };
 
 /// Number of PlanKind values (serialization bound / registry iteration).
+/// Adding a PlanKind: extend plan_kind_name() below (the consteval guard
+/// fails the build otherwise), bump the count static_assert next to the
+/// payload serializers in runtime/serialize.cpp, and register a backend.
 constexpr int kNumPlanKinds = static_cast<int>(PlanKind::kConvBinary) + 1;
 
-const char* plan_kind_name(PlanKind k);
+constexpr const char* plan_kind_name(PlanKind k) {
+  switch (k) {
+    case PlanKind::kInput: return "input";
+    case PlanKind::kConvBaseline: return "conv-int8";
+    case PlanKind::kConvBitSerial: return "conv-bitserial";
+    case PlanKind::kLinearBaseline: return "fc-int8";
+    case PlanKind::kLinearBitSerial: return "fc-bitserial";
+    case PlanKind::kMaxPool: return "maxpool";
+    case PlanKind::kGlobalAvgPool: return "gap";
+    case PlanKind::kAdd: return "add";
+    case PlanKind::kFlatten: return "flatten";
+    case PlanKind::kRelu: return "relu";
+    case PlanKind::kConvBinary: return "conv-xnor";
+  }
+  return nullptr;  // unreachable for in-range kinds; the guard below checks
+}
+
+namespace detail {
+consteval bool all_plan_kinds_named() {
+  for (int i = 0; i < kNumPlanKinds; ++i) {
+    if (plan_kind_name(static_cast<PlanKind>(i)) == nullptr) return false;
+  }
+  return true;
+}
+}  // namespace detail
+
+static_assert(detail::all_plan_kinds_named(),
+              "every PlanKind in [0, kNumPlanKinds) needs a plan_kind_name() case — a new "
+              "kind cannot silently skip naming, serialization, or backend registration");
 
 struct LayerPlan {
   PlanKind kind = PlanKind::kInput;
@@ -49,11 +80,10 @@ struct LayerPlan {
   kernels::BitSerialVariant variant = kernels::BitSerialVariant::kCached;
   int pool_k = 2, pool_stride = 2;
 
-  // Output quantization (duplicated from rq for non-requantizing plans).
-  float out_scale = 1.0f;
-  int out_zero_point = 0;
-  int out_bits = 8;
-  bool out_signed = false;
+  // Output quantization of this plan's activation. For requantizing plans it
+  // mirrors rq.out; structural plans (maxpool/flatten/relu) inherit it from
+  // their producer.
+  kernels::OutputQuant out;
   std::vector<int> out_chw;
 
   std::size_t out_elems() const {

@@ -1,0 +1,101 @@
+// AssignActivationQuant: attach an output quantization to every live node
+// from the calibration result, in topological order.
+//
+// The rules are the paper's activation scheme:
+//  * the input plan runs signed int8 over [-abs_max, abs_max];
+//  * ReLU-fused chains emit unsigned M-bit over [0, range(chain end)];
+//  * non-ReLU conv/add outputs (residual branches) are offset-unsigned with
+//    zero_point 2^(M-1) over [-abs_range, abs_range], so the bit-serial
+//    kernels always see unsigned bit patterns;
+//  * an unfused linear is a classifier head: 16-bit signed logits so argmax
+//    is never range-limited (a ReLU-fused hidden linear follows the chain
+//    rule instead);
+//  * structural nodes (maxpool / flatten / standalone relu) inherit their
+//    producer's quantization unchanged.
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/lowering/plan_graph.h"
+
+namespace bswp::runtime::lowering {
+namespace {
+
+class AssignActivationQuant : public Pass {
+ public:
+  const char* name() const override { return "AssignActivationQuant"; }
+
+  int run(PlanGraph& pg, PassContext& ctx, std::string* detail) override {
+    const int M = ctx.opt.act_bits;
+    int assigned = 0;
+    for (int id : pg.live_nodes()) {
+      PlanNode& n = pg.node(id);
+      switch (n.op) {
+        case nn::Op::kInput:
+          n.oq = {std::max(1e-6f, ctx.cal.input_abs_max) / 127.0f, 0, 8, true};
+          break;
+        case nn::Op::kConv2d:
+        case nn::Op::kAdd:
+          n.oq = chain_quant(ctx, n, M);
+          break;
+        case nn::Op::kLinear:
+          if (n.fused_relu) {
+            n.oq = chain_quant(ctx, n, M);
+          } else {
+            const float absr = std::max(1e-6f, ctx.cal.abs_range(n.range_node));
+            n.oq = {absr / 32767.0f, 0, 16, true};
+          }
+          break;
+        case nn::Op::kGlobalAvgPool: {
+          const float range = std::max(1e-6f, ctx.cal.range(n.graph_node));
+          n.oq = {range / static_cast<float>((1 << M) - 1), 0, M, false};
+          break;
+        }
+        case nn::Op::kMaxPool:
+        case nn::Op::kFlatten:
+        case nn::Op::kReLU: {
+          const PlanNode& src = pg.node(n.inputs[0]);
+          check(src.quant_assigned,
+                "AssignActivationQuant: producer of '" + n.name + "' has no quantization");
+          n.oq = src.oq;
+          break;
+        }
+        case nn::Op::kBatchNorm:
+          // Foldable BNs were spliced by FoldBatchNorm; anything left is a
+          // pattern the integer runtime cannot express. Rejecting here (the
+          // first pass that must understand every survivor) keeps the error
+          // precise — a consumer-side check would blame the wrong node.
+          throw std::invalid_argument(
+              "compile: standalone BatchNorm (not directly after a conv) is unsupported");
+        case nn::Op::kBinarize:
+          throw std::invalid_argument("compile: binarized graphs use the bswp::binary path");
+        default:
+          throw std::invalid_argument("compile: unsupported op in graph: " +
+                                      std::string(nn::op_name(n.op)));
+      }
+      n.quant_assigned = true;
+      ++assigned;
+    }
+    if (detail != nullptr) *detail = "act_bits=" + std::to_string(M);
+    return assigned;
+  }
+
+ private:
+  /// Output quantization of a (possibly ReLU-fused) conv / add / linear
+  /// chain, read at the chain-end range node.
+  static kernels::OutputQuant chain_quant(const PassContext& ctx, const PlanNode& n, int M) {
+    if (n.fused_relu) {
+      const float range = std::max(1e-6f, ctx.cal.range(n.range_node));
+      return {range / static_cast<float>((1 << M) - 1), 0, M, false};
+    }
+    const float absr = std::max(1e-6f, ctx.cal.abs_range(n.range_node));
+    return {absr / static_cast<float>(1 << (M - 1)), 1 << (M - 1), M, false};
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_assign_activation_quant() {
+  return std::make_unique<AssignActivationQuant>();
+}
+
+}  // namespace bswp::runtime::lowering

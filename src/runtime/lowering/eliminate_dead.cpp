@@ -1,0 +1,47 @@
+// EliminateDeadNodes: drop every node with no path to the network output.
+//
+// The monolithic compiler emitted a plan for every graph node, so a dangling
+// branch (a probe head left in the graph, an ablation tap) was compiled and
+// executed on every inference. After this pass only contributing nodes reach
+// Legalize, and the MemoryPlanner never reserves arena slots for dead
+// activations.
+#include "runtime/lowering/plan_graph.h"
+
+namespace bswp::runtime::lowering {
+namespace {
+
+class EliminateDeadNodes : public Pass {
+ public:
+  const char* name() const override { return "EliminateDeadNodes"; }
+
+  int run(PlanGraph& pg, PassContext& ctx, std::string* detail) override {
+    (void)ctx;
+    std::vector<bool> reachable(static_cast<std::size_t>(pg.num_nodes()), false);
+    std::vector<int> stack = {pg.output()};
+    while (!stack.empty()) {
+      const int id = stack.back();
+      stack.pop_back();
+      if (reachable[static_cast<std::size_t>(id)]) continue;
+      reachable[static_cast<std::size_t>(id)] = true;
+      for (int in : pg.node(id).inputs) stack.push_back(in);
+    }
+    int removed = 0;
+    for (int id : pg.live_nodes()) {
+      if (reachable[static_cast<std::size_t>(id)]) continue;
+      pg.node(id).dead = true;
+      ++removed;
+    }
+    if (removed > 0 && detail != nullptr) {
+      *detail = std::to_string(removed) + " unreachable node(s) removed";
+    }
+    return removed;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_eliminate_dead_nodes() {
+  return std::make_unique<EliminateDeadNodes>();
+}
+
+}  // namespace bswp::runtime::lowering

@@ -1,0 +1,57 @@
+// FoldBatchNorm: splice conv→BN edges, recording the BN graph node on the
+// conv so Legalize can fold gamma/sqrt(var)+beta into the conv's per-channel
+// requantization (never into weights — that would break pool sharing).
+//
+// A BN is foldable iff it consumes a conv — possibly through FakeQuant
+// identities, as QAT graphs insert (conv→FQ→BN) — where every link of the
+// chain is single-consumer and the conv has no BN folded yet (the paper's
+// conv→BN→ReLU chain shape). The intervening FakeQuants are spliced here
+// too, so their pre-BN ranges never override the chain-end range the conv
+// inherits from the BN. Any BN left standing after this pass is a
+// standalone BN, rejected with a precise error in AssignActivationQuant.
+#include "runtime/lowering/plan_graph.h"
+
+namespace bswp::runtime::lowering {
+namespace {
+
+class FoldBatchNorm : public Pass {
+ public:
+  const char* name() const override { return "FoldBatchNorm"; }
+
+  int run(PlanGraph& pg, PassContext& ctx, std::string* detail) override {
+    (void)ctx;
+    int folds = 0;
+    for (int id : pg.live_nodes()) {
+      const PlanNode& bn = pg.node(id);
+      if (bn.op != nn::Op::kBatchNorm) continue;
+      // Walk up through FakeQuant identities to the would-be conv anchor.
+      std::vector<int> fq_chain;
+      int src = bn.inputs[0];
+      while (pg.node(src).op == nn::Op::kFakeQuant) {
+        fq_chain.push_back(src);
+        src = pg.node(src).inputs[0];
+      }
+      PlanNode& conv = pg.node(src);
+      if (conv.op != nn::Op::kConv2d) continue;
+      if (conv.bn_node != -1 || conv.fused_relu) continue;
+      bool single_consumer_chain = pg.consumer_count(src, 2) == 1;
+      for (int fq : fq_chain) {
+        single_consumer_chain = single_consumer_chain && pg.consumer_count(fq, 2) == 1;
+      }
+      if (!single_consumer_chain) continue;
+      conv.bn_node = bn.graph_node;
+      conv.range_node = bn.range_node;
+      pg.splice(id);
+      for (int fq : fq_chain) pg.splice(fq);
+      ++folds;
+    }
+    if (folds > 0 && detail != nullptr) *detail = std::to_string(folds) + " BN folded into conv";
+    return folds;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_fold_batchnorm() { return std::make_unique<FoldBatchNorm>(); }
+
+}  // namespace bswp::runtime::lowering

@@ -1,0 +1,66 @@
+// FuseActivations: absorb activation-shaped nodes into their producers.
+//
+//  * FakeQuant nodes are calibration identities at inference time — every
+//    one is spliced out. When the FakeQuant was its producer's only
+//    consumer, the producer inherits its calibrated range (the chain-end
+//    range rule of the original monolithic compiler).
+//  * A ReLU whose single-consumer producer is a conv, linear, or add is
+//    fused into that producer's requantization clamp (one ReLU per chain;
+//    further ReLUs stay standalone kRelu plans). Fusing into linear is the
+//    generalization that unlocks hidden (non-classifier) linear layers on
+//    the bit-serial path: a fused linear emits an unsigned act_bits
+//    activation instead of 16-bit signed classifier logits.
+#include "runtime/lowering/plan_graph.h"
+
+namespace bswp::runtime::lowering {
+namespace {
+
+bool can_fuse_relu_into(nn::Op op) {
+  return op == nn::Op::kConv2d || op == nn::Op::kLinear || op == nn::Op::kAdd;
+}
+
+class FuseActivations : public Pass {
+ public:
+  const char* name() const override { return "FuseActivations"; }
+
+  int run(PlanGraph& pg, PassContext& ctx, std::string* detail) override {
+    (void)ctx;
+    int spliced_fq = 0, fused_relu = 0;
+    // FakeQuant identities first, so ranges propagate through them before
+    // ReLU fusion decides chain-end ranges.
+    for (int id : pg.live_nodes()) {
+      const PlanNode& fq = pg.node(id);
+      if (fq.op != nn::Op::kFakeQuant) continue;
+      const int src = fq.inputs[0];
+      if (pg.consumer_count(src, 2) == 1) {
+        pg.node(src).range_node = fq.range_node;
+      }
+      pg.splice(id);
+      ++spliced_fq;
+    }
+    for (int id : pg.live_nodes()) {
+      const PlanNode& relu = pg.node(id);
+      if (relu.op != nn::Op::kReLU) continue;
+      const int src = relu.inputs[0];
+      PlanNode& producer = pg.node(src);
+      if (!can_fuse_relu_into(producer.op)) continue;
+      if (producer.fused_relu) continue;  // one ReLU per chain
+      if (pg.consumer_count(src, 2) != 1) continue;
+      producer.fused_relu = true;
+      producer.range_node = relu.range_node;
+      pg.splice(id);
+      ++fused_relu;
+    }
+    if (detail != nullptr && (spliced_fq + fused_relu) > 0) {
+      *detail = std::to_string(fused_relu) + " ReLU fused, " + std::to_string(spliced_fq) +
+                " FakeQuant spliced";
+    }
+    return spliced_fq + fused_relu;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_fuse_activations() { return std::make_unique<FuseActivations>(); }
+
+}  // namespace bswp::runtime::lowering

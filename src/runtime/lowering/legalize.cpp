@@ -1,0 +1,209 @@
+// Legalize: turn every live, quantized, backend-assigned PlanNode into the
+// final immutable LayerPlan.
+//
+// This is where the numeric contracts are discharged: BatchNorm affines fold
+// into per-channel requantization, uncompressed weights are quantized
+// symmetric int8, pooled layers get their packed indices and (for
+// offset-unsigned inputs) the -zp * sum(w) row-sum bias correction, and the
+// unsupported-pattern checks fire with precise errors. The math is a
+// field-exact port of the monolithic compile() so lowering stays
+// bit-identical (tests/test_golden.cpp enforces this across the model zoo).
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantize.h"
+#include "runtime/lowering/plan_graph.h"
+
+namespace bswp::runtime::lowering {
+namespace {
+
+/// Per-channel BN multipliers destined for requantization.
+struct BnFold {
+  std::vector<float> scale;  // gamma / sqrt(var + eps)
+  std::vector<float> mean;   // running mean
+  std::vector<float> beta;
+};
+
+BnFold fold_bn(const nn::Graph& g, int bn_node, int channels) {
+  BnFold f;
+  f.scale.assign(static_cast<std::size_t>(channels), 1.0f);
+  f.mean.assign(static_cast<std::size_t>(channels), 0.0f);
+  f.beta.assign(static_cast<std::size_t>(channels), 0.0f);
+  if (bn_node < 0) return f;
+  const nn::BatchNormState& bn = g.node(bn_node).bn;
+  for (int c = 0; c < channels; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    f.scale[ci] = bn.gamma[ci] / std::sqrt(bn.running_var[ci] + bn.eps);
+    f.mean[ci] = bn.running_mean[ci];
+    f.beta[ci] = bn.beta[ci];
+  }
+  return f;
+}
+
+class Legalize : public Pass {
+ public:
+  const char* name() const override { return "Legalize"; }
+
+  int run(PlanGraph& pg, PassContext& ctx, std::string* detail) override {
+    (void)detail;
+    int legalized = 0;
+    for (int id : pg.live_nodes()) {
+      PlanNode& n = pg.node(id);
+      check(n.quant_assigned && n.kind_assigned,
+            "Legalize: node '" + n.name + "' reached Legalize without quant/backend decisions");
+      LayerPlan& plan = n.plan;
+      plan.kind = n.kind;
+      plan.name = n.name;
+      plan.out_chw = n.out_chw;
+      plan.out = n.oq;
+      switch (n.op) {
+        case nn::Op::kInput:
+          break;
+        case nn::Op::kConv2d: legalize_conv(pg, ctx, n); break;
+        case nn::Op::kLinear: legalize_linear(pg, ctx, n); break;
+        case nn::Op::kAdd: {
+          plan.rq = kernels::Requant::uniform(1, 1.0f, {}, n.oq.scale, n.oq.bits, false,
+                                              n.fused_relu);
+          plan.rq.out.zero_point = n.oq.zero_point;
+          break;
+        }
+        case nn::Op::kGlobalAvgPool: legalize_gap(pg, ctx, n); break;
+        case nn::Op::kMaxPool: {
+          const nn::Node& gn = ctx.graph.node(n.graph_node);
+          plan.pool_k = gn.pool_k;
+          plan.pool_stride = gn.pool_stride;
+          break;
+        }
+        case nn::Op::kFlatten:
+        case nn::Op::kReLU:
+          break;
+        default:
+          // AssignActivationQuant already rejected unsupported ops; this is
+          // a structural backstop for a pass pipeline missing that pass.
+          throw std::invalid_argument("compile: unsupported op in graph: " +
+                                      std::string(nn::op_name(n.op)));
+      }
+      n.legalized = true;
+      ++legalized;
+    }
+    return legalized;
+  }
+
+ private:
+  /// Sum of one quantized pool row (zero-point bias correction input).
+  static int32_t pool_rowsum(const PassContext& ctx, int s) {
+    int32_t acc = 0;
+    const int gs = ctx.lut->group_size;
+    for (int j = 0; j < gs; ++j) {
+      acc += ctx.qpool->data[static_cast<std::size_t>(s) * gs + j];
+    }
+    return acc;
+  }
+
+  static void legalize_conv(PlanGraph& pg, PassContext& ctx, PlanNode& n) {
+    const nn::Node& gn = ctx.graph.node(n.graph_node);
+    const PlanNode& src = pg.node(n.inputs[0]);
+    const float s_in = src.oq.scale;
+    const int in_zp = src.oq.zero_point;
+    const BnFold bn = fold_bn(ctx.graph, n.bn_node, gn.conv.out_ch);
+    LayerPlan& plan = n.plan;
+    plan.spec = gn.conv;
+
+    float conv_scale;
+    std::vector<float> corr(static_cast<std::size_t>(gn.conv.out_ch), 0.0f);
+    if (plan.kind == PlanKind::kConvBitSerial) {
+      const pool::PooledLayer& pl = *ctx.pooled_layer(n.graph_node);
+      plan.indices = n.indices.idx.empty() ? kernels::PackedIndices::pack(pl)
+                                           : std::move(n.indices);
+      plan.variant = n.variant;
+      conv_scale = s_in * ctx.lut->pool_scale * ctx.lut->entry_scale;
+      if (in_zp != 0) {
+        // Offset-unsigned input: fold -zp * sum(w) into the bias. Only valid
+        // without padding (padded taps would need the same term).
+        check(gn.conv.pad == 0,
+              "compile: pooled conv with signed (offset) input requires pad == 0");
+        for (int o = 0; o < gn.conv.out_ch; ++o) {
+          int64_t rowsum = 0;
+          for (int g = 0; g < pl.channel_groups; ++g)
+            for (int ky = 0; ky < pl.kh; ++ky)
+              for (int kx = 0; kx < pl.kw; ++kx)
+                rowsum += pool_rowsum(ctx, pl.index(o, g, ky, kx));
+          corr[static_cast<std::size_t>(o)] = -s_in * static_cast<float>(in_zp) *
+                                              ctx.lut->pool_scale * static_cast<float>(rowsum);
+        }
+      }
+    } else {
+      plan.qweights = quant::quantize_symmetric(gn.weight, ctx.opt.weight_bits);
+      conv_scale = s_in * plan.qweights.scale;
+    }
+
+    plan.rq.scale.resize(static_cast<std::size_t>(gn.conv.out_ch));
+    plan.rq.bias.resize(static_cast<std::size_t>(gn.conv.out_ch));
+    for (int o = 0; o < gn.conv.out_ch; ++o) {
+      const auto oi = static_cast<std::size_t>(o);
+      const float conv_bias = gn.has_bias ? gn.bias[oi] : 0.0f;
+      plan.rq.scale[oi] = conv_scale * bn.scale[oi];
+      plan.rq.bias[oi] = bn.scale[oi] * (conv_bias + corr[oi] - bn.mean[oi]) + bn.beta[oi];
+    }
+    plan.rq.fuse_relu = n.fused_relu;
+    plan.rq.out = n.oq;
+  }
+
+  static void legalize_linear(PlanGraph& pg, PassContext& ctx, PlanNode& n) {
+    const nn::Node& gn = ctx.graph.node(n.graph_node);
+    const PlanNode& src = pg.node(n.inputs[0]);
+    const float s_in = src.oq.scale;
+    const int fout = gn.weight.dim(0);
+    LayerPlan& plan = n.plan;
+
+    float lin_scale;
+    std::vector<float> corr(static_cast<std::size_t>(fout), 0.0f);
+    if (plan.kind == PlanKind::kLinearBitSerial) {
+      const pool::PooledLayer& pl = *ctx.pooled_layer(n.graph_node);
+      plan.indices = n.indices.idx.empty() ? kernels::PackedIndices::pack(pl)
+                                           : std::move(n.indices);
+      plan.variant = n.variant;
+      lin_scale = s_in * ctx.lut->pool_scale * ctx.lut->entry_scale;
+      if (src.oq.zero_point != 0) {
+        for (int o = 0; o < fout; ++o) {
+          int64_t rowsum = 0;
+          for (int g = 0; g < pl.channel_groups; ++g) rowsum += pool_rowsum(ctx, pl.index(o, g, 0, 0));
+          corr[static_cast<std::size_t>(o)] = -s_in *
+                                              static_cast<float>(src.oq.zero_point) *
+                                              ctx.lut->pool_scale * static_cast<float>(rowsum);
+        }
+      }
+    } else {
+      plan.qweights = quant::quantize_symmetric(gn.weight, ctx.opt.weight_bits);
+      lin_scale = s_in * plan.qweights.scale;
+    }
+
+    plan.rq.scale.assign(static_cast<std::size_t>(fout), lin_scale);
+    plan.rq.bias.resize(static_cast<std::size_t>(fout));
+    for (int o = 0; o < fout; ++o) {
+      const auto oi = static_cast<std::size_t>(o);
+      plan.rq.bias[oi] = (gn.has_bias ? gn.bias[oi] : 0.0f) + corr[oi];
+    }
+    plan.rq.fuse_relu = n.fused_relu;
+    plan.rq.out = n.oq;
+  }
+
+  static void legalize_gap(PlanGraph& pg, const PassContext&, PlanNode& n) {
+    const PlanNode& src = pg.node(n.inputs[0]);
+    check(src.out_chw.size() == 3, "compile: GlobalAvgPool input must be CHW");
+    const int channels = src.out_chw[0];
+    const float inv_hw = 1.0f / static_cast<float>(src.out_chw[1] * src.out_chw[2]);
+    LayerPlan& plan = n.plan;
+    plan.rq.scale.assign(static_cast<std::size_t>(channels), src.oq.scale * inv_hw);
+    plan.rq.bias.assign(static_cast<std::size_t>(channels),
+                        -src.oq.scale * static_cast<float>(src.oq.zero_point));
+    plan.rq.fuse_relu = false;
+    plan.rq.out = n.oq;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Pass> make_legalize() { return std::make_unique<Legalize>(); }
+
+}  // namespace bswp::runtime::lowering

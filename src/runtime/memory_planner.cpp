@@ -180,7 +180,7 @@ MemoryPlan MemoryPlanner::plan_mcu(const CompiledNetwork& net) {
   //  * relu / flatten / maxpool rewrite their input in place.
   const std::vector<int> last = last_uses(net);
   auto packed_bytes = [](const LayerPlan& p) {
-    return (p.out_elems() * static_cast<std::size_t>(p.out_bits) + 7) / 8;
+    return (p.out_elems() * static_cast<std::size_t>(p.out.bits) + 7) / 8;
   };
   std::vector<std::size_t> out_bytes(net.plans.size());
   std::vector<std::size_t> scratch(net.plans.size());

@@ -1,112 +1,20 @@
 #include "runtime/pipeline.h"
 
-#include <algorithm>
-#include <cmath>
-#include <map>
-
-#include "quant/quantize.h"
+#include "runtime/lowering/plan_graph.h"
 
 namespace bswp::runtime {
 
-namespace {
-
-using nn::Op;
-
-struct Chain {
-  int bn_node = -1;
-  bool has_relu = false;
-  int end = -1;  // last absorbed node (defines the output range)
-  std::vector<int> members;
-};
-
-/// Follow the single-consumer chain of BN / ReLU / FakeQuant nodes hanging
-/// off `start`. BN is only absorbable directly after a conv (before ReLU).
-Chain walk_chain(const nn::Graph& g, const std::vector<std::vector<int>>& consumers, int start,
-                 bool allow_bn) {
-  Chain c;
-  c.end = start;
-  c.members.push_back(start);
-  int cur = start;
-  while (true) {
-    const auto& next_list = consumers[static_cast<std::size_t>(cur)];
-    if (next_list.size() != 1) break;
-    const int next = next_list[0];
-    const Op op = g.node(next).op;
-    if (op == Op::kBatchNorm) {
-      if (!allow_bn || c.bn_node != -1 || c.has_relu) break;
-      c.bn_node = next;
-    } else if (op == Op::kReLU) {
-      if (c.has_relu) break;
-      c.has_relu = true;
-    } else if (op == Op::kFakeQuant) {
-      // calibration identity at inference time
-    } else {
-      break;
-    }
-    cur = next;
-    c.end = cur;
-    c.members.push_back(cur);
-  }
-  return c;
-}
-
-struct OutQuant {
-  float scale;
-  int zero_point;
-  bool relu;
-};
-
-/// Output quantization of a fused chain: ReLU outputs are unsigned M-bit in
-/// [0, range]; non-ReLU outputs (residual branches) are offset-unsigned with
-/// zero_point 2^(M-1) over [-absr, absr].
-OutQuant chain_out_quant(const quant::CalibrationResult& cal, const Chain& c, int act_bits) {
-  OutQuant q;
-  q.relu = c.has_relu;
-  if (c.has_relu) {
-    const float range = std::max(1e-6f, cal.range(c.end));
-    q.scale = range / static_cast<float>((1 << act_bits) - 1);
-    q.zero_point = 0;
-  } else {
-    const float absr = std::max(1e-6f, cal.abs_range(c.end));
-    q.scale = absr / static_cast<float>(1 << (act_bits - 1));
-    q.zero_point = 1 << (act_bits - 1);
-  }
-  return q;
-}
-
-/// Per-channel BN multipliers folded into requantization.
-struct BnFold {
-  std::vector<float> scale;  // gamma / sqrt(var + eps)
-  std::vector<float> mean;   // running mean
-  std::vector<float> beta;
-};
-
-BnFold fold_bn(const nn::Graph& g, int bn_node, int channels) {
-  BnFold f;
-  f.scale.assign(static_cast<std::size_t>(channels), 1.0f);
-  f.mean.assign(static_cast<std::size_t>(channels), 0.0f);
-  f.beta.assign(static_cast<std::size_t>(channels), 0.0f);
-  if (bn_node < 0) return f;
-  const nn::BatchNormState& bn = g.node(bn_node).bn;
-  for (int c = 0; c < channels; ++c) {
-    const auto ci = static_cast<std::size_t>(c);
-    f.scale[ci] = bn.gamma[ci] / std::sqrt(bn.running_var[ci] + bn.eps);
-    f.mean[ci] = bn.running_mean[ci];
-    f.beta[ci] = bn.beta[ci];
-  }
-  return f;
-}
-
-}  // namespace
-
 CompiledNetwork compile(const nn::Graph& g, const pool::PooledNetwork* pooled,
-                        const quant::CalibrationResult& cal, const CompileOptions& opt) {
+                        const quant::CalibrationResult& cal, const CompileOptions& opt,
+                        CompileReport* report) {
   check(opt.act_bits >= 1 && opt.act_bits <= 8, "compile: act_bits must be in 1..8");
   CompiledNetwork net;
   net.act_bits = opt.act_bits;
 
-  // Shared LUT for pooled layers.
-  std::map<int, const pool::PooledLayer*> pooled_by_node;
+  // Shared LUT + quantized pool for the pooled layers (built once up front —
+  // the SelectBackends cost model and the Legalize row-sum corrections both
+  // read it).
+  QTensor qpool;
   if (pooled != nullptr && !pooled->layers.empty()) {
     pool::LutOptions lo;
     lo.bitwidth = opt.lut_bits;
@@ -114,261 +22,19 @@ CompiledNetwork compile(const nn::Graph& g, const pool::PooledNetwork* pooled,
     lo.pool_quant_bits = opt.weight_bits;
     net.lut = pool::build_lut(pooled->pool, lo);
     net.has_lut = true;
-    for (const auto& layer : pooled->layers) pooled_by_node[layer.node] = &layer;
+    qpool = pool::quantize_pool(pooled->pool, opt.weight_bits);
   }
 
-  // Quantized pool (for zero-point row-sum corrections).
-  QTensor qpool;
-  if (net.has_lut) qpool = pool::quantize_pool(pooled->pool, opt.weight_bits);
-  auto pool_rowsum = [&](int s) {
-    int32_t acc = 0;
-    const int gs = net.lut.group_size;
-    for (int j = 0; j < gs; ++j) acc += qpool.data[static_cast<std::size_t>(s) * gs + j];
-    return acc;
-  };
-
-  std::vector<std::vector<int>> consumers(static_cast<std::size_t>(g.num_nodes()));
-  for (int i = 0; i < g.num_nodes(); ++i) {
-    for (int in : g.node(i).inputs) consumers[static_cast<std::size_t>(in)].push_back(i);
-  }
-
-  std::vector<int> node_plan(static_cast<std::size_t>(g.num_nodes()), -1);
-  auto plan_of = [&](int node) {
-    const int p = node_plan[static_cast<std::size_t>(node)];
-    check(p >= 0, "compile: node has no plan (unsupported graph pattern)");
-    return p;
-  };
-
-  for (int node = 0; node < g.num_nodes(); ++node) {
-    if (node_plan[static_cast<std::size_t>(node)] >= 0) continue;  // absorbed into a chain
-    const nn::Node& n = g.node(node);
-    LayerPlan plan;
-    plan.name = n.name;
-    plan.out_chw = n.out_chw;
-
-    switch (n.op) {
-      case Op::kInput: {
-        plan.kind = PlanKind::kInput;
-        plan.out_bits = 8;
-        plan.out_signed = true;
-        plan.out_scale = std::max(1e-6f, cal.input_abs_max) / 127.0f;
-        plan.out_zero_point = 0;
-        net.input_scale = plan.out_scale;
-        break;
-      }
-      case Op::kConv2d: {
-        const Chain chain = walk_chain(g, consumers, node, /*allow_bn=*/true);
-        const OutQuant oq = chain_out_quant(cal, chain, opt.act_bits);
-        const int in_plan = plan_of(n.inputs[0]);
-        const LayerPlan& src = net.plans[static_cast<std::size_t>(in_plan)];
-        const float s_in = src.out_scale;
-        const int in_zp = src.out_zero_point;
-        const BnFold bn = fold_bn(g, chain.bn_node, n.conv.out_ch);
-
-        plan.inputs = {in_plan};
-        plan.spec = n.conv;
-        const auto it = pooled_by_node.find(node);
-        float conv_scale;
-        std::vector<float> corr(static_cast<std::size_t>(n.conv.out_ch), 0.0f);
-        if (it != pooled_by_node.end()) {
-          plan.kind = PlanKind::kConvBitSerial;
-          plan.indices = kernels::PackedIndices::pack(*it->second);
-          // Layer policy (§4.2-4.3): precompute when filters exceed the pool
-          // size; cache the LUT when the filter loop is long enough to
-          // amortize the per-decomposition block copies; otherwise read the
-          // LUT from flash directly (very narrow layers).
-          if (opt.force_variant) {
-            plan.variant = opt.forced_variant;
-          } else if (opt.auto_precompute &&
-                     kernels::should_precompute(n.conv.out_ch, net.lut.pool_size)) {
-            plan.variant = kernels::BitSerialVariant::kCachedPrecompute;
-          } else if (n.conv.out_ch * 4 >= net.lut.pool_size) {
-            plan.variant = kernels::BitSerialVariant::kCached;
-          } else {
-            plan.variant = kernels::BitSerialVariant::kInputReuse;
-          }
-          conv_scale = s_in * net.lut.pool_scale * net.lut.entry_scale;
-          if (in_zp != 0) {
-            // Offset-unsigned input: fold -zp * sum(w) into the bias. Only
-            // valid without padding (padded taps would need the same term).
-            check(n.conv.pad == 0,
-                  "compile: pooled conv with signed (offset) input requires pad == 0");
-            const pool::PooledLayer& pl = *it->second;
-            for (int o = 0; o < n.conv.out_ch; ++o) {
-              int64_t rowsum = 0;
-              for (int gg = 0; gg < pl.channel_groups; ++gg)
-                for (int ky = 0; ky < pl.kh; ++ky)
-                  for (int kx = 0; kx < pl.kw; ++kx) rowsum += pool_rowsum(pl.index(o, gg, ky, kx));
-              corr[static_cast<std::size_t>(o)] = -s_in * static_cast<float>(in_zp) *
-                                                  net.lut.pool_scale *
-                                                  static_cast<float>(rowsum);
-            }
-          }
-        } else {
-          plan.kind = PlanKind::kConvBaseline;
-          plan.qweights = quant::quantize_symmetric(n.weight, opt.weight_bits);
-          conv_scale = s_in * plan.qweights.scale;
-        }
-
-        plan.rq.scale.resize(static_cast<std::size_t>(n.conv.out_ch));
-        plan.rq.bias.resize(static_cast<std::size_t>(n.conv.out_ch));
-        for (int o = 0; o < n.conv.out_ch; ++o) {
-          const auto oi = static_cast<std::size_t>(o);
-          const float conv_bias = n.has_bias ? n.bias[oi] : 0.0f;
-          plan.rq.scale[oi] = conv_scale * bn.scale[oi];
-          plan.rq.bias[oi] = bn.scale[oi] * (conv_bias + corr[oi] - bn.mean[oi]) + bn.beta[oi];
-        }
-        plan.rq.fuse_relu = oq.relu;
-        plan.rq.out_scale = oq.scale;
-        plan.rq.out_zero_point = oq.zero_point;
-        plan.rq.out_bits = opt.act_bits;
-        plan.rq.out_signed = false;
-        plan.out_scale = oq.scale;
-        plan.out_zero_point = oq.zero_point;
-        plan.out_bits = opt.act_bits;
-        plan.out_signed = false;
-        plan.out_chw = g.node(chain.end).out_chw;
-
-        net.plans.push_back(std::move(plan));
-        for (int m : chain.members) node_plan[static_cast<std::size_t>(m)] = static_cast<int>(net.plans.size()) - 1;
-        continue;
-      }
-      case Op::kAdd: {
-        const Chain chain = walk_chain(g, consumers, node, /*allow_bn=*/false);
-        const OutQuant oq = chain_out_quant(cal, chain, opt.act_bits);
-        plan.kind = PlanKind::kAdd;
-        plan.inputs = {plan_of(n.inputs[0]), plan_of(n.inputs[1])};
-        plan.rq = kernels::Requant::uniform(1, 1.0f, {}, oq.scale, opt.act_bits, false, oq.relu);
-        plan.rq.out_zero_point = oq.zero_point;
-        plan.out_scale = oq.scale;
-        plan.out_zero_point = oq.zero_point;
-        plan.out_bits = opt.act_bits;
-        plan.out_signed = false;
-        net.plans.push_back(std::move(plan));
-        for (int m : chain.members) node_plan[static_cast<std::size_t>(m)] = static_cast<int>(net.plans.size()) - 1;
-        continue;
-      }
-      case Op::kLinear: {
-        const int in_plan = plan_of(n.inputs[0]);
-        const LayerPlan& src = net.plans[static_cast<std::size_t>(in_plan)];
-        const float s_in = src.out_scale;
-        plan.inputs = {in_plan};
-        const int fout = n.weight.dim(0);
-        const auto it = pooled_by_node.find(node);
-        float lin_scale;
-        std::vector<float> corr(static_cast<std::size_t>(fout), 0.0f);
-        if (it != pooled_by_node.end()) {
-          plan.kind = PlanKind::kLinearBitSerial;
-          plan.indices = kernels::PackedIndices::pack(*it->second);
-          plan.variant = kernels::BitSerialVariant::kCached;
-          lin_scale = s_in * net.lut.pool_scale * net.lut.entry_scale;
-          if (src.out_zero_point != 0) {
-            const pool::PooledLayer& pl = *it->second;
-            for (int o = 0; o < fout; ++o) {
-              int64_t rowsum = 0;
-              for (int gg = 0; gg < pl.channel_groups; ++gg) rowsum += pool_rowsum(pl.index(o, gg, 0, 0));
-              corr[static_cast<std::size_t>(o)] = -s_in *
-                                                  static_cast<float>(src.out_zero_point) *
-                                                  net.lut.pool_scale * static_cast<float>(rowsum);
-            }
-          }
-        } else {
-          plan.kind = PlanKind::kLinearBaseline;
-          plan.qweights = quant::quantize_symmetric(n.weight, opt.weight_bits);
-          lin_scale = s_in * plan.qweights.scale;
-        }
-        // Classifier logits: 16-bit signed so argmax is never range-limited.
-        const float absr = std::max(1e-6f, cal.abs_range(node));
-        plan.rq.scale.resize(static_cast<std::size_t>(fout));
-        plan.rq.bias.resize(static_cast<std::size_t>(fout));
-        for (int o = 0; o < fout; ++o) {
-          plan.rq.scale[static_cast<std::size_t>(o)] = lin_scale;
-          plan.rq.bias[static_cast<std::size_t>(o)] =
-              (n.has_bias ? n.bias[static_cast<std::size_t>(o)] : 0.0f) + corr[static_cast<std::size_t>(o)];
-        }
-        plan.rq.fuse_relu = false;
-        plan.rq.out_scale = absr / 32767.0f;
-        plan.rq.out_bits = 16;
-        plan.rq.out_signed = true;
-        plan.rq.out_zero_point = 0;
-        plan.out_scale = plan.rq.out_scale;
-        plan.out_bits = 16;
-        plan.out_signed = true;
-        plan.out_zero_point = 0;
-        break;
-      }
-      case Op::kMaxPool: {
-        const int in_plan = plan_of(n.inputs[0]);
-        const LayerPlan& src = net.plans[static_cast<std::size_t>(in_plan)];
-        plan.kind = PlanKind::kMaxPool;
-        plan.inputs = {in_plan};
-        plan.pool_k = n.pool_k;
-        plan.pool_stride = n.pool_stride;
-        plan.out_scale = src.out_scale;
-        plan.out_zero_point = src.out_zero_point;
-        plan.out_bits = src.out_bits;
-        plan.out_signed = src.out_signed;
-        break;
-      }
-      case Op::kGlobalAvgPool: {
-        const int in_plan = plan_of(n.inputs[0]);
-        const LayerPlan& src = net.plans[static_cast<std::size_t>(in_plan)];
-        const auto& in_chw = g.node(n.inputs[0]).out_chw;
-        const int channels = in_chw[0];
-        const float inv_hw = 1.0f / static_cast<float>(in_chw[1] * in_chw[2]);
-        plan.kind = PlanKind::kGlobalAvgPool;
-        plan.inputs = {in_plan};
-        const float range = std::max(1e-6f, cal.range(node));
-        plan.rq.scale.assign(static_cast<std::size_t>(channels), src.out_scale * inv_hw);
-        plan.rq.bias.assign(static_cast<std::size_t>(channels),
-                            -src.out_scale * static_cast<float>(src.out_zero_point));
-        plan.rq.fuse_relu = false;
-        plan.rq.out_scale = range / static_cast<float>((1 << opt.act_bits) - 1);
-        plan.rq.out_bits = opt.act_bits;
-        plan.rq.out_signed = false;
-        plan.rq.out_zero_point = 0;
-        plan.out_scale = plan.rq.out_scale;
-        plan.out_bits = opt.act_bits;
-        plan.out_signed = false;
-        plan.out_zero_point = 0;
-        break;
-      }
-      case Op::kFlatten: {
-        const int in_plan = plan_of(n.inputs[0]);
-        const LayerPlan& src = net.plans[static_cast<std::size_t>(in_plan)];
-        plan.kind = PlanKind::kFlatten;
-        plan.inputs = {in_plan};
-        plan.out_scale = src.out_scale;
-        plan.out_zero_point = src.out_zero_point;
-        plan.out_bits = src.out_bits;
-        plan.out_signed = src.out_signed;
-        break;
-      }
-      case Op::kReLU: {
-        // Standalone ReLU (not fused into a conv/add chain).
-        const int in_plan = plan_of(n.inputs[0]);
-        const LayerPlan& src = net.plans[static_cast<std::size_t>(in_plan)];
-        plan.kind = PlanKind::kRelu;
-        plan.inputs = {in_plan};
-        plan.out_scale = src.out_scale;
-        plan.out_zero_point = src.out_zero_point;
-        plan.out_bits = src.out_bits;
-        plan.out_signed = src.out_signed;
-        break;
-      }
-      case Op::kFakeQuant: {
-        node_plan[static_cast<std::size_t>(node)] = plan_of(n.inputs[0]);
-        continue;
-      }
-      case Op::kBatchNorm:
-        throw std::invalid_argument(
-            "compile: standalone BatchNorm (not directly after a conv) is unsupported");
-      case Op::kBinarize:
-        throw std::invalid_argument("compile: binarized graphs use the bswp::binary path");
-    }
-    net.plans.push_back(std::move(plan));
-    node_plan[static_cast<std::size_t>(node)] = static_cast<int>(net.plans.size()) - 1;
-  }
+  lowering::PassContext ctx{g,
+                            net.has_lut ? pooled : nullptr,
+                            cal,
+                            opt,
+                            net.has_lut ? &net.lut : nullptr,
+                            net.has_lut ? &qpool : nullptr,
+                            report};
+  lowering::PlanGraph pg = lowering::build_plan_graph(g);
+  lowering::run_pass_pipeline(pg, lowering::default_pass_pipeline(), ctx);
+  lowering::freeze(pg, net);
   return net;
 }
 

@@ -1,11 +1,14 @@
 // Compilation pipeline: float graph (+ optional weight pool) -> deployable
 // CompiledNetwork (Figure 1 host side, minus training).
 //
-// The pipeline fuses conv→BN→ReLU chains, quantizes uncompressed layers to
-// int8, converts pooled layers to packed indices against the shared LUT, and
-// assigns every inter-layer activation an M-bit quantization from the
-// calibration result. BatchNorm folds into per-channel *requantization*
-// (never into weights — that would break pool sharing across layers).
+// Lowering is organized as an ordered pass pipeline over a mutable PlanGraph
+// IR (src/runtime/lowering/): FoldBatchNorm -> FuseActivations ->
+// EliminateDeadNodes -> AssignActivationQuant -> SelectBackends -> Legalize,
+// after which the graph is frozen into the immutable CompiledNetwork
+// artifact (container format unchanged). BatchNorm folds into per-channel
+// *requantization* (never into weights — that would break pool sharing), and
+// backend/variant choice is a cost-model query (sim/layer_cost.h) priced by
+// CompileOptions::cost_profile rather than a hard-coded threshold.
 //
 // DEPRECATED as a public API: compile() is the implementation layer behind
 // bswp::Deployment (src/api/bswp.h); new call sites should use the facade,
@@ -15,25 +18,48 @@
 #include "pool/codec.h"
 #include "quant/calibrate.h"
 #include "runtime/compressed_network.h"
+#include "runtime/lowering/report.h"
+#include "sim/mcu.h"
 
 namespace bswp::runtime {
+
+/// How SelectBackends picks the bit-serial variant of each pooled layer.
+enum class BackendSelect {
+  /// Estimate every variant's event counts with sim/layer_cost and pick the
+  /// cheapest under CompileOptions::cost_profile (the default).
+  kCostModel,
+  /// The paper's §4.2-4.3 layer policy: precompute when filters exceed the
+  /// pool size (if auto_precompute), cache when the filter loop amortizes
+  /// the block copies, flash reads otherwise.
+  kHeuristic,
+};
 
 struct CompileOptions {
   int act_bits = 8;     // M: activation bitwidth of all hidden activations
   int weight_bits = 8;  // B_w for uncompressed layers and the pool quant
   int lut_bits = 8;     // B_l
   pool::LutOrder lut_order = pool::LutOrder::kInputOriented;
-  /// Pick cached+precompute automatically when filters > pool size (§4.3).
+  /// Variant policy. kHeuristic reproduces the pre-cost-model behavior.
+  BackendSelect backend_select = BackendSelect::kCostModel;
+  /// MCU profile pricing the cost model's event counts (kCostModel only).
+  sim::McuProfile cost_profile = sim::mc_large();
+  /// Heuristic mode only: pick cached+precompute when filters > pool size.
   bool auto_precompute = true;
-  /// Force one bit-serial variant for every pooled layer (ablations).
+  /// Force one bit-serial variant for every pooled layer, linear included
+  /// (ablations; all variants are bit-identical, they differ only in cost).
   bool force_variant = false;
   kernels::BitSerialVariant forced_variant = kernels::BitSerialVariant::kCached;
+  /// Record per-pass PassTraceEntry rows in the CompileReport.
+  bool pass_trace = false;
 };
 
 /// Compile `g` for integer execution. `pooled` may be null for a fully
 /// uncompressed (CMSIS-baseline) build. `cal` must contain ranges for every
-/// node of `g` (from quant::calibrate on the same graph).
+/// node of `g` (from quant::calibrate on the same graph). When `report` is
+/// non-null it receives the backend-selection report and, if
+/// `opt.pass_trace` is set, the pass trace.
 CompiledNetwork compile(const nn::Graph& g, const pool::PooledNetwork* pooled,
-                        const quant::CalibrationResult& cal, const CompileOptions& opt);
+                        const quant::CalibrationResult& cal, const CompileOptions& opt,
+                        CompileReport* report = nullptr);
 
 }  // namespace bswp::runtime

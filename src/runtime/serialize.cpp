@@ -12,6 +12,13 @@ namespace {
 constexpr uint32_t kMagic = 0x42535750;  // "BSWP"
 constexpr uint32_t kVersion = 1;
 
+// A new PlanKind must be wired through the plan payload writers/readers
+// below (and through export_c_header's flash emission) before this count is
+// bumped — the assert makes skipping this file a compile error.
+static_assert(kNumPlanKinds == 11,
+              "PlanKind changed: audit save_network/load_network/export_c_header payloads, "
+              "then update this count");
+
 // --- little primitive readers/writers (host-endian; container is a host
 // artifact, not a wire format) ----------------------------------------------
 
@@ -93,10 +100,10 @@ QTensor read_qtensor(std::istream& is) {
 void write_requant(std::ostream& os, const kernels::Requant& rq) {
   write_vec(os, rq.scale);
   write_vec(os, rq.bias);
-  write_pod(os, rq.out_scale);
-  write_pod<int32_t>(os, rq.out_bits);
-  write_pod<uint8_t>(os, rq.out_signed ? 1 : 0);
-  write_pod<int32_t>(os, rq.out_zero_point);
+  write_pod(os, rq.out.scale);
+  write_pod<int32_t>(os, rq.out.bits);
+  write_pod<uint8_t>(os, rq.out.is_signed ? 1 : 0);
+  write_pod<int32_t>(os, rq.out.zero_point);
   write_pod<uint8_t>(os, rq.fuse_relu ? 1 : 0);
 }
 
@@ -104,10 +111,10 @@ kernels::Requant read_requant(std::istream& is) {
   kernels::Requant rq;
   rq.scale = read_vec<float>(is);
   rq.bias = read_vec<float>(is);
-  rq.out_scale = read_pod<float>(is);
-  rq.out_bits = read_pod<int32_t>(is);
-  rq.out_signed = read_pod<uint8_t>(is) != 0;
-  rq.out_zero_point = read_pod<int32_t>(is);
+  rq.out.scale = read_pod<float>(is);
+  rq.out.bits = read_pod<int32_t>(is);
+  rq.out.is_signed = read_pod<uint8_t>(is) != 0;
+  rq.out.zero_point = read_pod<int32_t>(is);
   rq.fuse_relu = read_pod<uint8_t>(is) != 0;
   return rq;
 }
@@ -151,10 +158,10 @@ void save_network(const CompiledNetwork& net, std::ostream& os) {
     write_pod<int32_t>(os, static_cast<int32_t>(p.variant));
     write_pod<int32_t>(os, p.pool_k);
     write_pod<int32_t>(os, p.pool_stride);
-    write_pod(os, p.out_scale);
-    write_pod<int32_t>(os, p.out_zero_point);
-    write_pod<int32_t>(os, p.out_bits);
-    write_pod<uint8_t>(os, p.out_signed ? 1 : 0);
+    write_pod(os, p.out.scale);
+    write_pod<int32_t>(os, p.out.zero_point);
+    write_pod<int32_t>(os, p.out.bits);
+    write_pod<uint8_t>(os, p.out.is_signed ? 1 : 0);
     write_int_vec(os, p.out_chw);
   }
 }
@@ -214,10 +221,10 @@ CompiledNetwork load_network(std::istream& is) {
     p.variant = static_cast<kernels::BitSerialVariant>(read_pod<int32_t>(is));
     p.pool_k = read_pod<int32_t>(is);
     p.pool_stride = read_pod<int32_t>(is);
-    p.out_scale = read_pod<float>(is);
-    p.out_zero_point = read_pod<int32_t>(is);
-    p.out_bits = read_pod<int32_t>(is);
-    p.out_signed = read_pod<uint8_t>(is) != 0;
+    p.out.scale = read_pod<float>(is);
+    p.out.zero_point = read_pod<int32_t>(is);
+    p.out.bits = read_pod<int32_t>(is);
+    p.out.is_signed = read_pod<uint8_t>(is) != 0;
     p.out_chw = read_int_vec(is);
   }
   return net;

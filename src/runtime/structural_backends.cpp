@@ -41,7 +41,7 @@ class InputBackend : public KernelBackend {
     out.set_shape({1, c, h, w});
     out.bits = 8;
     out.is_signed = true;
-    out.scale = ctx.plan.out_scale;
+    out.scale = ctx.plan.out.scale;
     out.zero_point = 0;
     for (std::size_t i = 0; i < img.size(); ++i) {
       out.data[i] = static_cast<int16_t>(

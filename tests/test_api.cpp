@@ -144,7 +144,7 @@ TEST(Deployment, ActBitsSyncCalibrationAndPlans) {
   EXPECT_EQ(s4.act_bits(), 4);
   for (const runtime::LayerPlan& p : s4.network().plans) {
     if (p.kind == runtime::PlanKind::kConvBitSerial) {
-      EXPECT_EQ(p.rq.out_bits, 4);
+      EXPECT_EQ(p.rq.out.bits, 4);
     }
   }
   // The same builder recompiles at another precision.

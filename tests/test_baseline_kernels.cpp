@@ -81,7 +81,7 @@ TEST(BaselineConv, ZeroPointInputHandled) {
   QTensor in = random_input(rng, 4, 3, 3, 8, false, /*zp=*/128);
   QTensor w = random_weights(rng, spec);
   Requant rq = Requant::uniform(4, in.scale * w.scale, {}, 0.01f, 8, false, false);
-  rq.out_zero_point = 128;
+  rq.out.zero_point = 128;
   QTensor out = baseline_conv2d(in, w, spec, rq, nullptr);
   for (int o = 0; o < 4; ++o) {
     const float real = ref_conv_real(in, w, spec, o, 1, 1);
@@ -178,7 +178,7 @@ TEST(AddQ, CombinesScalesAndZeroPoints) {
   b.zero_point = 8;
   b.data = {16, 0};  // reals: 2.0, -2.0
   Requant rq = Requant::uniform(1, 1.0f, {}, 0.5f, 8, false, false);
-  rq.out_zero_point = 16;
+  rq.out.zero_point = 16;
   QTensor out = add_q(a, b, rq, nullptr);
   EXPECT_EQ(out.data[0], 16 + 8);  // (2 + 2) / 0.5 + 16
   EXPECT_EQ(out.data[1], 16 - 2);  // (1 - 2) / 0.5 + 16

@@ -5,6 +5,7 @@
 #include "core/rng.h"
 #include "data/synthetic.h"
 #include "models/zoo.h"
+#include "runtime/evaluate.h"
 #include "runtime/executor.h"
 
 namespace bswp::runtime {
@@ -99,18 +100,19 @@ TEST(Pipeline, ReluChainsProduceUnsignedZeroPointOutputs) {
   for (const LayerPlan& p : net.plans) {
     if (p.kind == PlanKind::kConvBitSerial || p.kind == PlanKind::kConvBaseline) {
       if (p.rq.fuse_relu) {
-        EXPECT_EQ(p.out_zero_point, 0);
+        EXPECT_EQ(p.out.zero_point, 0);
       } else {
         // Residual-branch convs produce offset-unsigned outputs.
-        EXPECT_EQ(p.out_zero_point, 1 << (net.act_bits - 1));
+        EXPECT_EQ(p.out.zero_point, 1 << (net.act_bits - 1));
       }
     }
   }
 }
 
-TEST(Pipeline, AutoPrecomputeFollowsFilterVsPoolRule) {
+TEST(Pipeline, HeuristicModeFollowsFilterVsPoolRule) {
   PipelineEnv s;  // pool size 16; widths 16/32/64 at width=0.25 -> some layers > 16
   CompileOptions opt;
+  opt.backend_select = BackendSelect::kHeuristic;
   CompiledNetwork net = compile(s.graph, &s.pooled, s.cal, opt);
   for (const LayerPlan& p : net.plans) {
     if (p.kind != PlanKind::kConvBitSerial) continue;
@@ -120,6 +122,65 @@ TEST(Pipeline, AutoPrecomputeFollowsFilterVsPoolRule) {
       EXPECT_EQ(p.variant, kernels::BitSerialVariant::kCached) << p.name;
     }
   }
+}
+
+TEST(Pipeline, CostModelSelectionReportIsOptimalPerLayer) {
+  PipelineEnv s;
+  CompileOptions opt;  // default: BackendSelect::kCostModel
+  CompileReport report;
+  CompiledNetwork net = compile(s.graph, &s.pooled, s.cal, opt, &report);
+  ASSERT_FALSE(report.backend_choices.empty());
+  ASSERT_EQ(report.backend_choices.size(),
+            static_cast<std::size_t>(net.count_kind(PlanKind::kConvBitSerial) +
+                                     net.count_kind(PlanKind::kLinearBitSerial)));
+  for (const BackendChoice& c : report.backend_choices) {
+    // The chosen variant is the cheapest selectable candidate, and never
+    // worse than what the old filters-vs-pool heuristic would have picked.
+    for (const BackendCandidate& cand : c.candidates) {
+      if (cand.selectable) {
+        EXPECT_LE(c.chosen_cycles, cand.cycles) << c.layer;
+      }
+    }
+    EXPECT_LE(c.chosen_cycles, c.heuristic_cycles) << c.layer;
+    EXPECT_GT(c.chosen_cycles, 0.0) << c.layer;
+  }
+}
+
+TEST(Pipeline, CostModelMatchesOrBeatsHeuristicLatency) {
+  PipelineEnv s;
+  CompileOptions cost_opt;
+  CompileOptions heur_opt;
+  heur_opt.backend_select = BackendSelect::kHeuristic;
+  CompiledNetwork cost_net = compile(s.graph, &s.pooled, s.cal, cost_opt);
+  CompiledNetwork heur_net = compile(s.graph, &s.pooled, s.cal, heur_opt);
+  Tensor x({1, 3, 16, 16}, 0.25f);
+  const LatencyReport cost_lat = estimate_latency(cost_net, sim::mc_large(), x);
+  const LatencyReport heur_lat = estimate_latency(heur_net, sim::mc_large(), x);
+  EXPECT_LE(cost_lat.cycles, heur_lat.cycles);
+  // And both pipelines produce bit-identical logits (variants only differ in
+  // cost, never in arithmetic).
+  Executor a(cost_net), b(heur_net);
+  EXPECT_EQ(a.run(x).data, b.run(x).data);
+}
+
+TEST(Pipeline, PassTraceRecordsTheDefaultPipeline) {
+  PipelineEnv s;
+  CompileOptions opt;
+  opt.pass_trace = true;
+  CompileReport report;
+  compile(s.graph, &s.pooled, s.cal, opt, &report);
+  ASSERT_EQ(report.pass_trace.size(), 6u);
+  EXPECT_EQ(report.pass_trace[0].pass, "FoldBatchNorm");
+  EXPECT_EQ(report.pass_trace[1].pass, "FuseActivations");
+  EXPECT_EQ(report.pass_trace[2].pass, "EliminateDeadNodes");
+  EXPECT_EQ(report.pass_trace[3].pass, "AssignActivationQuant");
+  EXPECT_EQ(report.pass_trace[4].pass, "SelectBackends");
+  EXPECT_EQ(report.pass_trace[5].pass, "Legalize");
+  // ResNet-s has BN on every conv: the fold pass must report real work, and
+  // fusion must shrink the graph further.
+  EXPECT_GT(report.pass_trace[0].changes, 5);
+  EXPECT_LT(report.pass_trace[1].live_after, report.pass_trace[1].live_before);
+  EXPECT_FALSE(report.summary().empty());
 }
 
 TEST(Pipeline, ForceVariantOverridesPolicy) {
@@ -143,7 +204,7 @@ TEST(Pipeline, ActBitsPropagateToPlans) {
   EXPECT_EQ(net.act_bits, 4);
   for (const LayerPlan& p : net.plans) {
     if (p.kind == PlanKind::kConvBitSerial) {
-      EXPECT_EQ(p.rq.out_bits, 4);
+      EXPECT_EQ(p.rq.out.bits, 4);
     }
   }
   EXPECT_THROW(
@@ -172,8 +233,8 @@ TEST(Pipeline, ClassifierLogitsAre16Bit) {
   CompiledNetwork net = compile(s.graph, &s.pooled, s.cal, CompileOptions{});
   const LayerPlan& last = net.plans.back();
   EXPECT_EQ(last.kind, PlanKind::kLinearBaseline);
-  EXPECT_EQ(last.out_bits, 16);
-  EXPECT_TRUE(last.out_signed);
+  EXPECT_EQ(last.out.bits, 16);
+  EXPECT_TRUE(last.out.is_signed);
 }
 
 TEST(Pipeline, MobileNetCompilesWithSignedPointwiseInputs) {

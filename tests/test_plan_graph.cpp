@@ -1,0 +1,203 @@
+// Pass-level tests for the PlanGraph lowering pipeline: behaviors the
+// monolithic compiler could not express (dead-node elimination, ReLU fusion
+// into linear layers) plus the unsupported-pattern diagnostics.
+#include "runtime/lowering/plan_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "runtime/executor.h"
+
+namespace bswp::runtime {
+namespace {
+
+/// Hand-built calibration: every node range 1.0 (geometry tests don't need
+/// data-derived ranges).
+quant::CalibrationResult unit_calibration(const nn::Graph& g) {
+  quant::CalibrationResult cal;
+  cal.input_abs_max = 1.0f;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    cal.node_range[i] = 1.0f;
+    cal.node_abs_range[i] = 1.0f;
+  }
+  return cal;
+}
+
+TEST(PlanGraphPasses, ReluFusesIntoHiddenLinear) {
+  // input -> flatten -> linear+ReLU (hidden) -> linear (classifier). The old
+  // compiler emitted a standalone 16-bit-signed relu for the hidden layer;
+  // FuseActivations folds it into the linear's requant clamp and the hidden
+  // activation becomes unsigned act_bits — the shape the bit-serial linear
+  // kernel requires.
+  nn::Graph g;
+  int x = g.input(4, 4, 4);
+  x = g.flatten(x);
+  x = g.linear(x, 32, true, "fc_hidden");
+  x = g.relu(x);
+  g.linear(x, 5, true, "fc_out");
+  Rng rng(3);
+  g.init_weights(rng);
+
+  CompileOptions opt;
+  opt.act_bits = 6;
+  CompiledNetwork net = compile(g, nullptr, unit_calibration(g), opt);
+  ASSERT_EQ(net.count_kind(PlanKind::kRelu), 0);  // fused, not standalone
+  ASSERT_EQ(net.count_kind(PlanKind::kLinearBaseline), 2);
+  const LayerPlan* hidden = nullptr;
+  const LayerPlan* head = nullptr;
+  for (const LayerPlan& p : net.plans) {
+    if (p.name == "fc_hidden") hidden = &p;
+    if (p.name == "fc_out") head = &p;
+  }
+  ASSERT_NE(hidden, nullptr);
+  ASSERT_NE(head, nullptr);
+  EXPECT_TRUE(hidden->rq.fuse_relu);
+  EXPECT_EQ(hidden->out.bits, 6);
+  EXPECT_FALSE(hidden->out.is_signed);
+  EXPECT_EQ(hidden->out.zero_point, 0);
+  // The unfused head keeps the 16-bit signed classifier contract.
+  EXPECT_FALSE(head->rq.fuse_relu);
+  EXPECT_EQ(head->out.bits, 16);
+  EXPECT_TRUE(head->out.is_signed);
+  // And the compiled MLP executes.
+  Tensor img({1, 4, 4, 4}, 0.1f);
+  EXPECT_EQ(Executor(net).run(img).shape, (std::vector<int>{1, 5}));
+}
+
+TEST(PlanGraphPasses, ReluWithMultipleConsumersStaysStandalone) {
+  // The conv feeds both a ReLU and a GlobalAvgPool: the ReLU cannot be fused
+  // (fusing would clamp the GAP branch too), so it must survive as a kRelu
+  // plan reading the conv output.
+  nn::Graph g;
+  int x = g.input(8, 6, 6);
+  int c = g.conv2d(x, 8, 3, 1, 1);
+  int r = g.relu(c);
+  int p1 = g.global_avgpool(r);
+  int p2 = g.global_avgpool(c);  // second consumer of the conv
+  g.add(p1, p2);
+  Rng rng(4);
+  g.init_weights(rng);
+
+  CompiledNetwork net = compile(g, nullptr, unit_calibration(g), CompileOptions{});
+  EXPECT_EQ(net.count_kind(PlanKind::kRelu), 1);
+  for (const LayerPlan& p : net.plans) {
+    if (p.kind == PlanKind::kConvBaseline) {
+      EXPECT_FALSE(p.rq.fuse_relu);
+    }
+  }
+}
+
+TEST(PlanGraphPasses, DeadBranchIsEliminated) {
+  nn::Graph g;
+  int x = g.input(3, 8, 8);
+  g.conv2d(x, 8, 3, 1, 1, 1, false, "dead_conv");  // never consumed
+  int y = g.conv2d(x, 8, 3, 1, 1, 1, false, "live_conv");
+  y = g.relu(y);
+  y = g.global_avgpool(y);
+  g.linear(y, 3);
+  Rng rng(5);
+  g.init_weights(rng);
+
+  CompileOptions opt;
+  opt.pass_trace = true;
+  CompileReport report;
+  CompiledNetwork net = compile(g, nullptr, unit_calibration(g), opt, &report);
+  for (const LayerPlan& p : net.plans) EXPECT_NE(p.name, "dead_conv");
+  EXPECT_EQ(net.count_kind(PlanKind::kConvBaseline), 1);
+  bool saw_elimination = false;
+  for (const PassTraceEntry& e : report.pass_trace) {
+    if (e.pass == "EliminateDeadNodes") {
+      EXPECT_EQ(e.changes, 1);
+      EXPECT_EQ(e.live_after, e.live_before - 1);
+      saw_elimination = true;
+    }
+  }
+  EXPECT_TRUE(saw_elimination);
+}
+
+TEST(PlanGraphPasses, FakeQuantNodesAreSpliced) {
+  nn::Graph g;
+  int x = g.input(3, 8, 8);
+  x = g.conv2d(x, 8, 3, 1, 1);
+  x = g.relu(x);
+  x = g.fake_quant(x, 8);
+  x = g.global_avgpool(x);
+  x = g.fake_quant(x, 8);
+  g.linear(x, 4);
+  Rng rng(6);
+  g.init_weights(rng);
+
+  CompiledNetwork net = compile(g, nullptr, unit_calibration(g), CompileOptions{});
+  // conv (relu fused) + input + gap + linear: FakeQuants leave no plans.
+  EXPECT_EQ(net.plans.size(), 4u);
+  Tensor img({1, 3, 8, 8}, 0.2f);
+  EXPECT_NO_THROW(Executor(net).run(img));
+}
+
+TEST(PlanGraphPasses, BatchNormFoldsThroughFakeQuant) {
+  // QAT graphs interleave FakeQuant identities: conv -> FQ -> BN -> ReLU must
+  // fold exactly like conv -> BN -> ReLU (the FQ is spliced with the BN).
+  nn::Graph g;
+  int x = g.input(3, 8, 8);
+  x = g.conv2d(x, 8, 3, 1, 1);
+  x = g.fake_quant(x, 8);
+  x = g.batchnorm(x);
+  x = g.relu(x);
+  x = g.global_avgpool(x);
+  g.linear(x, 4);
+  Rng rng(7);
+  g.init_weights(rng);
+  // Seed BN running stats away from identity so the fold is observable.
+  g.forward(Tensor({2, 3, 8, 8}, 0.5f), /*training=*/true);
+
+  CompiledNetwork net = compile(g, nullptr, unit_calibration(g), CompileOptions{});
+  // input, conv (BN + ReLU folded), gap, linear — nothing else survives.
+  ASSERT_EQ(net.plans.size(), 4u);
+  const LayerPlan& conv = net.plans[1];
+  ASSERT_EQ(conv.kind, PlanKind::kConvBaseline);
+  EXPECT_TRUE(conv.rq.fuse_relu);
+  bool bias_differs = false;
+  for (std::size_t c = 1; c < conv.rq.bias.size(); ++c) {
+    if (conv.rq.bias[c] != conv.rq.bias[0]) bias_differs = true;
+  }
+  EXPECT_TRUE(bias_differs) << "BN running stats should show up in the folded requant bias";
+}
+
+/// The compile error for an unsupported pattern must carry the precise
+/// message even when the offending node sits mid-graph.
+void expect_compile_error(nn::Graph& g, const std::string& needle) {
+  try {
+    compile(g, nullptr, unit_calibration(g), CompileOptions{});
+    FAIL() << "compile() should have thrown";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos) << e.what();
+  }
+}
+
+TEST(PlanGraphPasses, StandaloneBatchNormIsRejected) {
+  nn::Graph g;
+  int x = g.input(3, 8, 8);
+  x = g.conv2d(x, 8, 3, 1, 1);
+  x = g.relu(x);          // ReLU between conv and BN: BN is not foldable
+  x = g.batchnorm(x);
+  x = g.global_avgpool(x);
+  g.linear(x, 4);
+  Rng rng(8);
+  g.init_weights(rng);
+  expect_compile_error(g, "standalone BatchNorm");
+}
+
+TEST(PlanGraphPasses, BinarizedGraphsAreRedirected) {
+  nn::Graph g;
+  int x = g.input(3, 8, 8);
+  x = g.conv2d(x, 8, 3, 1, 1);
+  x = g.binarize(x);
+  x = g.global_avgpool(x);
+  g.linear(x, 4);
+  Rng rng(9);
+  g.init_weights(rng);
+  expect_compile_error(g, "bswp::binary");
+}
+
+}  // namespace
+}  // namespace bswp::runtime

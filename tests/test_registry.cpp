@@ -136,18 +136,18 @@ CompiledNetwork binary_net(const Tensor& w, const nn::ConvSpec& spec) {
   input.kind = PlanKind::kInput;
   input.name = "input";
   input.out_chw = {spec.in_ch, 6, 6};
-  input.out_scale = 1.0f / 127.0f;
-  input.out_bits = 8;
-  input.out_signed = true;
+  input.out.scale = 1.0f / 127.0f;
+  input.out.bits = 8;
+  input.out.is_signed = true;
   net.plans.push_back(input);
 
   kernels::Requant rq;
   rq.scale.assign(static_cast<std::size_t>(spec.out_ch), 1.0f);
   rq.bias.assign(static_cast<std::size_t>(spec.out_ch), 0.0f);
-  rq.out_scale = 1.0f;
-  rq.out_bits = 8;
-  rq.out_signed = true;
-  rq.out_zero_point = 0;
+  rq.out.scale = 1.0f;
+  rq.out.bits = 8;
+  rq.out.is_signed = true;
+  rq.out.zero_point = 0;
   rq.fuse_relu = false;
 
   LayerPlan conv = binary::make_binary_conv_plan(w, spec, rq);

@@ -157,7 +157,9 @@ TEST(RuntimePolicy, NarrowLayersSkipLutCaching) {
   co.pool_size = 64;
   co.kmeans_iters = 4;
   pool::PooledNetwork pooled = pool::build_weight_pool(g, co);
-  CompiledNetwork net = compile(g, &pooled, cal, CompileOptions{});
+  CompileOptions opt;
+  opt.backend_select = BackendSelect::kHeuristic;  // this tests the §4.3 policy
+  CompiledNetwork net = compile(g, &pooled, cal, opt);
   std::vector<kernels::BitSerialVariant> variants;
   for (const LayerPlan& p : net.plans) {
     if (p.kind == PlanKind::kConvBitSerial) variants.push_back(p.variant);

@@ -178,11 +178,11 @@ void expect_networks_equal(const CompiledNetwork& a, const CompiledNetwork& b) {
     EXPECT_EQ(p.indices.idx, q.indices.idx) << i;
     EXPECT_EQ(p.rq.scale, q.rq.scale) << i;
     EXPECT_EQ(p.rq.bias, q.rq.bias) << i;
-    EXPECT_EQ(p.rq.out_bits, q.rq.out_bits) << i;
-    EXPECT_EQ(p.out_scale, q.out_scale) << i;
-    EXPECT_EQ(p.out_zero_point, q.out_zero_point) << i;
-    EXPECT_EQ(p.out_bits, q.out_bits) << i;
-    EXPECT_EQ(p.out_signed, q.out_signed) << i;
+    EXPECT_EQ(p.rq.out.bits, q.rq.out.bits) << i;
+    EXPECT_EQ(p.out.scale, q.out.scale) << i;
+    EXPECT_EQ(p.out.zero_point, q.out.zero_point) << i;
+    EXPECT_EQ(p.out.bits, q.out.bits) << i;
+    EXPECT_EQ(p.out.is_signed, q.out.is_signed) << i;
     EXPECT_EQ(p.out_chw, q.out_chw) << i;
   }
 }
@@ -209,8 +209,8 @@ TEST_P(ActBitsRoundTrip, BitIdenticalAcrossActBitwidths) {
   expect_networks_equal(net, loaded);
   EXPECT_EQ(run(loaded, e.sample).data, run(net, e.sample).data);
   // The classifier keeps its 16-bit signed logits plan through the container.
-  EXPECT_EQ(loaded.plans.back().out_bits, 16);
-  EXPECT_TRUE(loaded.plans.back().out_signed);
+  EXPECT_EQ(loaded.plans.back().out.bits, 16);
+  EXPECT_TRUE(loaded.plans.back().out.is_signed);
 }
 
 INSTANTIATE_TEST_SUITE_P(TwoFourEight, ActBitsRoundTrip, ::testing::Values(2, 4, 8));

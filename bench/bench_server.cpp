@@ -1,0 +1,193 @@
+// Async inference-server benchmark: open-loop Poisson arrivals against the
+// InferenceServer, sweeping offered load x batching deadline x worker count.
+//
+//   columns: workers  offered/s  deadline  done  shed  achieved/s  batch  p50/p99 us
+//
+// Open-loop means arrivals are scheduled ahead of time from an exponential
+// interarrival distribution and submitted at their scheduled instant
+// regardless of completions — the generator does not slow down when the
+// server does, so past saturation the bounded queue (kShedOldest here) is
+// what absorbs the excess and the shed column shows it. Two networks (a
+// pooled ResNet-s and a baseline TinyConv) are registered on one server and
+// requests alternate between them, so every row also exercises round-robin
+// cross-model batching.
+//
+// Reading the table: below saturation, achieved tracks offered and a longer
+// batching deadline trades p50/p99 latency for bigger batches; above
+// saturation, achieved plateaus at capacity, queues fill, latency is
+// dominated by queueing and shedding begins. Numbers under smoke mode
+// (BSWP_BENCH_SMOKE=1, CI) are meaningless — only the code path matters.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "common.h"
+#include "runtime/executor.h"
+#include "runtime/server/inference_server.h"
+
+namespace bswp::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::microseconds;
+
+struct LoadResult {
+  runtime::ServerStats stats;
+  double wall_seconds = 0.0;
+};
+
+/// Fire `n` requests at the server with Exp(offered_ips) interarrival times,
+/// alternating between the registered models, then drain.
+LoadResult run_open_loop(bswp::Session& resnet, bswp::Session& tiny, int workers,
+                         microseconds deadline, double offered_ips, int n,
+                         std::span<const Tensor> images) {
+  runtime::ServerOptions so;
+  so.workers = workers;
+  so.batching.max_batch = 8;
+  so.batching.max_delay = deadline;
+  so.queue.capacity = 64;
+  so.queue.policy = runtime::QueuePolicy::kShedOldest;
+
+  bswp::Server server(so);
+  server.add("resnet-s", resnet).add("tinyconv", tiny);
+  // Warm-up: flood a full batch per worker per model (twice) so every
+  // worker almost certainly builds both of its executors before timing —
+  // a burst of k*max_batch requests forms k concurrent batches, which
+  // spread across all free workers. reset_stats() then zeroes whatever the
+  // warm-up recorded so the row reflects only the timed run.
+  for (int round = 0; round < 2; ++round) {
+    for (int i = 0; i < 2 * workers * so.batching.max_batch; ++i) {
+      server.submit(i % 2 == 0 ? "resnet-s" : "tinyconv", images[0]);
+    }
+    server.drain();
+  }
+  server.reset_stats();
+
+  Rng rng(123);
+  std::vector<std::future<QTensor>> futures;
+  futures.reserve(static_cast<std::size_t>(n));
+  const Clock::time_point t0 = Clock::now();
+  Clock::time_point next = t0;
+  for (int i = 0; i < n; ++i) {
+    // Exponential interarrival: -ln(1-u) / lambda.
+    const double gap_s = -std::log(1.0 - rng.uniform()) / offered_ips;
+    next += std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(gap_s));
+    std::this_thread::sleep_until(next);
+    futures.push_back(server.submit(i % 2 == 0 ? "resnet-s" : "tinyconv",
+                                    images[static_cast<std::size_t>(i) % images.size()]));
+  }
+  server.drain();
+
+  LoadResult r;
+  r.wall_seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  // Consume every future (shed requests surface ServerRejected here; the
+  // admission counters are the ground truth the table reports).
+  for (std::future<QTensor>& f : futures) {
+    try {
+      f.get();
+    } catch (const runtime::ServerRejected&) {
+    }
+  }
+  r.stats = server.stats();
+  return r;
+}
+
+void print_row(int workers, double offered_ips, microseconds deadline, const LoadResult& r) {
+  const auto& s = r.stats;
+  std::printf("%7d %10.0f %8lld %6llu %6llu %11.0f %6.2f %8.0f %8.0f\n", workers, offered_ips,
+              static_cast<long long>(deadline.count()),
+              static_cast<unsigned long long>(s.admission.completed),
+              static_cast<unsigned long long>(s.admission.shed),
+              r.wall_seconds > 0.0 ? static_cast<double>(s.admission.completed) / r.wall_seconds
+                                   : 0.0,
+              s.mean_batch_size, s.latency.p50_us, s.latency.p99_us);
+}
+
+int run_bench() {
+  // Two untrained networks (BN stats seeded): a pooled bit-serial ResNet-s
+  // and a baseline-kernel TinyConv — server throughput depends only on
+  // geometry, so training would be wasted bench time.
+  BenchDataset d = cifar_like();
+  d.model_opts.width = 0.5f;
+  quant::CalibrateOptions qo;
+  qo.num_samples = smoke_scaled(32, 8);
+
+  nn::Graph rg = models::build_resnet_s(d.model_opts);
+  Rng rng(7);
+  rg.init_weights(rng);
+  pool::CodecOptions co;
+  co.pool_size = 64;
+  co.kmeans_iters = smoke_scaled(5, 2);
+  co.max_cluster_vectors = smoke_scaled(4000, 1000);
+  Session resnet = Deployment::from(rg)
+                       .with_pool(co)
+                       .seed_batchnorm(16)
+                       .calibrate(*d.train, qo)
+                       .compile();
+
+  nn::Graph tg = models::build_tinyconv(d.model_opts);
+  Rng rng2(8);
+  tg.init_weights(rng2);
+  Session tiny =
+      Deployment::from(tg).seed_batchnorm(16).calibrate(*d.train, qo).compile();
+
+  std::vector<Tensor> images;
+  for (int i = 0; i < 16; ++i) {
+    Tensor x({1, 3, d.model_opts.image_size, d.model_opts.image_size});
+    d.train->sample(i % d.train->size(), x.data());
+    images.push_back(std::move(x));
+  }
+
+  // Calibrate offered load to this host: single-executor ResNet-s latency
+  // bounds one worker's capacity (TinyConv is cheaper, so the blend runs a
+  // little faster — the sweep factors stay meaningful either way).
+  runtime::Executor exec(resnet.network());
+  exec.run_view(images[0]);
+  const Clock::time_point t0 = Clock::now();
+  const int kCal = smoke_scaled(24, 6);
+  for (int i = 0; i < kCal; ++i) exec.run_view(images[static_cast<std::size_t>(i) % images.size()]);
+  const double img_us =
+      std::chrono::duration<double, std::micro>(Clock::now() - t0).count() / kCal;
+  const double capacity_1w = 1e6 / img_us;
+
+  std::printf("bench_server: ResNet-s (pooled) + TinyConv (baseline), "
+              "ResNet-s %.0f us/img => ~%.0f img/s per worker\n",
+              img_us, capacity_1w);
+  std::printf("%7s %10s %8s %6s %6s %11s %6s %8s %8s\n", "workers", "offered/s", "ddl us",
+              "done", "shed", "achieved/s", "batch", "p50 us", "p99 us");
+
+  const int n = smoke_scaled(240, 24);
+
+  // Offered load x batching deadline at a fixed worker count.
+  {
+    const int workers = 2;
+    const double cap = capacity_1w * workers;
+    for (double load : smoke_mode() ? std::vector<double>{0.8}
+                                    : std::vector<double>{0.5, 0.9, 1.5}) {
+      for (microseconds ddl :
+           smoke_mode() ? std::vector<microseconds>{microseconds{1000}}
+                        : std::vector<microseconds>{microseconds{0}, microseconds{1000},
+                                                    microseconds{5000}}) {
+        const double offered = load * cap;
+        print_row(workers, offered, ddl,
+                  run_open_loop(resnet, tiny, workers, ddl, offered, n, images));
+      }
+    }
+  }
+
+  // Worker scaling at fixed relative load and deadline.
+  for (int workers : smoke_mode() ? std::vector<int>{2} : std::vector<int>{1, 2, 4}) {
+    const double offered = 0.9 * capacity_1w * workers;
+    print_row(workers, offered, microseconds{1000},
+              run_open_loop(resnet, tiny, workers, microseconds{1000}, offered, n, images));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bswp::bench
+
+int main() { return bswp::bench::run_bench(); }

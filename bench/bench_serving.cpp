@@ -97,7 +97,8 @@ int run_bench() {
     char label[32];
     std::snprintf(label, sizeof(label), "serving-pool x%d", workers);
     std::printf("%-22s %10zu %11s %9.0f %9.0f %9.0f %9.0f\n", label, r.stats.images, "-",
-                r.stats.throughput_ips, r.stats.p50_us, r.stats.p95_us, r.stats.p99_us);
+                r.stats.throughput_ips, r.stats.latency.p50_us, r.stats.latency.p95_us,
+                r.stats.latency.p99_us);
   }
   return 0;
 }

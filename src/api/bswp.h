@@ -25,6 +25,14 @@
 //     serving pool, bit-identical to sequential execution), evaluate,
 //     footprint, estimate_latency, save/load, export_firmware.
 //
+//   bswp::Server — the async serving front end: register any number of
+//     compiled sessions by name, submit individual requests
+//     (submit(name, image) -> std::future<QTensor>), and let the server's
+//     scheduler form cross-request batches (max-batch / deadline, round-robin
+//     across models) for a shared pool of arena-executor workers, with
+//     bounded-queue backpressure (block / reject / shed-oldest) and
+//     queue/batch/latency stats. See runtime/server/inference_server.h.
+//
 // Execution is arena-based end to end: every Session inference runs through
 // a runtime::Executor whose activations and scratch live in one
 // MemoryPlanner-laid-out block, and run_batch keeps a lazily created
@@ -33,6 +41,7 @@
 // runtime::Executor (src/runtime/executor.h) directly.
 #pragma once
 
+#include <future>
 #include <memory>
 #include <mutex>
 #include <span>
@@ -46,6 +55,7 @@
 #include "quant/calibrate.h"
 #include "runtime/evaluate.h"
 #include "runtime/pipeline.h"
+#include "runtime/server/inference_server.h"
 #include "runtime/serving_pool.h"
 
 namespace bswp {
@@ -122,6 +132,56 @@ class Session {
   /// movable; the heap mutex guards first-use creation from racing threads).
   mutable std::unique_ptr<runtime::ServingPool> pool_;
   mutable std::unique_ptr<std::mutex> pool_mu_;
+};
+
+/// Async multi-model inference server over compiled sessions: individual
+/// requests in, dynamically batched execution on a shared worker pool,
+/// futures out. The traffic-facing counterpart of Session::run_batch (which
+/// needs the caller to show up with a pre-formed batch).
+///
+///   bswp::Server server({.workers = 4});
+///   server.add("kws", kws_session).add("vision", vision_session);
+///   std::future<QTensor> f = server.submit("kws", image);
+///   QTensor logits = f.get();        // bit-identical to kws_session.run(image)
+///   server.drain();                  // all accepted futures are now ready
+///   runtime::ServerStats s = server.stats();
+///
+/// Sessions are borrowed and must outlive the server (moving a Session is
+/// fine — its compiled network is heap-pinned). Admission failures
+/// (bounded-queue reject/shed, shutdown) surface as runtime::ServerRejected
+/// through the future. Move-only.
+class Server {
+ public:
+  /// Starts the scheduler and `options.workers` worker threads.
+  explicit Server(const runtime::ServerOptions& options = runtime::ServerOptions{});
+  Server(Server&&) = default;
+  Server& operator=(Server&&) = default;
+  ~Server() = default;  // drains accepted requests, then joins (shutdown())
+
+  /// Register a session's compiled network under `name`, with the server
+  /// defaults or an explicit per-model batching/queue config. Throws
+  /// std::invalid_argument on a duplicate name.
+  Server& add(const std::string& name, const Session& session);
+  Server& add(const std::string& name, const Session& session,
+              const runtime::ModelConfig& config);
+
+  /// Submit one request (CHW or 1xCxHxW float image) for model `name`.
+  std::future<QTensor> submit(const std::string& name, Tensor image);
+
+  /// Flush and wait until every accepted request's future is ready.
+  void drain();
+  /// Stop admission, drain, join. Idempotent (also run by the destructor).
+  void shutdown();
+
+  runtime::ServerStats stats() const;
+  runtime::ModelStats model_stats(const std::string& name) const;
+  /// Zero counters, histograms and latency windows (after warm-up, before a
+  /// measured run).
+  void reset_stats();
+  int worker_count() const;
+
+ private:
+  std::unique_ptr<runtime::InferenceServer> impl_;
 };
 
 /// Fluent builder owning the pool -> finetune -> calibrate -> compile

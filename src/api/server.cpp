@@ -1,0 +1,37 @@
+#include "api/bswp.h"
+
+namespace bswp {
+
+Server::Server(const runtime::ServerOptions& options)
+    : impl_(std::make_unique<runtime::InferenceServer>(options)) {}
+
+Server& Server::add(const std::string& name, const Session& session) {
+  impl_->register_model(name, session.network());
+  return *this;
+}
+
+Server& Server::add(const std::string& name, const Session& session,
+                    const runtime::ModelConfig& config) {
+  impl_->register_model(name, session.network(), config);
+  return *this;
+}
+
+std::future<QTensor> Server::submit(const std::string& name, Tensor image) {
+  return impl_->submit(name, std::move(image));
+}
+
+void Server::drain() { impl_->drain(); }
+
+void Server::shutdown() { impl_->shutdown(); }
+
+runtime::ServerStats Server::stats() const { return impl_->stats(); }
+
+runtime::ModelStats Server::model_stats(const std::string& name) const {
+  return impl_->model_stats(name);
+}
+
+void Server::reset_stats() { impl_->reset_stats(); }
+
+int Server::worker_count() const { return impl_->worker_count(); }
+
+}  // namespace bswp

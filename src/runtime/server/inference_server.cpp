@@ -1,0 +1,470 @@
+#include "runtime/server/inference_server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "runtime/executor.h"
+
+namespace bswp::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double micros_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+}
+
+void validate(const ModelConfig& config, const char* who) {
+  check(config.batching.max_batch >= 1, std::string(who) + ": max_batch must be >= 1");
+  check(config.batching.max_delay.count() >= 0, std::string(who) + ": max_delay must be >= 0");
+  check(config.queue.capacity >= 1, std::string(who) + ": queue capacity must be >= 1");
+}
+
+}  // namespace
+
+/// One queued request: the input, the client's promise, and two timestamps —
+/// end-to-end latency is measured from `arrival` (the top of submit(), so a
+/// kBlock wait on a full queue is counted), while the batching deadline runs
+/// from `enqueue` (queue entry, the moment the request became batchable).
+struct InferenceServer::Request {
+  Tensor image;
+  std::promise<QTensor> promise;
+  Clock::time_point arrival;
+  Clock::time_point enqueue;
+};
+
+/// Everything the server knows about one registered model. Heap-pinned
+/// (unique_ptr in models_) so workers can key executor caches and in-flight
+/// batches by address. All fields are guarded by the server's mu_, except
+/// the latency recorder, which lives behind stats_mu_.
+struct InferenceServer::ModelState {
+  ModelState(std::string id_, const CompiledNetwork& n, const ModelConfig& c, std::size_t window)
+      : id(std::move(id_)), net(&n), config(c), latency(window) {}
+
+  std::string id;
+  const CompiledNetwork* net;
+  ModelConfig config;
+
+  std::deque<Request> queue;  // bounded FIFO (config.queue.capacity)
+
+  AdmissionCounters adm;
+  std::uint64_t batches = 0;
+  std::uint64_t batch_images = 0;              // sum of dispatched batch sizes
+  std::vector<std::uint64_t> batch_size_hist;  // index = batch size
+  LatencyRecorder latency;  // end-to-end, incl. queueing (guarded by stats_mu_)
+};
+
+/// One formed batch on its way to a worker.
+struct InferenceServer::BatchTask {
+  ModelState* model = nullptr;
+  std::vector<Request> requests;
+};
+
+InferenceServer::InferenceServer(const ServerOptions& options)
+    : options_(options), global_latency_(options.latency_window) {
+  check(options_.workers >= 1, "InferenceServer: workers must be >= 1");
+  validate(ModelConfig{options_.batching, options_.queue}, "InferenceServer");
+  scheduler_ = std::thread([this] { scheduler_main(); });
+  workers_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { shutdown(); }
+
+void InferenceServer::register_model(const std::string& model_id, const CompiledNetwork& net) {
+  register_model(model_id, net, ModelConfig{options_.batching, options_.queue});
+}
+
+void InferenceServer::register_model(const std::string& model_id, const CompiledNetwork& net,
+                                     const ModelConfig& config) {
+  check(!net.plans.empty(), "InferenceServer::register_model: empty network");
+  validate(config, "InferenceServer::register_model");
+  std::lock_guard<std::mutex> lock(mu_);
+  check(accepting_, "InferenceServer::register_model: server is shut down");
+  for (const auto& m : models_) {
+    check(m->id != model_id,
+          "InferenceServer::register_model: duplicate model id '" + model_id + "'");
+  }
+  models_.push_back(
+      std::make_unique<ModelState>(model_id, net, config, options_.latency_window));
+}
+
+std::future<QTensor> InferenceServer::submit(const std::string& model_id, Tensor image) {
+  const Clock::time_point arrival = Clock::now();
+  std::promise<QTensor> promise;
+  std::future<QTensor> fut = promise.get_future();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  ModelState* m = nullptr;
+  for (const auto& cand : models_) {
+    if (cand->id == model_id) {
+      m = cand.get();
+      break;
+    }
+  }
+  check(m != nullptr, "InferenceServer::submit: unknown model '" + model_id + "'");
+
+  const auto reject = [&](ServerRejected::Reason reason, const char* what) {
+    ++m->adm.rejected;
+    lock.unlock();
+    promise.set_exception(std::make_exception_ptr(ServerRejected(reason, what)));
+    return std::move(fut);
+  };
+  if (!accepting_) {
+    return reject(ServerRejected::Reason::kShutdown, "InferenceServer: shutting down");
+  }
+
+  // Admission control: the queue is bounded, and this is where a saturated
+  // server pushes back (the scheduler stops draining queues once every
+  // worker is busy).
+  const std::size_t capacity = m->config.queue.capacity;
+  if (m->queue.size() >= capacity) {
+    switch (m->config.queue.policy) {
+      case QueuePolicy::kBlock:
+        space_cv_.wait(lock, [&] { return !accepting_ || m->queue.size() < capacity; });
+        if (!accepting_) {
+          return reject(ServerRejected::Reason::kShutdown, "InferenceServer: shutting down");
+        }
+        break;
+      case QueuePolicy::kReject:
+        return reject(ServerRejected::Reason::kQueueFull,
+                      "InferenceServer: queue full (kReject)");
+      case QueuePolicy::kShedOldest: {
+        // The victim's future must be failed before mu_ is released: once
+        // the request leaves the queue it is invisible to drain()/shutdown's
+        // idle predicate, and their "every accepted future is ready"
+        // guarantee would otherwise race the set_exception below.
+        Request victim = std::move(m->queue.front());
+        m->queue.pop_front();
+        ++m->adm.shed;
+        victim.promise.set_exception(std::make_exception_ptr(ServerRejected(
+            ServerRejected::Reason::kShed,
+            "InferenceServer: shed by a newer request (kShedOldest)")));
+        break;
+      }
+    }
+  }
+
+  Request r;
+  r.image = std::move(image);
+  r.promise = std::move(promise);
+  r.arrival = arrival;
+  r.enqueue = Clock::now();
+  m->queue.push_back(std::move(r));
+  ++m->adm.accepted;
+  sched_cv_.notify_one();
+  return fut;
+}
+
+void InferenceServer::dispatch_locked(ModelState& m) {
+  BatchTask task;
+  task.model = &m;
+  const std::size_t take =
+      std::min(m.queue.size(), static_cast<std::size_t>(m.config.batching.max_batch));
+  task.requests.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    task.requests.push_back(std::move(m.queue.front()));
+    m.queue.pop_front();
+  }
+  dispatch_q_.push_back(std::move(task));
+  work_cv_.notify_one();
+  space_cv_.notify_all();  // queue space freed for kBlock submitters
+}
+
+void InferenceServer::scheduler_main() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (stop_threads_) return;
+
+    // A batch is dispatched only while a worker is free: at most one pending
+    // task per idle worker. When all workers are busy, requests age in the
+    // bounded per-model queues — that is what makes admission control see
+    // overload instead of an elastic internal queue.
+    const bool worker_free =
+        busy_workers_ + static_cast<int>(dispatch_q_.size()) < options_.workers;
+    ModelState* pick = nullptr;
+    Clock::time_point next_deadline = Clock::time_point::max();
+    if (worker_free && !models_.empty()) {
+      const Clock::time_point now = Clock::now();
+      const std::size_t n = models_.size();
+      // Round-robin scan from the cursor: one hot model cannot starve the
+      // others, because the cursor advances past each dispatched model.
+      for (std::size_t k = 0; k < n; ++k) {
+        ModelState& m = *models_[(rr_ + k) % n];
+        if (m.queue.empty()) continue;
+        const Clock::time_point deadline =
+            m.queue.front().enqueue + m.config.batching.max_delay;
+        if (flush_ || static_cast<int>(m.queue.size()) >= m.config.batching.max_batch ||
+            now >= deadline) {
+          pick = &m;
+          rr_ = (rr_ + k + 1) % n;
+          break;
+        }
+        next_deadline = std::min(next_deadline, deadline);
+      }
+    }
+
+    if (pick != nullptr) {
+      dispatch_locked(*pick);
+      continue;  // more models (or more of this one) may be ready
+    }
+    if (worker_free && next_deadline != Clock::time_point::max()) {
+      // Nothing full yet: sleep until the oldest request's deadline fires a
+      // partial batch. Arrivals and freed workers re-wake us earlier.
+      sched_cv_.wait_until(lock, next_deadline);
+    } else {
+      sched_cv_.wait(lock);
+    }
+  }
+}
+
+void InferenceServer::worker_main() {
+  // One arena Executor per model this worker has served, keyed by the
+  // stable ModelState address; arenas stay warm across batches.
+  std::unordered_map<const ModelState*, std::unique_ptr<Executor>> executors;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_threads_ || !dispatch_q_.empty(); });
+    if (dispatch_q_.empty()) return;  // stop_threads_, queues already drained
+    BatchTask task = std::move(dispatch_q_.front());
+    dispatch_q_.pop_front();
+    ++busy_workers_;
+    lock.unlock();
+
+    ModelState& m = *task.model;
+    std::unique_ptr<Executor>& exec = executors[task.model];
+    std::exception_ptr build_error;
+    if (exec == nullptr) {
+      try {
+        exec = std::make_unique<Executor>(*m.net);
+      } catch (...) {
+        build_error = std::current_exception();
+      }
+    }
+
+    struct Outcome {
+      QTensor logits;
+      std::exception_ptr error;
+      double e2e_us = 0.0;
+    };
+    std::vector<Outcome> outcomes(task.requests.size());
+    for (std::size_t i = 0; i < task.requests.size(); ++i) {
+      Outcome& o = outcomes[i];
+      if (build_error != nullptr) {
+        o.error = build_error;
+      } else {
+        // A bad request (e.g. wrong input shape) fails its own future only;
+        // batch neighbours are other clients' requests.
+        try {
+          o.logits = exec->run(task.requests[i].image);
+        } catch (...) {
+          o.error = std::current_exception();
+        }
+      }
+      o.e2e_us = micros_since(task.requests[i].arrival);
+    }
+
+    // Fulfill promises before reporting quiescence so drain() returning
+    // implies every drained future is ready.
+    std::size_t ok = 0;
+    for (std::size_t i = 0; i < task.requests.size(); ++i) {
+      if (outcomes[i].error != nullptr) {
+        task.requests[i].promise.set_exception(outcomes[i].error);
+      } else {
+        task.requests[i].promise.set_value(std::move(outcomes[i].logits));
+        ++ok;
+      }
+    }
+
+    // Latency first (stats_mu_), counters second (mu_) — taken sequentially,
+    // never nested, and in this order so that once drain() observes
+    // busy_workers_ == 0, every completed request's sample is recorded.
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      for (const Outcome& o : outcomes) {
+        m.latency.record(o.e2e_us);
+        global_latency_.record(o.e2e_us);
+      }
+    }
+
+    lock.lock();
+    m.adm.completed += ok;
+    m.adm.failed += task.requests.size() - ok;
+    ++m.batches;
+    m.batch_images += task.requests.size();
+    if (m.batch_size_hist.size() <= task.requests.size()) {
+      m.batch_size_hist.resize(task.requests.size() + 1, 0);
+    }
+    ++m.batch_size_hist[task.requests.size()];
+    --busy_workers_;
+    sched_cv_.notify_one();  // a worker freed up: more batches may dispatch
+    idle_cv_.notify_all();
+  }
+}
+
+bool InferenceServer::queues_empty_locked() const {
+  for (const auto& m : models_) {
+    if (!m->queue.empty()) return false;
+  }
+  return true;
+}
+
+void InferenceServer::drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++drain_waiters_;
+  flush_ = true;  // dispatch everything queued, deadlines ignored
+  sched_cv_.notify_all();
+  idle_cv_.wait(lock, [&] {
+    return queues_empty_locked() && dispatch_q_.empty() && busy_workers_ == 0;
+  });
+  // Restore deadline batching once the last drainer leaves (shutdown keeps
+  // the flush on for good).
+  if (--drain_waiters_ == 0 && accepting_) flush_ = false;
+}
+
+void InferenceServer::shutdown() {
+  // Serializes concurrent shutdown()/destructor calls; never taken by the
+  // server threads, so it cannot deadlock with mu_.
+  std::lock_guard<std::mutex> lifecycle(lifecycle_mu_);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (joined_) return;
+    accepting_ = false;  // new submits reject; kBlock waiters wake and reject
+    flush_ = true;
+    ++drain_waiters_;
+    space_cv_.notify_all();
+    sched_cv_.notify_all();
+    idle_cv_.wait(lock, [&] {
+      return queues_empty_locked() && dispatch_q_.empty() && busy_workers_ == 0;
+    });
+    --drain_waiters_;
+    stop_threads_ = true;
+    joined_ = true;
+    sched_cv_.notify_all();
+    work_cv_.notify_all();
+  }
+  scheduler_.join();
+  for (std::thread& w : workers_) w.join();
+}
+
+ModelStats InferenceServer::snapshot_locked(const ModelState& m) const {
+  ModelStats s;
+  s.model = m.id;
+  s.admission = m.adm;
+  s.queue_depth = m.queue.size();
+  s.batches = m.batches;
+  s.mean_batch_size =
+      m.batches > 0 ? static_cast<double>(m.batch_images) / static_cast<double>(m.batches) : 0.0;
+  s.batch_size_hist = m.batch_size_hist;
+  return s;  // latency: summarized by the caller outside the lock
+}
+
+ServerStats InferenceServer::stats() const {
+  // Three phases, each lock taken on its own: counters under mu_, raw
+  // sample-window copies under stats_mu_ (so the copy blocks only latency
+  // recording, never submit/dispatch), and the sort/summarize unlocked.
+  // Counter and latency snapshots may straddle a completion; monitoring
+  // does not need them transactionally consistent.
+  ServerStats s;
+  std::vector<const ModelState*> order;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t batch_images = 0;
+    for (const auto& m : models_) {
+      ModelStats ms = snapshot_locked(*m);
+      s.admission.accepted += ms.admission.accepted;
+      s.admission.rejected += ms.admission.rejected;
+      s.admission.shed += ms.admission.shed;
+      s.admission.completed += ms.admission.completed;
+      s.admission.failed += ms.admission.failed;
+      s.queue_depth += ms.queue_depth;
+      s.batches += ms.batches;
+      batch_images += m->batch_images;
+      if (s.batch_size_hist.size() < ms.batch_size_hist.size()) {
+        s.batch_size_hist.resize(ms.batch_size_hist.size(), 0);
+      }
+      for (std::size_t k = 0; k < ms.batch_size_hist.size(); ++k) {
+        s.batch_size_hist[k] += ms.batch_size_hist[k];
+      }
+      s.models.push_back(std::move(ms));
+      order.push_back(m.get());  // stable: models are never unregistered
+    }
+    s.mean_batch_size =
+        s.batches > 0 ? static_cast<double>(batch_images) / static_cast<double>(s.batches) : 0.0;
+  }
+  std::vector<std::vector<double>> model_samples;
+  std::vector<double> global_samples;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    model_samples.reserve(order.size());
+    for (const ModelState* m : order) model_samples.push_back(m->latency.samples());
+    global_samples = global_latency_.samples();
+  }
+  for (std::size_t i = 0; i < s.models.size(); ++i) {
+    s.models[i].latency = LatencyRecorder::summarize(std::move(model_samples[i]));
+  }
+  s.latency = LatencyRecorder::summarize(std::move(global_samples));
+  return s;
+}
+
+ModelStats InferenceServer::model_stats(const std::string& model_id) const {
+  ModelStats s;
+  const ModelState* found = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& m : models_) {
+      if (m->id == model_id) {
+        found = m.get();
+        break;
+      }
+    }
+    if (found == nullptr) {
+      throw std::invalid_argument("InferenceServer::model_stats: unknown model '" + model_id +
+                                  "'");
+    }
+    s = snapshot_locked(*found);
+  }
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mu_);
+    samples = found->latency.samples();
+  }
+  s.latency = LatencyRecorder::summarize(std::move(samples));
+  return s;
+}
+
+void InferenceServer::reset_stats() {
+  // The models_ vector may only be walked under mu_ (register_model can
+  // reallocate it); collect the stable pointers there, then clear the
+  // recorders under stats_mu_.
+  std::vector<ModelState*> order;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& m : models_) {
+      m->adm = AdmissionCounters{};
+      m->batches = 0;
+      m->batch_images = 0;
+      m->batch_size_hist.clear();
+      order.push_back(m.get());
+    }
+  }
+  std::lock_guard<std::mutex> stats_lock(stats_mu_);
+  for (ModelState* m : order) m->latency.clear();
+  global_latency_.clear();
+}
+
+std::vector<std::string> InferenceServer::model_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> ids;
+  ids.reserve(models_.size());
+  for (const auto& m : models_) ids.push_back(m->id);
+  return ids;
+}
+
+}  // namespace bswp::runtime

@@ -1,0 +1,164 @@
+// Async inference server: request queue, dynamic cross-request batching,
+// backpressure, multi-network serving.
+//
+// This is the serving layer production traffic actually needs: individual
+// requests arrive one at a time at unpredictable rates against many compiled
+// models, and the server — not the caller — forms batches. Architecture:
+//
+//   submit(model, image) ──> per-model bounded FIFO ──┐
+//   submit(model, image) ──> per-model bounded FIFO ──┤   scheduler thread
+//                                                     ├──> (round-robin,
+//   register_model(...)  adds a queue                 │    max_batch/deadline)
+//                                                     ▼
+//                                     dispatch queue (≤ 1 batch per free
+//                                     worker) ──> N worker threads, each
+//                                     holding one arena Executor per model
+//                                     it has served (warm across batches)
+//
+// Batching: a model's batch closes when `max_batch` requests are queued or
+// the oldest has waited `max_delay`, whichever is first; ready models are
+// drained round-robin so one hot model cannot starve the rest. The scheduler
+// only dispatches while a worker is free — when all workers are busy,
+// requests back up in the bounded per-model queues, which is where
+// backpressure (QueuePolicy::{kBlock, kReject, kShedOldest}) engages.
+//
+// Results: submit() returns a std::future<QTensor> fulfilled with logits
+// bit-identical to Session::run / Executor::run for the same image (the
+// kernels are deterministic integer code and each request runs on one arena
+// executor). A request that fails (bad shape, rejected, shed, shutdown)
+// fulfills its future with an exception — ServerRejected for admission
+// failures — and never disturbs its batch neighbours.
+//
+// Shutdown: shutdown() (and the destructor) stops admission, flushes every
+// queue ignoring batching deadlines, waits for in-flight work, then joins
+// the threads — no submitted request is ever silently dropped. drain()
+// does the same flush-and-wait while keeping the server accepting.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/compressed_network.h"
+#include "runtime/server/options.h"
+#include "runtime/server/stats.h"
+
+namespace bswp::runtime {
+
+/// Delivered through a request's future when admission control refuses it:
+/// a kReject overflow, a kShedOldest eviction, or a shutdown-time refusal.
+class ServerRejected : public std::runtime_error {
+ public:
+  enum class Reason { kQueueFull, kShed, kShutdown };
+  ServerRejected(Reason reason, const std::string& what)
+      : std::runtime_error(what), reason_(reason) {}
+  Reason reason() const { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+class InferenceServer {
+ public:
+  /// Starts the scheduler and worker threads immediately; per-model arena
+  /// executors are built lazily, the first time a worker serves that model.
+  explicit InferenceServer(const ServerOptions& options = ServerOptions{});
+  /// shutdown(): drains every accepted request, then joins the threads.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Register a compiled network under `model_id` with the server-default
+  /// (or an explicit) batching/queue config. `net` is borrowed and must
+  /// outlive the server. Throws std::invalid_argument on a duplicate id.
+  /// Models may be registered while the server is running.
+  void register_model(const std::string& model_id, const CompiledNetwork& net);
+  void register_model(const std::string& model_id, const CompiledNetwork& net,
+                      const ModelConfig& config);
+
+  /// Submit one request. Returns immediately (kBlock: after space frees)
+  /// with a future for the quantized logits. Throws std::invalid_argument
+  /// for an unknown model id; admission failures are delivered through the
+  /// future as ServerRejected. Safe from any number of threads.
+  std::future<QTensor> submit(const std::string& model_id, Tensor image);
+
+  /// Flush every queued request (batching deadlines ignored) and wait until
+  /// the server is momentarily idle: queues empty, no batch in flight.
+  /// Concurrent submits are still accepted and extend the wait.
+  void drain();
+
+  /// Stop admission, drain, and join all threads. Idempotent; called by the
+  /// destructor. Requests blocked in a kBlock submit are rejected.
+  void shutdown();
+
+  /// Aggregate + per-model snapshot (registration order). Percentiles are
+  /// computed outside the server lock — polling stats() does not stall
+  /// submit/dispatch for the sort.
+  ServerStats stats() const;
+  ModelStats model_stats(const std::string& model_id) const;
+  /// Zero every admission counter, batch histogram and latency window (e.g.
+  /// after warm-up, before a measured run). Queued/in-flight requests are
+  /// unaffected and will count against the fresh counters on completion.
+  void reset_stats();
+
+  int worker_count() const { return options_.workers; }
+  std::vector<std::string> model_ids() const;
+
+ private:
+  struct Request;
+  struct ModelState;
+  struct BatchTask;
+
+  void scheduler_main();
+  void worker_main();
+  /// Pop up to max_batch requests from `m` into a dispatch task. Lock held.
+  void dispatch_locked(ModelState& m);
+  bool queues_empty_locked() const;
+  /// Everything except the latency summary, which the caller computes from
+  /// the copied-out sample window after releasing mu_.
+  ModelStats snapshot_locked(const ModelState& m) const;
+
+  ServerOptions options_;
+
+  std::mutex lifecycle_mu_;  // serializes shutdown()/destructor
+  mutable std::mutex mu_;    // queues, dispatch, counters, lifecycle
+  // Latency sample windows live behind their own lock so a stats() poll
+  // copying them (up to latency_window doubles per model) never blocks
+  // submit or the scheduler on mu_. Discipline: stats_mu_ is NEVER held
+  // together with mu_ — every path takes them sequentially.
+  mutable std::mutex stats_mu_;
+  std::condition_variable sched_cv_;  // scheduler: arrivals, freed workers
+  std::condition_variable work_cv_;   // workers: dispatch queue non-empty
+  std::condition_variable space_cv_;  // kBlock submitters: queue space
+  std::condition_variable idle_cv_;   // drain/shutdown: server went idle
+
+  // Registration order drives round-robin; lookup is a linear scan, which
+  // is fine for the handful of models a server realistically hosts.
+  // ModelState addresses are stable (unique_ptr) — workers key executor
+  // caches and in-flight batches by pointer.
+  std::vector<std::unique_ptr<ModelState>> models_;
+  std::size_t rr_ = 0;  // round-robin cursor into models_
+
+  std::deque<BatchTask> dispatch_q_;
+  int busy_workers_ = 0;
+  bool accepting_ = true;
+  bool flush_ = false;        // drain/shutdown: ignore batching deadlines
+  int drain_waiters_ = 0;     // flush_ stays set while any drain() waits
+  bool stop_threads_ = false;
+  bool joined_ = false;
+
+  LatencyRecorder global_latency_;  // across models, guarded by stats_mu_
+
+  std::thread scheduler_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bswp::runtime

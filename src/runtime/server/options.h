@@ -1,0 +1,54 @@
+// Configuration for the async inference server: how batches are formed and
+// what happens when a model's request queue is full.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace bswp::runtime {
+
+/// When the scheduler closes a batch for one model. A batch dispatches as
+/// soon as `max_batch` requests are queued, or when the oldest queued request
+/// has waited `max_delay` (whichever comes first), so light traffic pays at
+/// most `max_delay` of batching latency and heavy traffic runs full batches.
+struct BatchingPolicy {
+  int max_batch = 8;
+  std::chrono::microseconds max_delay{2000};
+};
+
+/// What submit() does when a model's bounded queue is full.
+enum class QueuePolicy {
+  kBlock,      // block the submitting thread until space frees (closed loop)
+  kReject,     // fail the new request's future with ServerRejected
+  kShedOldest, // fail the oldest queued request's future, admit the new one
+};
+
+/// Bounded per-model admission queue. Only requests waiting to be batched
+/// count against `capacity`; dispatched batches are bounded separately by
+/// the worker count (the scheduler never dispatches more batches than there
+/// are free workers, so a saturated server backs requests up here).
+struct QueueOptions {
+  std::size_t capacity = 256;
+  QueuePolicy policy = QueuePolicy::kBlock;
+};
+
+/// Per-model overrides (a latency-critical model can run a shorter deadline
+/// and a shed-oldest queue next to a throughput model that blocks).
+struct ModelConfig {
+  BatchingPolicy batching;
+  QueueOptions queue;
+};
+
+struct ServerOptions {
+  /// Worker threads shared by every registered model. Each worker lazily
+  /// builds one arena Executor per model it actually serves.
+  int workers = 2;
+  /// Defaults for models registered without an explicit ModelConfig.
+  BatchingPolicy batching;
+  QueueOptions queue;
+  /// Retained end-to-end latency samples per model (ring window; 0 keeps
+  /// every sample — fine for tests, unbounded for a long-running server).
+  std::size_t latency_window = 1 << 16;
+};
+
+}  // namespace bswp::runtime

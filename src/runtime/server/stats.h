@@ -1,0 +1,51 @@
+// Observable server state: admission counters, queue depth, batch-size
+// histogram and end-to-end latency (queueing included), per model and
+// aggregated. Snapshots are plain value types taken under the server lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/latency_recorder.h"
+
+namespace bswp::runtime {
+
+/// What happened to every request at and after admission. Every submitted
+/// request ends in exactly one of {rejected, shed, completed, failed};
+/// accepted counts admissions, so on an idle server
+/// accepted == completed + failed + shed.
+struct AdmissionCounters {
+  std::uint64_t accepted = 0;   // admitted into the model's queue
+  std::uint64_t rejected = 0;   // refused at submit (kReject overflow/shutdown)
+  std::uint64_t shed = 0;       // evicted from the queue (kShedOldest overflow)
+  std::uint64_t completed = 0;  // future fulfilled with logits
+  std::uint64_t failed = 0;     // future fulfilled with an error
+};
+
+struct ModelStats {
+  std::string model;
+  AdmissionCounters admission;
+  std::size_t queue_depth = 0;  // requests waiting to be batched (snapshot)
+  std::uint64_t batches = 0;    // batches dispatched
+  double mean_batch_size = 0.0;
+  /// batch_size_hist[k] = batches dispatched with exactly k requests
+  /// (index 0 unused; sized to the largest batch seen).
+  std::vector<std::uint64_t> batch_size_hist;
+  /// End-to-end latency, submit() to future fulfillment — queueing and
+  /// batching delay included (most recent `latency_window` samples).
+  LatencySummary latency;
+};
+
+struct ServerStats {
+  AdmissionCounters admission;  // totals across models
+  std::size_t queue_depth = 0;
+  std::uint64_t batches = 0;
+  double mean_batch_size = 0.0;
+  std::vector<std::uint64_t> batch_size_hist;
+  LatencySummary latency;  // across all models (shared window)
+  std::vector<ModelStats> models;  // registration order
+};
+
+}  // namespace bswp::runtime

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
-#include <cmath>
 #include <exception>
 
 namespace bswp::runtime {
@@ -14,23 +13,6 @@ using Clock = std::chrono::steady_clock;
 
 double micros_since(Clock::time_point t0) {
   return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
-}
-
-/// Nearest-rank percentile over an unsorted latency vector (copies + sorts).
-void fill_percentiles(std::vector<double> lat, BatchStats& s) {
-  if (lat.empty()) return;
-  std::sort(lat.begin(), lat.end());
-  auto rank = [&](double q) {
-    const auto n = static_cast<double>(lat.size());
-    auto idx = static_cast<std::size_t>(std::ceil(q * n));
-    return lat[std::min(lat.size() - 1, idx > 0 ? idx - 1 : 0)];
-  };
-  s.p50_us = rank(0.50);
-  s.p95_us = rank(0.95);
-  s.p99_us = rank(0.99);
-  double sum = 0.0;
-  for (double v : lat) sum += v;
-  s.mean_us = sum / static_cast<double>(lat.size());
 }
 
 }  // namespace
@@ -135,8 +117,12 @@ std::vector<QTensor> ServingPool::run(std::span<const Tensor> images, int n_work
                                       BatchStats* stats) {
   check(n_workers >= 1, "ServingPool::run: n_workers must be >= 1");
   std::vector<QTensor> out(images.size());
-  if (stats != nullptr) *stats = BatchStats{};
-  if (images.empty()) return out;
+  // `stats` is only assigned on success (below); a failed batch must not
+  // clobber the caller's struct with partial numbers.
+  if (images.empty()) {
+    if (stats != nullptr) *stats = BatchStats{};
+    return out;
+  }
 
   std::lock_guard<std::mutex> run_lock(run_mu_);
   const int workers =
@@ -175,13 +161,14 @@ std::vector<QTensor> ServingPool::run(std::span<const Tensor> images, int n_work
   }
 
   if (stats != nullptr) {
-    stats->images = images.size();
-    stats->workers = workers;
-    stats->wall_seconds =
-        std::chrono::duration<double>(Clock::now() - t_batch).count();
-    stats->throughput_ips =
-        stats->wall_seconds > 0.0 ? static_cast<double>(images.size()) / stats->wall_seconds : 0.0;
-    fill_percentiles(std::move(lat_us), *stats);
+    BatchStats s;
+    s.images = images.size();
+    s.workers = workers;
+    s.wall_seconds = std::chrono::duration<double>(Clock::now() - t_batch).count();
+    s.throughput_ips =
+        s.wall_seconds > 0.0 ? static_cast<double>(images.size()) / s.wall_seconds : 0.0;
+    s.latency = LatencyRecorder::summarize(std::move(lat_us));
+    *stats = s;
   }
   return out;
 }

@@ -12,7 +12,8 @@
 // Error semantics: the first exception is recorded, every worker's steal
 // loop observes the failure flag and stops taking new images (the remaining
 // queue is drained unexecuted), and the error is rethrown to the caller
-// after the batch quiesces.
+// after the batch quiesces. A failed batch leaves the caller's `stats`
+// untouched — partial latency numbers from an aborted batch are noise.
 #pragma once
 
 #include <condition_variable>
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "runtime/executor.h"
+#include "runtime/latency_recorder.h"
 
 namespace bswp::runtime {
 
@@ -33,11 +35,8 @@ struct BatchStats {
   int workers = 0;               // workers that participated (1 = inline)
   double wall_seconds = 0.0;     // batch wall time, submit to last result
   double throughput_ips = 0.0;   // images / wall_seconds
-  // Per-image engine latency percentiles (microseconds, nearest-rank).
-  double p50_us = 0.0;
-  double p95_us = 0.0;
-  double p99_us = 0.0;
-  double mean_us = 0.0;
+  /// Per-image engine latency (microseconds, nearest-rank percentiles).
+  LatencySummary latency;
 };
 
 class ServingPool {
@@ -54,7 +53,7 @@ class ServingPool {
   /// demand, reused afterwards). Batches are serialized: concurrent run()
   /// calls queue on an internal mutex. Throws the first per-image error
   /// after the batch quiesces; `stats` (optional) receives the latency
-  /// distribution of a successful batch.
+  /// distribution of a successful batch and is left untouched on failure.
   std::vector<QTensor> run(std::span<const Tensor> images, int n_workers,
                            BatchStats* stats = nullptr);
 

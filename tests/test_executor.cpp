@@ -221,12 +221,41 @@ TEST(ServingPool, BatchStatsReportLatencyPercentiles) {
   EXPECT_EQ(r.stats.images, images.size());
   EXPECT_GE(r.stats.workers, 1);
   EXPECT_LE(r.stats.workers, 4);
-  EXPECT_GT(r.stats.p50_us, 0.0);
-  EXPECT_LE(r.stats.p50_us, r.stats.p95_us);
-  EXPECT_LE(r.stats.p95_us, r.stats.p99_us);
-  EXPECT_GT(r.stats.mean_us, 0.0);
+  EXPECT_EQ(r.stats.latency.count, images.size());
+  EXPECT_GT(r.stats.latency.p50_us, 0.0);
+  EXPECT_LE(r.stats.latency.p50_us, r.stats.latency.p95_us);
+  EXPECT_LE(r.stats.latency.p95_us, r.stats.latency.p99_us);
+  EXPECT_GT(r.stats.latency.mean_us, 0.0);
   EXPECT_GT(r.stats.throughput_ips, 0.0);
   EXPECT_GT(r.stats.wall_seconds, 0.0);
+}
+
+TEST(ServingPool, FailedBatchLeavesStatsUntouched) {
+  // Regression: run() used to zero the caller's stats up front, so a failed
+  // batch reported a partially filled struct. Failure must leave it alone.
+  bswp::Session s = pooled_session();
+  std::vector<Tensor> images;
+  for (int i = 0; i < 8; ++i) images.push_back(image_at(i));
+  images[3] = Tensor({5, 12, 12}, 0.1f);  // wrong channel count
+
+  bswp::BatchResult r;
+  r.stats.images = 777;
+  r.stats.workers = -3;
+  r.stats.latency.p99_us = 123.0;
+  EXPECT_THROW(r.logits = s.run_batch_stats(images, 4).logits, std::invalid_argument);
+  // run_batch_stats returns by value, so exercise the pool API directly too.
+  ServingPool pool(s.network());
+  BatchStats st;
+  st.images = 777;
+  st.workers = -3;
+  st.latency.p99_us = 123.0;
+  EXPECT_THROW(pool.run(images, 4, &st), std::invalid_argument);
+  EXPECT_EQ(st.images, 777u);
+  EXPECT_EQ(st.workers, -3);
+  EXPECT_EQ(st.latency.p99_us, 123.0);
+  // And the single-worker inline path:
+  EXPECT_THROW(pool.run(images, 1, &st), std::invalid_argument);
+  EXPECT_EQ(st.images, 777u);
 }
 
 TEST(ServingPool, ErrorStopsBatchEarlyAndPoolSurvives) {

@@ -1,0 +1,493 @@
+// InferenceServer tests: bit-identity of served results vs Session::run for
+// every model-zoo network under concurrent multi-client submission, batching
+// triggers (full batch vs deadline partial batch), bounded-queue
+// backpressure observable through admission counters (kReject/kShedOldest),
+// kBlock completion, drain/shutdown semantics with in-flight requests, and
+// the shared LatencyRecorder. Everything here also runs under the TSan CI
+// job — the suite is the concurrency contract of the serving subsystem.
+#include "runtime/server/inference_server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "api/bswp.h"
+#include "core/rng.h"
+#include "models/zoo.h"
+#include "runtime/latency_recorder.h"
+#include "runtime/pipeline.h"
+
+namespace bswp::runtime {
+namespace {
+
+using namespace std::chrono_literals;
+
+// --- LatencyRecorder ---------------------------------------------------------
+
+TEST(LatencyRecorder, NearestRankPercentiles) {
+  LatencyRecorder rec;
+  for (int v = 1; v <= 100; ++v) rec.record(static_cast<double>(v));
+  const LatencySummary s = rec.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.p50_us, 50.0);
+  EXPECT_EQ(s.p95_us, 95.0);
+  EXPECT_EQ(s.p99_us, 99.0);
+  EXPECT_DOUBLE_EQ(s.mean_us, 50.5);
+}
+
+TEST(LatencyRecorder, SingleSampleAndEmpty) {
+  EXPECT_EQ(LatencyRecorder::summarize({}).count, 0u);
+  const LatencySummary s = LatencyRecorder::summarize({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_EQ(s.p50_us, 42.0);
+  EXPECT_EQ(s.p99_us, 42.0);
+  EXPECT_EQ(s.mean_us, 42.0);
+}
+
+TEST(LatencyRecorder, WindowKeepsMostRecentSamples) {
+  LatencyRecorder rec(4);
+  for (int v = 1; v <= 10; ++v) rec.record(static_cast<double>(v));
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.total(), 10u);
+  const LatencySummary s = rec.summary();  // window holds {7, 8, 9, 10}
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean_us, 8.5);
+  EXPECT_EQ(s.p99_us, 10.0);
+}
+
+// --- environment -------------------------------------------------------------
+
+/// Compile a model through the pass pipeline with a unit-range synthetic
+/// calibration (no pool, no training): serving correctness depends only on
+/// the integer kernels being deterministic, not on learned weights.
+bswp::Session compile_session(const models::NamedModel& m, const models::ModelOptions& mo,
+                              uint64_t seed) {
+  nn::Graph g = m.build(mo);
+  Rng rng(seed);
+  g.init_weights(rng);
+  quant::CalibrationResult cal;
+  cal.input_abs_max = 1.0f;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    cal.node_range[i] = 1.0f;
+    cal.node_abs_range[i] = 1.0f;
+  }
+  return bswp::Session(compile(g, nullptr, cal, CompileOptions{}));
+}
+
+Tensor random_image(Rng& rng, int channels, int hw) {
+  Tensor x({1, channels, hw, hw});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x.data()[i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+  }
+  return x;
+}
+
+/// One small CIFAR-shaped model for the scheduler-behavior tests.
+struct SmallModel {
+  bswp::Session session;
+  std::vector<Tensor> images;
+  std::vector<QTensor> refs;
+
+  explicit SmallModel(int n_images = 32)
+      : session(compile_session(models::paper_models()[1] /* ResNet-s */, small_opts(), 11)) {
+    Rng rng(99);
+    for (int i = 0; i < n_images; ++i) {
+      images.push_back(random_image(rng, 3, 16));
+      refs.push_back(session.run(images.back()));
+    }
+  }
+
+  static models::ModelOptions small_opts() {
+    models::ModelOptions mo;
+    mo.image_size = 16;
+    mo.num_classes = 4;
+    mo.width = 0.25f;
+    return mo;
+  }
+};
+
+SmallModel& small_model() {
+  static SmallModel m;
+  return m;
+}
+
+ServerOptions quick_options(int workers, int max_batch, std::chrono::microseconds delay,
+                            std::size_t capacity = 256,
+                            QueuePolicy policy = QueuePolicy::kBlock) {
+  ServerOptions o;
+  o.workers = workers;
+  o.batching.max_batch = max_batch;
+  o.batching.max_delay = delay;
+  o.queue.capacity = capacity;
+  o.queue.policy = policy;
+  return o;
+}
+
+// --- bit-identity across the zoo under concurrent clients --------------------
+
+TEST(InferenceServer, ZooBitIdenticalUnderConcurrentMultiClientSubmission) {
+  // Every paper network served concurrently from one server; six client
+  // threads interleave submissions across all models, and every future must
+  // be bit-identical to single-shot Session::run on the same image.
+  models::ModelOptions mo;
+  mo.image_size = 16;
+  mo.num_classes = 4;
+  mo.width = 0.25f;
+
+  const std::vector<models::NamedModel> zoo = models::paper_models();
+  std::vector<bswp::Session> sessions;
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    sessions.push_back(compile_session(zoo[i], mo, 100 + i));
+  }
+
+  InferenceServer server(quick_options(/*workers=*/4, /*max_batch=*/6, 300us));
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    server.register_model(zoo[i].name, sessions[i].network());
+  }
+
+  // Pre-generate every request's image and reference logits on the main
+  // thread; clients only submit and collect.
+  constexpr int kClients = 6;
+  constexpr int kPerModel = 2;  // requests per (client, model)
+  struct Planned {
+    std::string model;
+    Tensor image;
+    QTensor ref;
+  };
+  Rng rng(5);
+  std::vector<std::vector<Planned>> plan(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    for (std::size_t mi = 0; mi < zoo.size(); ++mi) {
+      for (int r = 0; r < kPerModel; ++r) {
+        Planned p;
+        p.model = zoo[mi].name;
+        p.image = random_image(rng, 3, 16);
+        p.ref = sessions[mi].run(p.image);
+        plan[c].push_back(std::move(p));
+      }
+    }
+  }
+
+  std::vector<std::vector<std::future<QTensor>>> futures(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (Planned& p : plan[c]) {
+        futures[c].push_back(server.submit(p.model, p.image));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  for (int c = 0; c < kClients; ++c) {
+    for (std::size_t i = 0; i < plan[c].size(); ++i) {
+      const QTensor got = futures[c][i].get();
+      EXPECT_EQ(got.data, plan[c][i].ref.data)
+          << "client " << c << " request " << i << " model " << plan[c][i].model;
+      EXPECT_EQ(got.scale, plan[c][i].ref.scale);
+    }
+  }
+
+  server.drain();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.admission.accepted, static_cast<std::uint64_t>(kClients * kPerModel * zoo.size()));
+  EXPECT_EQ(s.admission.completed, s.admission.accepted);
+  EXPECT_EQ(s.admission.failed, 0u);
+  EXPECT_EQ(s.admission.rejected, 0u);
+  EXPECT_EQ(s.admission.shed, 0u);
+  EXPECT_EQ(s.queue_depth, 0u);
+  ASSERT_EQ(s.models.size(), zoo.size());  // registration order
+  for (std::size_t i = 0; i < zoo.size(); ++i) {
+    EXPECT_EQ(s.models[i].model, zoo[i].name);
+    EXPECT_EQ(s.models[i].admission.completed,
+              static_cast<std::uint64_t>(kClients * kPerModel));
+  }
+}
+
+// --- batching triggers -------------------------------------------------------
+
+TEST(InferenceServer, FullBatchDispatchesBeforeDeadline) {
+  SmallModel& m = small_model();
+  // The deadline is far away: only the max_batch trigger can dispatch, so 8
+  // requests must form exactly two batches of 4.
+  InferenceServer server(quick_options(/*workers=*/1, /*max_batch=*/4, 10s));
+  server.register_model("m", m.session.network());
+
+  std::vector<std::future<QTensor>> futs;
+  for (int i = 0; i < 8; ++i) futs.push_back(server.submit("m", m.images[i]));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(futs[i].wait_for(60s), std::future_status::ready) << "request " << i;
+    EXPECT_EQ(futs[i].get().data, m.refs[i].data);
+  }
+  server.drain();
+  const ModelStats s = server.model_stats("m");
+  EXPECT_EQ(s.batches, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_batch_size, 4.0);
+  ASSERT_EQ(s.batch_size_hist.size(), 5u);
+  EXPECT_EQ(s.batch_size_hist[4], 2u);
+}
+
+TEST(InferenceServer, DeadlineTriggersPartialBatch) {
+  SmallModel& m = small_model();
+  // max_batch 64 can never fill from 3 requests: only the queue-delay
+  // deadline can dispatch them.
+  InferenceServer server(quick_options(/*workers=*/1, /*max_batch=*/64, 2ms));
+  server.register_model("m", m.session.network());
+
+  std::vector<std::future<QTensor>> futs;
+  for (int i = 0; i < 3; ++i) futs.push_back(server.submit("m", m.images[i]));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_EQ(futs[i].wait_for(60s), std::future_status::ready);
+    EXPECT_EQ(futs[i].get().data, m.refs[i].data);
+  }
+  server.drain();
+  const ModelStats s = server.model_stats("m");
+  EXPECT_EQ(s.admission.completed, 3u);
+  EXPECT_GE(s.batches, 1u);
+  EXPECT_LE(s.mean_batch_size, 3.0);  // nothing ever reached max_batch
+}
+
+// --- backpressure ------------------------------------------------------------
+
+TEST(InferenceServer, RejectPolicyObservableViaAdmissionCounters) {
+  SmallModel& m = small_model();
+  // max_batch > capacity and a far-away deadline (nothing can dispatch the
+  // queued requests before this test's assertions run, even on a heavily
+  // loaded TSan runner): the first 3 requests sit in the queue, so the next
+  // 3 must overflow. drain() flushes them at the end regardless.
+  InferenceServer server(
+      quick_options(/*workers=*/1, /*max_batch=*/16, 10s, /*capacity=*/3, QueuePolicy::kReject));
+  server.register_model("m", m.session.network());
+
+  std::vector<std::future<QTensor>> accepted;
+  for (int i = 0; i < 3; ++i) accepted.push_back(server.submit("m", m.images[i]));
+  std::vector<std::future<QTensor>> overflow;
+  for (int i = 3; i < 6; ++i) overflow.push_back(server.submit("m", m.images[i]));
+
+  {
+    const ModelStats s = server.model_stats("m");
+    EXPECT_EQ(s.admission.accepted, 3u);
+    EXPECT_EQ(s.admission.rejected, 3u);
+    EXPECT_EQ(s.queue_depth, 3u);
+  }
+  for (std::future<QTensor>& f : overflow) {
+    try {
+      f.get();
+      FAIL() << "overflow request was not rejected";
+    } catch (const ServerRejected& e) {
+      EXPECT_EQ(e.reason(), ServerRejected::Reason::kQueueFull);
+    }
+  }
+  server.drain();
+  for (std::size_t i = 0; i < accepted.size(); ++i) {
+    EXPECT_EQ(accepted[i].get().data, m.refs[i].data);
+  }
+  const ModelStats s = server.model_stats("m");
+  EXPECT_EQ(s.admission.completed, 3u);
+  EXPECT_EQ(s.admission.rejected, 3u);
+  EXPECT_EQ(s.admission.shed, 0u);
+}
+
+TEST(InferenceServer, ShedOldestEvictsTheOldestQueuedRequests) {
+  SmallModel& m = small_model();
+  // Same far-away deadline as the kReject test: the queue must still hold
+  // requests 0..2 when 3..5 arrive, whatever the CI load.
+  InferenceServer server(quick_options(/*workers=*/1, /*max_batch=*/16, 10s, /*capacity=*/3,
+                                       QueuePolicy::kShedOldest));
+  server.register_model("m", m.session.network());
+
+  std::vector<std::future<QTensor>> futs;
+  for (int i = 0; i < 6; ++i) futs.push_back(server.submit("m", m.images[i]));
+
+  // Requests 0..2 were the oldest when 3..5 arrived into the full queue.
+  for (int i = 0; i < 3; ++i) {
+    try {
+      futs[i].get();
+      FAIL() << "oldest request " << i << " was not shed";
+    } catch (const ServerRejected& e) {
+      EXPECT_EQ(e.reason(), ServerRejected::Reason::kShed);
+    }
+  }
+  server.drain();
+  for (int i = 3; i < 6; ++i) {
+    EXPECT_EQ(futs[i].get().data, m.refs[i].data) << "newest request " << i;
+  }
+  const ModelStats s = server.model_stats("m");
+  EXPECT_EQ(s.admission.accepted, 6u);  // all six were admitted...
+  EXPECT_EQ(s.admission.shed, 3u);      // ...and the three oldest evicted
+  EXPECT_EQ(s.admission.completed, 3u);
+  EXPECT_EQ(s.admission.rejected, 0u);
+}
+
+TEST(InferenceServer, BlockPolicyCompletesEverythingUnderSustainedOverload) {
+  SmallModel& m = small_model();
+  // Tiny queue + instant dispatch: submitters routinely hit the full queue
+  // and must block until the scheduler frees space. Nothing may be lost.
+  InferenceServer server(
+      quick_options(/*workers=*/2, /*max_batch=*/2, 0us, /*capacity=*/2, QueuePolicy::kBlock));
+  server.register_model("m", m.session.network());
+
+  constexpr int kClients = 4, kPerClient = 8;
+  std::vector<std::vector<std::future<QTensor>>> futs(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        futs[c].push_back(server.submit("m", m.images[(c * kPerClient + i) % m.images.size()]));
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    for (int i = 0; i < kPerClient; ++i) {
+      EXPECT_EQ(futs[c][i].get().data, m.refs[(c * kPerClient + i) % m.refs.size()].data);
+    }
+  }
+  server.drain();
+  const ModelStats s = server.model_stats("m");
+  EXPECT_EQ(s.admission.accepted, static_cast<std::uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(s.admission.completed, s.admission.accepted);
+  EXPECT_EQ(s.admission.rejected, 0u);
+  EXPECT_EQ(s.admission.shed, 0u);
+}
+
+// --- drain / shutdown --------------------------------------------------------
+
+TEST(InferenceServer, DrainFlushesDeadlinesAndMakesEveryFutureReady) {
+  SmallModel& m = small_model();
+  // Deadline far in the future: without drain()'s flush these would sit in
+  // the queue for 10 s.
+  InferenceServer server(quick_options(/*workers=*/2, /*max_batch=*/7, 10s));
+  server.register_model("m", m.session.network());
+
+  std::vector<std::future<QTensor>> futs;
+  for (int i = 0; i < 20; ++i) futs.push_back(server.submit("m", m.images[i]));
+  const auto t0 = std::chrono::steady_clock::now();
+  server.drain();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, 5s) << "drain waited for the batching deadline instead of flushing";
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    ASSERT_EQ(futs[i].wait_for(0s), std::future_status::ready) << "future " << i;
+    EXPECT_EQ(futs[i].get().data, m.refs[i].data);
+  }
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.admission.completed, 20u);
+  EXPECT_EQ(s.queue_depth, 0u);
+  // End-to-end latency was recorded for every completed request.
+  EXPECT_EQ(s.latency.count, 20u);
+  EXPECT_GT(s.latency.p50_us, 0.0);
+  EXPECT_LE(s.latency.p50_us, s.latency.p95_us);
+  EXPECT_LE(s.latency.p95_us, s.latency.p99_us);
+}
+
+TEST(InferenceServer, DestructorDrainsInFlightRequests) {
+  SmallModel& m = small_model();
+  std::vector<std::future<QTensor>> futs;
+  {
+    InferenceServer server(quick_options(/*workers=*/2, /*max_batch=*/5, 10s));
+    server.register_model("m", m.session.network());
+    for (int i = 0; i < 17; ++i) futs.push_back(server.submit("m", m.images[i]));
+    // Destructor runs with queued and in-flight requests outstanding.
+  }
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    ASSERT_EQ(futs[i].wait_for(0s), std::future_status::ready)
+        << "future " << i << " not fulfilled by shutdown";
+    EXPECT_EQ(futs[i].get().data, m.refs[i].data);
+  }
+}
+
+TEST(InferenceServer, ShutdownRejectsNewWorkAndIsIdempotent) {
+  SmallModel& m = small_model();
+  InferenceServer server(quick_options(/*workers=*/1, /*max_batch=*/2, 1ms));
+  server.register_model("m", m.session.network());
+  server.submit("m", m.images[0]).get();
+  server.shutdown();
+  server.shutdown();  // idempotent
+
+  std::future<QTensor> f = server.submit("m", m.images[1]);
+  try {
+    f.get();
+    FAIL() << "submit after shutdown was not rejected";
+  } catch (const ServerRejected& e) {
+    EXPECT_EQ(e.reason(), ServerRejected::Reason::kShutdown);
+  }
+  EXPECT_THROW(server.register_model("late", m.session.network()), std::invalid_argument);
+  EXPECT_EQ(server.model_stats("m").admission.rejected, 1u);
+}
+
+// --- error isolation & misuse ------------------------------------------------
+
+TEST(InferenceServer, BadRequestFailsAloneWithoutPoisoningItsBatch) {
+  SmallModel& m = small_model();
+  InferenceServer server(quick_options(/*workers=*/1, /*max_batch=*/8, 50ms));
+  server.register_model("m", m.session.network());
+
+  std::future<QTensor> good0 = server.submit("m", m.images[0]);
+  std::future<QTensor> bad = server.submit("m", Tensor({5, 16, 16}, 0.1f));  // wrong channels
+  std::future<QTensor> good1 = server.submit("m", m.images[1]);
+  server.drain();
+
+  EXPECT_EQ(good0.get().data, m.refs[0].data);
+  EXPECT_THROW(bad.get(), std::invalid_argument);
+  EXPECT_EQ(good1.get().data, m.refs[1].data);
+  const ModelStats s = server.model_stats("m");
+  EXPECT_EQ(s.admission.completed, 2u);
+  EXPECT_EQ(s.admission.failed, 1u);
+  // The server keeps serving after a failed request.
+  std::future<QTensor> again = server.submit("m", m.images[2]);
+  EXPECT_EQ(again.get().data, m.refs[2].data);
+}
+
+TEST(InferenceServer, UnknownModelAndDuplicateRegistrationThrow) {
+  SmallModel& m = small_model();
+  InferenceServer server(quick_options(/*workers=*/1, /*max_batch=*/2, 1ms));
+  server.register_model("m", m.session.network());
+  EXPECT_THROW(server.submit("nope", m.images[0]), std::invalid_argument);
+  EXPECT_THROW(server.register_model("m", m.session.network()), std::invalid_argument);
+  EXPECT_THROW(server.model_stats("nope"), std::invalid_argument);
+  EXPECT_THROW(InferenceServer(quick_options(0, 2, 1ms)), std::invalid_argument);
+  EXPECT_THROW(InferenceServer(quick_options(1, 0, 1ms)), std::invalid_argument);
+}
+
+// --- facade ------------------------------------------------------------------
+
+TEST(ServerFacade, RegistersSessionsByNameAndServes) {
+  SmallModel& m = small_model();
+  // TinyConv is a Quickdraw model in the paper, but the builder takes its
+  // channel count from the options; reuse the CIFAR-shaped options so both
+  // registered models share one input shape.
+  bswp::Session tiny = compile_session(models::paper_models()[0], SmallModel::small_opts(), 21);
+
+  ServerOptions so = quick_options(/*workers=*/2, /*max_batch=*/4, 500us);
+  bswp::Server server(so);
+  server.add("resnet", m.session).add("tiny", tiny);
+  EXPECT_EQ(server.worker_count(), 2);
+
+  std::future<QTensor> fr = server.submit("resnet", m.images[0]);
+  std::future<QTensor> ft = server.submit("tiny", m.images[0]);
+  EXPECT_EQ(fr.get().data, m.refs[0].data);
+  EXPECT_EQ(ft.get().data, tiny.run(m.images[0]).data);
+  server.drain();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.admission.completed, 2u);
+  ASSERT_EQ(s.models.size(), 2u);
+  EXPECT_EQ(server.model_stats("tiny").admission.completed, 1u);
+
+  // reset_stats zeroes counters and latency windows; serving continues.
+  server.reset_stats();
+  const ServerStats zeroed = server.stats();
+  EXPECT_EQ(zeroed.admission.accepted, 0u);
+  EXPECT_EQ(zeroed.admission.completed, 0u);
+  EXPECT_EQ(zeroed.batches, 0u);
+  EXPECT_EQ(zeroed.latency.count, 0u);
+  EXPECT_EQ(server.submit("resnet", m.images[1]).get().data, m.refs[1].data);
+  server.drain();
+  EXPECT_EQ(server.stats().admission.completed, 1u);
+  server.shutdown();
+}
+
+}  // namespace
+}  // namespace bswp::runtime

@@ -28,10 +28,12 @@
 //   bswp::Server — the async serving front end: register any number of
 //     compiled sessions by name, submit individual requests
 //     (submit(name, image) -> std::future<QTensor>), and let the server's
-//     scheduler form cross-request batches (max-batch / deadline, round-robin
-//     across models) for a shared pool of arena-executor workers, with
-//     bounded-queue backpressure (block / reject / shed-oldest) and
-//     queue/batch/latency stats. See runtime/server/inference_server.h.
+//     scheduler form cross-request batches (max-batch / deadline,
+//     priority-weighted across models with per-model worker affinity) for a
+//     shared pool of arena-executor workers whose live count an optional
+//     autoscaler moves with load, with bounded-queue backpressure
+//     (block / reject / shed-oldest) and queue/batch/affinity/latency stats.
+//     See runtime/server/inference_server.h and docs/serving.md.
 //
 // Execution is arena-based end to end: every Session inference runs through
 // a runtime::Executor whose activations and scratch live in one
@@ -159,14 +161,17 @@ class Server {
   ~Server() = default;  // drains accepted requests, then joins (shutdown())
 
   /// Register a session's compiled network under `name`, with the server
-  /// defaults or an explicit per-model batching/queue config. Throws
-  /// std::invalid_argument on a duplicate name.
+  /// defaults or an explicit per-model batching/queue/priority-weight
+  /// config. Throws std::invalid_argument on a duplicate name.
   Server& add(const std::string& name, const Session& session);
   Server& add(const std::string& name, const Session& session,
               const runtime::ModelConfig& config);
 
   /// Submit one request (CHW or 1xCxHxW float image) for model `name`.
-  std::future<QTensor> submit(const std::string& name, Tensor image);
+  /// RequestClass::kHigh requests dispatch before queued kNormal requests
+  /// of the same model and are shed last under kShedOldest.
+  std::future<QTensor> submit(const std::string& name, Tensor image,
+                              runtime::RequestClass cls = runtime::RequestClass::kNormal);
 
   /// Flush and wait until every accepted request's future is ready.
   void drain();
@@ -175,9 +180,10 @@ class Server {
 
   runtime::ServerStats stats() const;
   runtime::ModelStats model_stats(const std::string& name) const;
-  /// Zero counters, histograms and latency windows (after warm-up, before a
-  /// measured run).
+  /// Zero counters, histograms, latency windows and autoscaler event
+  /// counters (after warm-up, before a measured run).
   void reset_stats();
+  /// Live (dispatch-eligible) workers; varies when the autoscaler is on.
   int worker_count() const;
 
  private:

@@ -16,8 +16,9 @@ Server& Server::add(const std::string& name, const Session& session,
   return *this;
 }
 
-std::future<QTensor> Server::submit(const std::string& name, Tensor image) {
-  return impl_->submit(name, std::move(image));
+std::future<QTensor> Server::submit(const std::string& name, Tensor image,
+                                    runtime::RequestClass cls) {
+  return impl_->submit(name, std::move(image), cls);
 }
 
 void Server::drain() { impl_->drain(); }

@@ -18,6 +18,13 @@
 // Variant keying: plans whose kind carries a BitSerialVariant resolve with
 // that variant; every other kind resolves with kAnyVariant. Lookup tries the
 // exact (kind, variant) key first and falls back to (kind, kAnyVariant).
+//
+// Who resolves from here: every runtime::Executor — including the one-per
+// worker×model executors the serving layers (runtime::ServingPool,
+// runtime::InferenceServer) keep warm — resolves its backends once at
+// construction and holds raw pointers for its lifetime. Register custom
+// backends at setup, before executors exist; see the hot-swap caveat on
+// add(). docs/architecture.md §6 places this seam in the full pipeline.
 #pragma once
 
 #include <memory>
@@ -66,6 +73,8 @@ class KernelBackend {
   /// Upper bound on the scratch bytes execute() draws for this plan. The
   /// MemoryPlanner sizes the Executor's scratch region from the maximum over
   /// all plans; an under-report makes the ScratchArena throw at run time.
+  /// Default: 0 — correct only for a backend that draws nothing from
+  /// ctx.scratch (an over-report merely wastes arena bytes).
   virtual std::size_t scratch_bytes(const CompiledNetwork& net, const LayerPlan& plan) const {
     (void)net;
     (void)plan;
@@ -90,7 +99,8 @@ class KernelRegistry {
   static KernelRegistry& instance();
 
   /// Register `backend` under (kind, variant). Throws std::invalid_argument
-  /// if the key is taken and `replace` is false. Returns the previous
+  /// if the key is taken and `replace` is false (the default, so two
+  /// libraries cannot silently fight over a key). Returns the previous
   /// backend when replacing (so tests can restore it). Replacing transfers
   /// ownership of the old backend to the caller while Executors hold raw
   /// pointers for their lifetime — hot-swapping requires quiescing

@@ -21,6 +21,21 @@ void validate(const ModelConfig& config, const char* who) {
   check(config.batching.max_batch >= 1, std::string(who) + ": max_batch must be >= 1");
   check(config.batching.max_delay.count() >= 0, std::string(who) + ": max_delay must be >= 0");
   check(config.queue.capacity >= 1, std::string(who) + ": queue capacity must be >= 1");
+  check(config.weight >= 1, std::string(who) + ": priority weight must be >= 1");
+}
+
+void validate(const AutoscalerOptions& a, const char* who) {
+  if (!a.enabled) return;
+  check(a.min_workers >= 1, std::string(who) + ": autoscaler min_workers must be >= 1");
+  check(a.max_workers >= a.min_workers,
+        std::string(who) + ": autoscaler max_workers must be >= min_workers");
+  check(a.interval.count() > 0, std::string(who) + ": autoscaler interval must be > 0");
+  check(a.up_queue_per_worker > 0.0,
+        std::string(who) + ": autoscaler up_queue_per_worker must be > 0");
+  check(a.up_latency_us >= 0.0, std::string(who) + ": autoscaler up_latency_us must be >= 0");
+  check(a.up_consecutive >= 1 && a.down_consecutive >= 1,
+        std::string(who) + ": autoscaler hysteresis streaks must be >= 1");
+  check(a.cooldown.count() >= 0, std::string(who) + ": autoscaler cooldown must be >= 0");
 }
 
 }  // namespace
@@ -40,6 +55,10 @@ struct InferenceServer::Request {
 /// (unique_ptr in models_) so workers can key executor caches and in-flight
 /// batches by address. All fields are guarded by the server's mu_, except
 /// the latency recorder, which lives behind stats_mu_.
+///
+/// The queue is two FIFOs, one per RequestClass: dispatch pops kHigh first,
+/// kShedOldest evicts kNormal first, and the batching deadline runs from the
+/// oldest request across both.
 struct InferenceServer::ModelState {
   ModelState(std::string id_, const CompiledNetwork& n, const ModelConfig& c, std::size_t window)
       : id(std::move(id_)), net(&n), config(c), latency(window) {}
@@ -48,13 +67,47 @@ struct InferenceServer::ModelState {
   const CompiledNetwork* net;
   ModelConfig config;
 
-  std::deque<Request> queue;  // bounded FIFO (config.queue.capacity)
+  std::deque<Request> high;  // RequestClass::kHigh, FIFO
+  std::deque<Request> norm;  // RequestClass::kNormal, FIFO
+  /// kWeightedDeficit: batches this model may still dispatch in the current
+  /// scheduling cycle. Refilled to config.weight when every ready model has
+  /// spent its grant; zeroed when the queue empties (no banked bursts).
+  int credits = 0;
 
   AdmissionCounters adm;
-  std::uint64_t batches = 0;
-  std::uint64_t batch_images = 0;              // sum of dispatched batch sizes
+  std::uint64_t batches = 0;     // batches handed to workers
+  std::uint64_t dispatched = 0;  // requests handed to workers
+  std::uint64_t affinity_hits = 0;
+  std::uint64_t affinity_misses = 0;
   std::vector<std::uint64_t> batch_size_hist;  // index = batch size
   LatencyRecorder latency;  // end-to-end, incl. queueing (guarded by stats_mu_)
+
+  std::size_t queued() const { return high.size() + norm.size(); }
+
+  /// Enqueue time of the oldest queued request across both classes (each
+  /// deque is FIFO by enqueue, so this is the min of the two fronts).
+  Clock::time_point oldest_enqueue() const {
+    if (high.empty()) return norm.front().enqueue;
+    if (norm.empty()) return high.front().enqueue;
+    return std::min(high.front().enqueue, norm.front().enqueue);
+  }
+
+  /// Next request to dispatch: high-class first, FIFO within a class.
+  Request pop_next() {
+    std::deque<Request>& q = high.empty() ? norm : high;
+    Request r = std::move(q.front());
+    q.pop_front();
+    return r;
+  }
+
+  /// kShedOldest victim: the oldest normal-class request, or — when no
+  /// normal-class request is queued — the oldest high-class one.
+  Request pop_shed_victim() {
+    std::deque<Request>& q = norm.empty() ? high : norm;
+    Request r = std::move(q.front());
+    q.pop_front();
+    return r;
+  }
 };
 
 /// One formed batch on its way to a worker.
@@ -63,14 +116,39 @@ struct InferenceServer::BatchTask {
   std::vector<Request> requests;
 };
 
+/// Per-worker dispatch slot plus what the scheduler knows about the worker's
+/// executor cache. All fields guarded by mu_; each worker has its own cv so
+/// a dispatch wakes exactly the worker it targets.
+struct InferenceServer::WorkerState {
+  std::condition_variable cv;
+  bool busy = false;      // executing a batch (outside mu_)
+  bool has_task = false;  // batch placed, not yet picked up
+  BatchTask task;
+  /// Models whose arena Executor this worker has built (affinity targets).
+  /// Survives descaling: a parked worker re-enters warm.
+  std::vector<const ModelState*> warm;
+};
+
 InferenceServer::InferenceServer(const ServerOptions& options)
     : options_(options), global_latency_(options.latency_window) {
   check(options_.workers >= 1, "InferenceServer: workers must be >= 1");
   validate(ModelConfig{options_.batching, options_.queue}, "InferenceServer");
+  validate(options_.autoscaler, "InferenceServer");
+
+  const AutoscalerOptions& a = options_.autoscaler;
+  const int threads = a.enabled ? a.max_workers : options_.workers;
+  live_workers_ = a.enabled ? std::clamp(options_.workers, a.min_workers, a.max_workers)
+                            : options_.workers;
+  peak_workers_ = live_workers_;
+  last_scale_ = Clock::now();
+  next_eval_ = last_scale_ + a.interval;
+
+  worker_state_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) worker_state_.push_back(std::make_unique<WorkerState>());
   scheduler_ = std::thread([this] { scheduler_main(); });
-  workers_.reserve(static_cast<std::size_t>(options_.workers));
-  for (int i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { worker_main(); });
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
   }
 }
 
@@ -94,7 +172,8 @@ void InferenceServer::register_model(const std::string& model_id, const Compiled
       std::make_unique<ModelState>(model_id, net, config, options_.latency_window));
 }
 
-std::future<QTensor> InferenceServer::submit(const std::string& model_id, Tensor image) {
+std::future<QTensor> InferenceServer::submit(const std::string& model_id, Tensor image,
+                                             RequestClass cls) {
   const Clock::time_point arrival = Clock::now();
   std::promise<QTensor> promise;
   std::future<QTensor> fut = promise.get_future();
@@ -120,13 +199,14 @@ std::future<QTensor> InferenceServer::submit(const std::string& model_id, Tensor
   }
 
   // Admission control: the queue is bounded, and this is where a saturated
-  // server pushes back (the scheduler stops draining queues once every
-  // worker is busy).
+  // server pushes back (the scheduler stops draining queues once every live
+  // worker is busy). RequestClass does not bypass admission — a kHigh
+  // request blocks/rejects like any other; it only orders the queue.
   const std::size_t capacity = m->config.queue.capacity;
-  if (m->queue.size() >= capacity) {
+  if (m->queued() >= capacity) {
     switch (m->config.queue.policy) {
       case QueuePolicy::kBlock:
-        space_cv_.wait(lock, [&] { return !accepting_ || m->queue.size() < capacity; });
+        space_cv_.wait(lock, [&] { return !accepting_ || m->queued() < capacity; });
         if (!accepting_) {
           return reject(ServerRejected::Reason::kShutdown, "InferenceServer: shutting down");
         }
@@ -139,8 +219,7 @@ std::future<QTensor> InferenceServer::submit(const std::string& model_id, Tensor
         // the request leaves the queue it is invisible to drain()/shutdown's
         // idle predicate, and their "every accepted future is ready"
         // guarantee would otherwise race the set_exception below.
-        Request victim = std::move(m->queue.front());
-        m->queue.pop_front();
+        Request victim = m->pop_shed_victim();
         ++m->adm.shed;
         victim.promise.set_exception(std::make_exception_ptr(ServerRejected(
             ServerRejected::Reason::kShed,
@@ -155,24 +234,107 @@ std::future<QTensor> InferenceServer::submit(const std::string& model_id, Tensor
   r.promise = std::move(promise);
   r.arrival = arrival;
   r.enqueue = Clock::now();
-  m->queue.push_back(std::move(r));
+  (cls == RequestClass::kHigh ? m->high : m->norm).push_back(std::move(r));
   ++m->adm.accepted;
   sched_cv_.notify_one();
   return fut;
 }
 
-void InferenceServer::dispatch_locked(ModelState& m) {
+InferenceServer::ModelState* InferenceServer::select_model_locked(
+    Clock::time_point now, Clock::time_point* next_deadline) {
+  *next_deadline = Clock::time_point::max();
+
+  // A batch is formed only while a live worker is free: at most one pending
+  // task per idle worker. When all live workers are busy, requests age in
+  // the bounded per-model queues — that is what makes admission control see
+  // overload instead of an elastic internal queue, and what the autoscaler
+  // reads as queue pressure.
+  bool any_free = false;
+  for (int i = 0; i < live_workers_; ++i) {
+    const WorkerState& w = *worker_state_[static_cast<std::size_t>(i)];
+    if (!w.busy && !w.has_task) {
+      any_free = true;
+      break;
+    }
+  }
+  if (!any_free || models_.empty()) return nullptr;
+
+  const std::size_t n = models_.size();
+  // Scan from the cursor: the cursor advances past each dispatched model,
+  // so same-credit models take turns. Under kWeightedDeficit a ready model
+  // is dispatchable only while it has batch credits; when every ready model
+  // has spent its grant, a new cycle refills credits to each model's weight
+  // — that refill boundary is what makes sustained shares proportional to
+  // the weights while a weight-1 model still dispatches every cycle.
+  ModelState* exhausted = nullptr;  // first ready model with no credits left
+  std::size_t exhausted_k = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    ModelState& m = *models_[(rr_ + k) % n];
+    if (m.queued() == 0) continue;
+    const Clock::time_point deadline = m.oldest_enqueue() + m.config.batching.max_delay;
+    const bool is_ready = flush_ ||
+                          static_cast<int>(m.queued()) >= m.config.batching.max_batch ||
+                          now >= deadline;
+    if (!is_ready) {
+      *next_deadline = std::min(*next_deadline, deadline);
+      continue;
+    }
+    if (options_.schedule == SchedulePolicy::kRoundRobin || m.credits > 0) {
+      rr_ = (rr_ + k + 1) % n;
+      return &m;
+    }
+    if (exhausted == nullptr) {
+      exhausted = &m;
+      exhausted_k = k;
+    }
+  }
+  if (exhausted == nullptr) return nullptr;
+  for (const auto& m : models_) m->credits = m->config.weight;
+  rr_ = (rr_ + exhausted_k + 1) % n;
+  return exhausted;
+}
+
+int InferenceServer::select_worker_locked(const ModelState& m, bool* hit) const {
+  int cold = -1;
+  for (int i = 0; i < live_workers_; ++i) {
+    const WorkerState& w = *worker_state_[static_cast<std::size_t>(i)];
+    if (w.busy || w.has_task) continue;
+    if (std::find(w.warm.begin(), w.warm.end(), &m) != w.warm.end()) {
+      *hit = true;
+      return i;  // free worker with this model's executor already built
+    }
+    if (cold < 0) cold = i;
+  }
+  *hit = false;
+  return cold;
+}
+
+void InferenceServer::dispatch_locked(ModelState& m, int wid, bool affinity_hit) {
+  WorkerState& w = *worker_state_[static_cast<std::size_t>(wid)];
   BatchTask task;
   task.model = &m;
   const std::size_t take =
-      std::min(m.queue.size(), static_cast<std::size_t>(m.config.batching.max_batch));
+      std::min(m.queued(), static_cast<std::size_t>(m.config.batching.max_batch));
   task.requests.reserve(take);
-  for (std::size_t i = 0; i < take; ++i) {
-    task.requests.push_back(std::move(m.queue.front()));
-    m.queue.pop_front();
+  for (std::size_t i = 0; i < take; ++i) task.requests.push_back(m.pop_next());
+  if (options_.schedule == SchedulePolicy::kWeightedDeficit) {
+    if (m.credits > 0) --m.credits;
+    if (m.queued() == 0) m.credits = 0;  // no banking across idle periods
   }
-  dispatch_q_.push_back(std::move(task));
-  work_cv_.notify_one();
+
+  ++m.batches;
+  m.dispatched += take;
+  if (m.batch_size_hist.size() <= take) m.batch_size_hist.resize(take + 1, 0);
+  ++m.batch_size_hist[take];
+  if (affinity_hit) {
+    ++m.affinity_hits;
+  } else {
+    ++m.affinity_misses;
+  }
+
+  w.task = std::move(task);
+  w.has_task = true;
+  w.cv.notify_one();
   space_cv_.notify_all();  // queue space freed for kBlock submitters
 }
 
@@ -180,69 +342,118 @@ void InferenceServer::scheduler_main() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (stop_threads_) return;
+    const Clock::time_point now = Clock::now();
 
-    // A batch is dispatched only while a worker is free: at most one pending
-    // task per idle worker. When all workers are busy, requests age in the
-    // bounded per-model queues — that is what makes admission control see
-    // overload instead of an elastic internal queue.
-    const bool worker_free =
-        busy_workers_ + static_cast<int>(dispatch_q_.size()) < options_.workers;
-    ModelState* pick = nullptr;
-    Clock::time_point next_deadline = Clock::time_point::max();
-    if (worker_free && !models_.empty()) {
-      const Clock::time_point now = Clock::now();
-      const std::size_t n = models_.size();
-      // Round-robin scan from the cursor: one hot model cannot starve the
-      // others, because the cursor advances past each dispatched model.
-      for (std::size_t k = 0; k < n; ++k) {
-        ModelState& m = *models_[(rr_ + k) % n];
-        if (m.queue.empty()) continue;
-        const Clock::time_point deadline =
-            m.queue.front().enqueue + m.config.batching.max_delay;
-        if (flush_ || static_cast<int>(m.queue.size()) >= m.config.batching.max_batch ||
-            now >= deadline) {
-          pick = &m;
-          rr_ = (rr_ + k + 1) % n;
-          break;
-        }
-        next_deadline = std::min(next_deadline, deadline);
-      }
+    if (options_.autoscaler.enabled && now >= next_eval_) {
+      autoscale_locked(now);
+      next_eval_ = now + options_.autoscaler.interval;
     }
 
+    Clock::time_point next_deadline = Clock::time_point::max();
+    ModelState* pick = select_model_locked(now, &next_deadline);
     if (pick != nullptr) {
-      dispatch_locked(*pick);
+      bool hit = false;
+      const int wid = select_worker_locked(*pick, &hit);
+      // select_model_locked only returns a model while a worker is free and
+      // the lock has been held throughout, so a slot is guaranteed.
+      check(wid >= 0, "InferenceServer: scheduler invariant violated (no free worker)");
+      dispatch_locked(*pick, wid, hit);
       continue;  // more models (or more of this one) may be ready
     }
-    if (worker_free && next_deadline != Clock::time_point::max()) {
-      // Nothing full yet: sleep until the oldest request's deadline fires a
-      // partial batch. Arrivals and freed workers re-wake us earlier.
-      sched_cv_.wait_until(lock, next_deadline);
+
+    // Nothing dispatchable: sleep until the oldest request's batching
+    // deadline fires a partial batch, or the next autoscaler evaluation,
+    // whichever is sooner. Arrivals and freed workers re-wake us earlier.
+    Clock::time_point wake = next_deadline;
+    if (options_.autoscaler.enabled) wake = std::min(wake, next_eval_);
+    if (wake != Clock::time_point::max()) {
+      sched_cv_.wait_until(lock, wake);
     } else {
       sched_cv_.wait(lock);
     }
   }
 }
 
-void InferenceServer::worker_main() {
+void InferenceServer::autoscale_locked(Clock::time_point now) {
+  const AutoscalerOptions& a = options_.autoscaler;
+  std::size_t queued = 0;
+  for (const auto& m : models_) queued += m->queued();
+  int occupied = busy_workers_;
+  for (const auto& w : worker_state_) {
+    if (w->has_task) ++occupied;
+  }
+
+  bool pressure =
+      static_cast<double>(queued) > a.up_queue_per_worker * static_cast<double>(live_workers_);
+  // The latency EWMA only moves when batches complete, so it goes stale the
+  // moment traffic stops; gate it on work actually waiting, or a drained
+  // server would read the last burst's EWMA as pressure forever and never
+  // take the shrink branch below.
+  if (!pressure && queued > 0 && a.up_latency_us > 0.0 && lat_ewma_valid_ &&
+      lat_ewma_us_ > a.up_latency_us) {
+    pressure = true;
+  }
+  const bool idle = queued == 0 && occupied < live_workers_;
+
+  // Hysteresis: a signal must hold for a consecutive streak of evaluations,
+  // opposing signals reset each other's streak, and `cooldown` separates any
+  // two scale events — so a step change in load converges to a stable count
+  // instead of oscillating. Streaks clamp at their thresholds: a pool pinned
+  // at min/max keeps satisfying its streak without counting toward overflow.
+  if (pressure) {
+    down_streak_ = 0;
+    up_streak_ = std::min(up_streak_ + 1, a.up_consecutive);
+    if (up_streak_ >= a.up_consecutive && live_workers_ < a.max_workers &&
+        now - last_scale_ >= a.cooldown) {
+      ++live_workers_;
+      peak_workers_ = std::max(peak_workers_, live_workers_);
+      ++scale_ups_;
+      last_scale_ = now;
+      up_streak_ = 0;
+    }
+  } else if (idle) {
+    up_streak_ = 0;
+    down_streak_ = std::min(down_streak_ + 1, a.down_consecutive);
+    if (down_streak_ >= a.down_consecutive && live_workers_ > a.min_workers &&
+        now - last_scale_ >= a.cooldown) {
+      --live_workers_;
+      ++scale_downs_;
+      last_scale_ = now;
+      down_streak_ = 0;
+    }
+  } else {
+    up_streak_ = 0;
+    down_streak_ = 0;
+  }
+}
+
+void InferenceServer::worker_main(int wid) {
+  WorkerState& self = *worker_state_[static_cast<std::size_t>(wid)];
   // One arena Executor per model this worker has served, keyed by the
-  // stable ModelState address; arenas stay warm across batches.
+  // stable ModelState address; arenas stay warm across batches (and across
+  // descale/rescale — a parked worker keeps its cache, which is what makes
+  // affinity hits resume immediately after a scale-up).
   std::unordered_map<const ModelState*, std::unique_ptr<Executor>> executors;
 
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stop_threads_ || !dispatch_q_.empty(); });
-    if (dispatch_q_.empty()) return;  // stop_threads_, queues already drained
-    BatchTask task = std::move(dispatch_q_.front());
-    dispatch_q_.pop_front();
+    self.cv.wait(lock, [&] { return stop_threads_ || self.has_task; });
+    if (!self.has_task) return;  // stop_threads_, queues already drained
+    BatchTask task = std::move(self.task);
+    self.task = BatchTask{};
+    self.has_task = false;
+    self.busy = true;
     ++busy_workers_;
     lock.unlock();
 
     ModelState& m = *task.model;
     std::unique_ptr<Executor>& exec = executors[task.model];
+    bool built = false;
     std::exception_ptr build_error;
     if (exec == nullptr) {
       try {
         exec = std::make_unique<Executor>(*m.net);
+        built = true;
       } catch (...) {
         build_error = std::current_exception();
       }
@@ -273,7 +484,9 @@ void InferenceServer::worker_main() {
     // Fulfill promises before reporting quiescence so drain() returning
     // implies every drained future is ready.
     std::size_t ok = 0;
+    double e2e_sum_us = 0.0;
     for (std::size_t i = 0; i < task.requests.size(); ++i) {
+      e2e_sum_us += outcomes[i].e2e_us;
       if (outcomes[i].error != nullptr) {
         task.requests[i].promise.set_exception(outcomes[i].error);
       } else {
@@ -283,8 +496,8 @@ void InferenceServer::worker_main() {
     }
 
     // Latency first (stats_mu_), counters second (mu_) — taken sequentially,
-    // never nested, and in this order so that once drain() observes
-    // busy_workers_ == 0, every completed request's sample is recorded.
+    // never nested, and in this order so that once drain() observes the
+    // workers quiescent, every completed request's sample is recorded.
     {
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       for (const Outcome& o : outcomes) {
@@ -294,14 +507,18 @@ void InferenceServer::worker_main() {
     }
 
     lock.lock();
+    if (built) self.warm.push_back(task.model);
     m.adm.completed += ok;
     m.adm.failed += task.requests.size() - ok;
-    ++m.batches;
-    m.batch_images += task.requests.size();
-    if (m.batch_size_hist.size() <= task.requests.size()) {
-      m.batch_size_hist.resize(task.requests.size() + 1, 0);
+    if (!task.requests.empty()) {
+      // Batch-mean EWMA of end-to-end latency: the autoscaler's cheap
+      // latency signal (the percentile windows live behind stats_mu_, which
+      // the scheduler never takes).
+      const double mean_us = e2e_sum_us / static_cast<double>(task.requests.size());
+      lat_ewma_us_ = lat_ewma_valid_ ? 0.2 * mean_us + 0.8 * lat_ewma_us_ : mean_us;
+      lat_ewma_valid_ = true;
     }
-    ++m.batch_size_hist[task.requests.size()];
+    self.busy = false;
     --busy_workers_;
     sched_cv_.notify_one();  // a worker freed up: more batches may dispatch
     idle_cv_.notify_all();
@@ -310,7 +527,15 @@ void InferenceServer::worker_main() {
 
 bool InferenceServer::queues_empty_locked() const {
   for (const auto& m : models_) {
-    if (!m->queue.empty()) return false;
+    if (m->queued() != 0) return false;
+  }
+  return true;
+}
+
+bool InferenceServer::workers_quiescent_locked() const {
+  if (busy_workers_ != 0) return false;
+  for (const auto& w : worker_state_) {
+    if (w->has_task) return false;
   }
   return true;
 }
@@ -320,9 +545,7 @@ void InferenceServer::drain() {
   ++drain_waiters_;
   flush_ = true;  // dispatch everything queued, deadlines ignored
   sched_cv_.notify_all();
-  idle_cv_.wait(lock, [&] {
-    return queues_empty_locked() && dispatch_q_.empty() && busy_workers_ == 0;
-  });
+  idle_cv_.wait(lock, [&] { return queues_empty_locked() && workers_quiescent_locked(); });
   // Restore deadline batching once the last drainer leaves (shutdown keeps
   // the flush on for good).
   if (--drain_waiters_ == 0 && accepting_) flush_ = false;
@@ -340,14 +563,12 @@ void InferenceServer::shutdown() {
     ++drain_waiters_;
     space_cv_.notify_all();
     sched_cv_.notify_all();
-    idle_cv_.wait(lock, [&] {
-      return queues_empty_locked() && dispatch_q_.empty() && busy_workers_ == 0;
-    });
+    idle_cv_.wait(lock, [&] { return queues_empty_locked() && workers_quiescent_locked(); });
     --drain_waiters_;
     stop_threads_ = true;
     joined_ = true;
     sched_cv_.notify_all();
-    work_cv_.notify_all();
+    for (const auto& w : worker_state_) w->cv.notify_all();
   }
   scheduler_.join();
   for (std::thread& w : workers_) w.join();
@@ -357,12 +578,17 @@ ModelStats InferenceServer::snapshot_locked(const ModelState& m) const {
   ModelStats s;
   s.model = m.id;
   s.admission = m.adm;
-  s.queue_depth = m.queue.size();
+  s.queue_depth = m.queued();
   s.batches = m.batches;
+  s.dispatched = m.dispatched;
+  s.weight = m.config.weight;
+  s.affinity_hits = m.affinity_hits;
+  s.affinity_misses = m.affinity_misses;
   s.mean_batch_size =
-      m.batches > 0 ? static_cast<double>(m.batch_images) / static_cast<double>(m.batches) : 0.0;
+      m.batches > 0 ? static_cast<double>(m.dispatched) / static_cast<double>(m.batches) : 0.0;
   s.batch_size_hist = m.batch_size_hist;
-  return s;  // latency: summarized by the caller outside the lock
+  return s;  // latency: summarized by the caller outside the lock;
+             // dispatch_share: filled by stats() once the total is known
 }
 
 ServerStats InferenceServer::stats() const {
@@ -375,7 +601,6 @@ ServerStats InferenceServer::stats() const {
   std::vector<const ModelState*> order;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    std::uint64_t batch_images = 0;
     for (const auto& m : models_) {
       ModelStats ms = snapshot_locked(*m);
       s.admission.accepted += ms.admission.accepted;
@@ -385,7 +610,9 @@ ServerStats InferenceServer::stats() const {
       s.admission.failed += ms.admission.failed;
       s.queue_depth += ms.queue_depth;
       s.batches += ms.batches;
-      batch_images += m->batch_images;
+      s.dispatched += ms.dispatched;
+      s.affinity_hits += ms.affinity_hits;
+      s.affinity_misses += ms.affinity_misses;
       if (s.batch_size_hist.size() < ms.batch_size_hist.size()) {
         s.batch_size_hist.resize(ms.batch_size_hist.size(), 0);
       }
@@ -396,7 +623,16 @@ ServerStats InferenceServer::stats() const {
       order.push_back(m.get());  // stable: models are never unregistered
     }
     s.mean_batch_size =
-        s.batches > 0 ? static_cast<double>(batch_images) / static_cast<double>(s.batches) : 0.0;
+        s.batches > 0 ? static_cast<double>(s.dispatched) / static_cast<double>(s.batches) : 0.0;
+    s.current_workers = live_workers_;
+    s.peak_workers = peak_workers_;
+    s.scale_up_events = scale_ups_;
+    s.scale_down_events = scale_downs_;
+  }
+  for (ModelStats& ms : s.models) {
+    ms.dispatch_share = s.dispatched > 0
+                            ? static_cast<double>(ms.dispatched) / static_cast<double>(s.dispatched)
+                            : 0.0;
   }
   std::vector<std::vector<double>> model_samples;
   std::vector<double> global_samples;
@@ -416,13 +652,12 @@ ServerStats InferenceServer::stats() const {
 ModelStats InferenceServer::model_stats(const std::string& model_id) const {
   ModelStats s;
   const ModelState* found = nullptr;
+  std::uint64_t total_dispatched = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& m : models_) {
-      if (m->id == model_id) {
-        found = m.get();
-        break;
-      }
+      total_dispatched += m->dispatched;
+      if (m->id == model_id) found = m.get();
     }
     if (found == nullptr) {
       throw std::invalid_argument("InferenceServer::model_stats: unknown model '" + model_id +
@@ -430,6 +665,9 @@ ModelStats InferenceServer::model_stats(const std::string& model_id) const {
     }
     s = snapshot_locked(*found);
   }
+  s.dispatch_share = total_dispatched > 0
+                         ? static_cast<double>(s.dispatched) / static_cast<double>(total_dispatched)
+                         : 0.0;
   std::vector<double> samples;
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
@@ -449,14 +687,26 @@ void InferenceServer::reset_stats() {
     for (const auto& m : models_) {
       m->adm = AdmissionCounters{};
       m->batches = 0;
-      m->batch_images = 0;
+      m->dispatched = 0;
+      m->affinity_hits = 0;
+      m->affinity_misses = 0;
       m->batch_size_hist.clear();
       order.push_back(m.get());
     }
+    scale_ups_ = 0;
+    scale_downs_ = 0;
+    peak_workers_ = live_workers_;
+    lat_ewma_us_ = 0.0;
+    lat_ewma_valid_ = false;
   }
   std::lock_guard<std::mutex> stats_lock(stats_mu_);
   for (ModelState* m : order) m->latency.clear();
   global_latency_.clear();
+}
+
+int InferenceServer::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_workers_;
 }
 
 std::vector<std::string> InferenceServer::model_ids() const {

@@ -1,26 +1,37 @@
 // Async inference server: request queue, dynamic cross-request batching,
-// backpressure, multi-network serving.
+// priority-weighted scheduling, worker affinity, backpressure, autoscaling,
+// multi-network serving.
 //
 // This is the serving layer production traffic actually needs: individual
 // requests arrive one at a time at unpredictable rates against many compiled
 // models, and the server — not the caller — forms batches. Architecture:
 //
-//   submit(model, image) ──> per-model bounded FIFO ──┐
-//   submit(model, image) ──> per-model bounded FIFO ──┤   scheduler thread
-//                                                     ├──> (round-robin,
-//   register_model(...)  adds a queue                 │    max_batch/deadline)
-//                                                     ▼
-//                                     dispatch queue (≤ 1 batch per free
-//                                     worker) ──> N worker threads, each
-//                                     holding one arena Executor per model
-//                                     it has served (warm across batches)
+//   submit(model, image[, class]) ─> per-model bounded queue ──┐
+//   submit(model, image[, class]) ─> per-model bounded queue ──┤ scheduler
+//                                                              │  thread
+//   register_model(...)  adds a queue + priority weight        │
+//                                                              ▼
+//                        pick model: weighted deficit round-robin
+//                        (or plain round-robin), max_batch/deadline
+//                                                              │
+//                        pick worker: prefer one whose executor
+//                        cache is already warm for the model   │
+//                                                              ▼
+//                        per-worker dispatch slot ──> N live workers out of
+//                        `max_workers` threads; the autoscaler moves the
+//                        live count with queue-depth/latency signals
 //
 // Batching: a model's batch closes when `max_batch` requests are queued or
-// the oldest has waited `max_delay`, whichever is first; ready models are
-// drained round-robin so one hot model cannot starve the rest. The scheduler
-// only dispatches while a worker is free — when all workers are busy,
+// the oldest has waited `max_delay`, whichever is first. Ready models are
+// drained by SchedulePolicy — weighted deficit round-robin by default, where
+// ModelConfig::weight is the model's batch-credit grant per scheduling cycle,
+// so a hot model gets proportionally more dispatch slots while a weight-1
+// model still dispatches every cycle (never starves). Within one model's
+// queue, RequestClass::kHigh requests dispatch before kNormal ones. The
+// scheduler only dispatches while a live worker is free — when all are busy,
 // requests back up in the bounded per-model queues, which is where
-// backpressure (QueuePolicy::{kBlock, kReject, kShedOldest}) engages.
+// backpressure (QueuePolicy::{kBlock, kReject, kShedOldest}) engages and
+// what the autoscaler reads as its grow signal.
 //
 // Results: submit() returns a std::future<QTensor> fulfilled with logits
 // bit-identical to Session::run / Executor::run for the same image (the
@@ -33,6 +44,9 @@
 // queue ignoring batching deadlines, waits for in-flight work, then joins
 // the threads — no submitted request is ever silently dropped. drain()
 // does the same flush-and-wait while keeping the server accepting.
+//
+// docs/serving.md documents the semantics precisely (with a tuning
+// cookbook); docs/architecture.md places this layer in the full pipeline.
 #pragma once
 
 #include <condition_variable>
@@ -67,8 +81,10 @@ class ServerRejected : public std::runtime_error {
 
 class InferenceServer {
  public:
-  /// Starts the scheduler and worker threads immediately; per-model arena
-  /// executors are built lazily, the first time a worker serves that model.
+  /// Starts the scheduler and worker threads immediately (`workers` threads,
+  /// or `autoscaler.max_workers` when autoscaling is enabled — scaling only
+  /// changes how many are dispatch-eligible). Per-model arena executors are
+  /// built lazily, the first time a worker serves that model.
   explicit InferenceServer(const ServerOptions& options = ServerOptions{});
   /// shutdown(): drains every accepted request, then joins the threads.
   ~InferenceServer();
@@ -77,18 +93,21 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Register a compiled network under `model_id` with the server-default
-  /// (or an explicit) batching/queue config. `net` is borrowed and must
-  /// outlive the server. Throws std::invalid_argument on a duplicate id.
-  /// Models may be registered while the server is running.
+  /// (or an explicit) batching/queue/weight config. `net` is borrowed and
+  /// must outlive the server. Throws std::invalid_argument on a duplicate
+  /// id. Models may be registered while the server is running.
   void register_model(const std::string& model_id, const CompiledNetwork& net);
   void register_model(const std::string& model_id, const CompiledNetwork& net,
                       const ModelConfig& config);
 
   /// Submit one request. Returns immediately (kBlock: after space frees)
-  /// with a future for the quantized logits. Throws std::invalid_argument
-  /// for an unknown model id; admission failures are delivered through the
-  /// future as ServerRejected. Safe from any number of threads.
-  std::future<QTensor> submit(const std::string& model_id, Tensor image);
+  /// with a future for the quantized logits. RequestClass::kHigh requests
+  /// dispatch before queued kNormal requests of the same model and are shed
+  /// last. Throws std::invalid_argument for an unknown model id; admission
+  /// failures are delivered through the future as ServerRejected. Safe from
+  /// any number of threads.
+  std::future<QTensor> submit(const std::string& model_id, Tensor image,
+                              RequestClass cls = RequestClass::kNormal);
 
   /// Flush every queued request (batching deadlines ignored) and wait until
   /// the server is momentarily idle: queues empty, no batch in flight.
@@ -104,24 +123,42 @@ class InferenceServer {
   /// submit/dispatch for the sort.
   ServerStats stats() const;
   ModelStats model_stats(const std::string& model_id) const;
-  /// Zero every admission counter, batch histogram and latency window (e.g.
-  /// after warm-up, before a measured run). Queued/in-flight requests are
-  /// unaffected and will count against the fresh counters on completion.
+  /// Zero every admission/dispatch/affinity counter, batch histogram,
+  /// latency window and autoscaler event counter (e.g. after warm-up,
+  /// before a measured run); peak_workers restarts from the current live
+  /// count. Queued/in-flight requests are unaffected and will count against
+  /// the fresh counters on completion. The live worker count itself is
+  /// not changed.
   void reset_stats();
 
-  int worker_count() const { return options_.workers; }
+  /// Live (dispatch-eligible) workers right now; moves between
+  /// autoscaler.min_workers/max_workers when autoscaling is enabled.
+  int worker_count() const;
   std::vector<std::string> model_ids() const;
 
  private:
   struct Request;
   struct ModelState;
   struct BatchTask;
+  struct WorkerState;
 
   void scheduler_main();
-  void worker_main();
-  /// Pop up to max_batch requests from `m` into a dispatch task. Lock held.
-  void dispatch_locked(ModelState& m);
+  void worker_main(int wid);
+  /// Policy-aware model selection: the ready model the scheduler should
+  /// dispatch next, or null. Fills `next_deadline` with the earliest
+  /// batching deadline among not-yet-ready models. Lock held.
+  ModelState* select_model_locked(std::chrono::steady_clock::time_point now,
+                                  std::chrono::steady_clock::time_point* next_deadline);
+  /// Free live worker for `m`, preferring a warm executor (affinity hit);
+  /// -1 when every live worker is occupied. Lock held.
+  int select_worker_locked(const ModelState& m, bool* hit) const;
+  /// Pop up to max_batch requests from `m` (kHigh first) into worker
+  /// `wid`'s dispatch slot. Lock held.
+  void dispatch_locked(ModelState& m, int wid, bool affinity_hit);
+  /// One autoscaler evaluation: maybe move live_workers_ by one. Lock held.
+  void autoscale_locked(std::chrono::steady_clock::time_point now);
   bool queues_empty_locked() const;
+  bool workers_quiescent_locked() const;  // no pending slot, none busy
   /// Everything except the latency summary, which the caller computes from
   /// the copied-out sample window after releasing mu_.
   ModelStats snapshot_locked(const ModelState& m) const;
@@ -136,18 +173,34 @@ class InferenceServer {
   // together with mu_ — every path takes them sequentially.
   mutable std::mutex stats_mu_;
   std::condition_variable sched_cv_;  // scheduler: arrivals, freed workers
-  std::condition_variable work_cv_;   // workers: dispatch queue non-empty
   std::condition_variable space_cv_;  // kBlock submitters: queue space
   std::condition_variable idle_cv_;   // drain/shutdown: server went idle
 
-  // Registration order drives round-robin; lookup is a linear scan, which
-  // is fine for the handful of models a server realistically hosts.
-  // ModelState addresses are stable (unique_ptr) — workers key executor
-  // caches and in-flight batches by pointer.
+  // Registration order drives the round-robin cursor; lookup is a linear
+  // scan, which is fine for the handful of models a server realistically
+  // hosts. ModelState addresses are stable (unique_ptr) — workers key
+  // executor caches and in-flight batches by pointer.
   std::vector<std::unique_ptr<ModelState>> models_;
-  std::size_t rr_ = 0;  // round-robin cursor into models_
+  std::size_t rr_ = 0;  // scan cursor into models_ (both policies)
 
-  std::deque<BatchTask> dispatch_q_;
+  // One state per worker thread; index == thread id. Each has its own
+  // dispatch slot and condition variable, so the scheduler wakes exactly
+  // the worker it placed a batch on.
+  std::vector<std::unique_ptr<WorkerState>> worker_state_;
+  int live_workers_ = 0;   // workers [0, live_workers_) are dispatch-eligible
+  int peak_workers_ = 0;   // high-water mark of live_workers_
+  std::uint64_t scale_ups_ = 0;
+  std::uint64_t scale_downs_ = 0;
+  int up_streak_ = 0;      // consecutive pressure evaluations (hysteresis)
+  int down_streak_ = 0;    // consecutive idle evaluations (hysteresis)
+  std::chrono::steady_clock::time_point last_scale_;
+  std::chrono::steady_clock::time_point next_eval_;
+  // Server-wide EWMA of end-to-end request latency (µs), the autoscaler's
+  // optional latency signal. Updated by workers under mu_ (cheap), unlike
+  // the percentile windows behind stats_mu_.
+  double lat_ewma_us_ = 0.0;
+  bool lat_ewma_valid_ = false;
+
   int busy_workers_ = 0;
   bool accepting_ = true;
   bool flush_ = false;        // drain/shutdown: ignore batching deadlines

@@ -1,5 +1,11 @@
-// Configuration for the async inference server: how batches are formed and
-// what happens when a model's request queue is full.
+// Configuration for the async inference server: how batches are formed, how
+// dispatch slots are shared between models (priority), what happens when a
+// model's request queue is full (backpressure), and how the live worker count
+// tracks load (autoscaling).
+//
+// Every option here has a stated default and a stated interaction with its
+// neighbours; docs/serving.md is the prose companion (semantics + tuning
+// cookbook) and scripts/check_docs.sh keeps the two in sync with the tree.
 #pragma once
 
 #include <chrono>
@@ -12,7 +18,14 @@ namespace bswp::runtime {
 /// has waited `max_delay` (whichever comes first), so light traffic pays at
 /// most `max_delay` of batching latency and heavy traffic runs full batches.
 struct BatchingPolicy {
+  /// Largest batch the scheduler will form (default 8, must be >= 1). Also
+  /// the per-dispatch quantum of the weighted scheduler: a model with
+  /// priority weight w may dispatch up to w batches of up to `max_batch`
+  /// requests per scheduling cycle.
   int max_batch = 8;
+  /// Longest the oldest queued request may wait before a partial batch is
+  /// forced out (default 2 ms; 0 dispatches immediately, trading batch size
+  /// for latency). Ignored while drain()/shutdown() are flushing.
   std::chrono::microseconds max_delay{2000};
 };
 
@@ -25,29 +38,128 @@ enum class QueuePolicy {
 
 /// Bounded per-model admission queue. Only requests waiting to be batched
 /// count against `capacity`; dispatched batches are bounded separately by
-/// the worker count (the scheduler never dispatches more batches than there
-/// are free workers, so a saturated server backs requests up here).
+/// the live worker count (the scheduler never hands out more batches than
+/// there are free workers, so a saturated server backs requests up here).
 struct QueueOptions {
+  /// Queue slots, in requests (default 256, must be >= 1).
   std::size_t capacity = 256;
+  /// Full-queue behavior (default kBlock). With kShedOldest, normal-class
+  /// requests are evicted before high-class ones (see RequestClass).
   QueuePolicy policy = QueuePolicy::kBlock;
 };
 
-/// Per-model overrides (a latency-critical model can run a shorter deadline
-/// and a shed-oldest queue next to a throughput model that blocks).
+/// How the scheduler divides batch slots between models that are ready to
+/// dispatch at the same time.
+enum class SchedulePolicy {
+  /// One batch per ready model per turn, in registration order. Every model
+  /// gets an equal share of dispatch slots regardless of its traffic, so a
+  /// hot model queues behind its own backlog while cold models idle.
+  kRoundRobin,
+  /// Weighted deficit round-robin over `ModelConfig::weight` (the default).
+  /// Each scheduling cycle grants every model `weight` batch credits; ready
+  /// models spend one credit per dispatched batch and the cycle ends when no
+  /// ready model has credits left, so sustained dispatch shares converge to
+  /// weight_i / sum(weights). Unused credits do not accumulate across cycles
+  /// (no banked bursts), and every model with a non-empty queue receives
+  /// credits every cycle — a weight-1 model can be slowed but never starved.
+  /// With all weights equal (the default) this degenerates to fair
+  /// round-robin.
+  kWeightedDeficit,
+};
+
+/// Per-request priority class, within one model's queue.
+enum class RequestClass {
+  kNormal,  // FIFO order (default)
+  /// Dispatched before every queued kNormal request of the same model (FIFO
+  /// among kHigh). Under QueuePolicy::kShedOldest, kNormal requests are
+  /// evicted first; when no kNormal request is queued, the oldest kHigh
+  /// request is shed. Cross-model ordering is the scheduler's business
+  /// (SchedulePolicy / ModelConfig::weight), not RequestClass's.
+  kHigh,
+};
+
+/// Admission-driven autoscaling of the worker pool. Disabled by default:
+/// the pool stays at `ServerOptions::workers`. When enabled, the scheduler
+/// re-evaluates the live worker count every `interval` and grows/shrinks it
+/// one worker at a time between `min_workers` and `max_workers`:
+///
+///   grow   when total queued requests exceed `up_queue_per_worker` per live
+///          worker (or the end-to-end latency EWMA exceeds `up_latency_us`,
+///          when set) for `up_consecutive` consecutive evaluations;
+///   shrink when the queues are empty and at least one live worker is idle
+///          for `down_consecutive` consecutive evaluations.
+///
+/// `cooldown` must elapse between any two scale events. The consecutive-
+/// evaluation streaks plus the cooldown are the hysteresis: a load spike
+/// shorter than `up_consecutive * interval` does not grow the pool, and a
+/// step change settles at a stable count instead of oscillating (a grow
+/// event resets the shrink streak and vice versa). Scale events and the
+/// current/peak live count are observable in ServerStats.
+struct AutoscalerOptions {
+  /// Default false: worker count is fixed at ServerOptions::workers.
+  bool enabled = false;
+  /// Live-worker bounds (defaults 1 and 4; 1 <= min_workers <= max_workers).
+  /// The server spawns `max_workers` threads up front — scaling changes how
+  /// many are eligible for dispatch, never thread creation, so a grow event
+  /// adds capacity immediately. A descaled ("parked") worker keeps its warm
+  /// executors and is preferred again by affinity when rescaled.
+  int min_workers = 1;
+  int max_workers = 4;
+  /// Evaluation cadence (default 5 ms, must be > 0). The scheduler wakes at
+  /// least this often while autoscaling is enabled, even when idle.
+  std::chrono::microseconds interval{5000};
+  /// Grow when total queued requests > up_queue_per_worker * live workers
+  /// (default 4.0, must be > 0). Think of it as "how many requests deep may
+  /// the backlog get, per worker, before it buys another worker".
+  double up_queue_per_worker = 4.0;
+  /// Optional latency signal (microseconds; default 0 = disabled): also grow
+  /// when the server-wide EWMA of end-to-end request latency (queueing
+  /// included) exceeds this. Use it to scale on slow requests even when the
+  /// queue-depth signal is quiet (shallow but expensive queues). Considered
+  /// only while requests are queued — the EWMA freezes when traffic stops,
+  /// and a stale reading must not hold an idle pool above min_workers.
+  double up_latency_us = 0.0;
+  /// Hysteresis streaks (defaults 2 and 4 evaluations, each >= 1). Shrink is
+  /// deliberately slower than grow: adding a worker under pressure is cheap,
+  /// while removing one too eagerly re-queues the next burst.
+  int up_consecutive = 2;
+  int down_consecutive = 4;
+  /// Minimum gap between two scale events (default 20 ms, >= 0).
+  std::chrono::microseconds cooldown{20000};
+};
+
+/// Per-model configuration (defaults come from ServerOptions; a latency-
+/// critical model can run a shorter deadline, a shed-oldest queue and a
+/// higher weight next to a throughput model that blocks).
 struct ModelConfig {
   BatchingPolicy batching;
   QueueOptions queue;
+  /// Relative dispatch share under SchedulePolicy::kWeightedDeficit
+  /// (default 1, must be >= 1): batch credits granted per scheduling cycle.
+  /// A weight-8 model next to three weight-1 models receives up to 8 of
+  /// every 11 batch slots under saturation. Ignored by kRoundRobin.
+  int weight = 1;
 };
 
 struct ServerOptions {
-  /// Worker threads shared by every registered model. Each worker lazily
-  /// builds one arena Executor per model it actually serves.
+  /// Worker threads shared by every registered model (default 2, >= 1).
+  /// Each worker lazily builds one arena Executor per model it actually
+  /// serves, and the scheduler prefers placing a model on a worker that
+  /// already holds its executor (see ModelStats affinity counters). With
+  /// the autoscaler enabled this is the *initial* live count, clamped into
+  /// [min_workers, max_workers].
   int workers = 2;
+  /// Cross-model dispatch order (default kWeightedDeficit, which equals
+  /// fair round-robin until a ModelConfig::weight is raised above 1).
+  SchedulePolicy schedule = SchedulePolicy::kWeightedDeficit;
   /// Defaults for models registered without an explicit ModelConfig.
   BatchingPolicy batching;
   QueueOptions queue;
-  /// Retained end-to-end latency samples per model (ring window; 0 keeps
-  /// every sample — fine for tests, unbounded for a long-running server).
+  /// Worker-pool autoscaling (default disabled — fixed `workers`).
+  AutoscalerOptions autoscaler;
+  /// Retained end-to-end latency samples per model (ring window; default
+  /// 65536; 0 keeps every sample — fine for tests, unbounded for a
+  /// long-running server).
   std::size_t latency_window = 1 << 16;
 };
 

@@ -1,6 +1,15 @@
 // Observable server state: admission counters, queue depth, batch-size
-// histogram and end-to-end latency (queueing included), per model and
-// aggregated. Snapshots are plain value types taken under the server lock.
+// histogram, dispatch share, worker-affinity hits, autoscaler state and
+// end-to-end latency (queueing included), per model and aggregated.
+// Snapshots are plain value types taken under the server lock.
+//
+// Units, once and for all (docs/serving.md repeats this table in prose):
+//   * every AdmissionCounters field and `dispatched` count REQUESTS;
+//   * `batches`, `batch_size_hist`, and the affinity counters count BATCHES
+//     (one dispatch of 1..max_batch requests to one worker);
+//   * every latency field is MICROSECONDS (the `_us` suffix is load-bearing);
+//   * `queue_depth` is an instantaneous request count, not a rate;
+//   * worker counts are live (dispatch-eligible) workers, not threads.
 #pragma once
 
 #include <cstddef>
@@ -12,39 +21,82 @@
 
 namespace bswp::runtime {
 
-/// What happened to every request at and after admission. Every submitted
-/// request ends in exactly one of {rejected, shed, completed, failed};
-/// accepted counts admissions, so on an idle server
-/// accepted == completed + failed + shed.
+/// What happened to every request at and after admission; all five fields
+/// count requests. Every submitted request ends in exactly one of
+/// {rejected, shed, completed, failed}; `accepted` counts admissions, so on
+/// an idle (drained) server accepted == completed + failed + shed.
 struct AdmissionCounters {
-  std::uint64_t accepted = 0;   // admitted into the model's queue
-  std::uint64_t rejected = 0;   // refused at submit (kReject overflow/shutdown)
-  std::uint64_t shed = 0;       // evicted from the queue (kShedOldest overflow)
-  std::uint64_t completed = 0;  // future fulfilled with logits
-  std::uint64_t failed = 0;     // future fulfilled with an error
+  std::uint64_t accepted = 0;   // requests admitted into the model's queue
+  std::uint64_t rejected = 0;   // requests refused at submit (kReject overflow
+                                // or shutdown) — never entered the queue
+  std::uint64_t shed = 0;       // requests evicted from the queue after
+                                // admission (kShedOldest overflow)
+  std::uint64_t completed = 0;  // futures fulfilled with logits
+  std::uint64_t failed = 0;     // futures fulfilled with an error (bad input,
+                                // executor failure) — shed is counted in
+                                // `shed`, not here
 };
 
 struct ModelStats {
   std::string model;
   AdmissionCounters admission;
-  std::size_t queue_depth = 0;  // requests waiting to be batched (snapshot)
-  std::uint64_t batches = 0;    // batches dispatched
+  /// Requests currently waiting to be batched (instantaneous snapshot;
+  /// excludes requests already dispatched to a worker).
+  std::size_t queue_depth = 0;
+  /// Batches dispatched to workers since start/reset_stats().
+  std::uint64_t batches = 0;
+  /// Requests dispatched to workers (sum of batch sizes); >= completed +
+  /// failed while batches are in flight.
+  std::uint64_t dispatched = 0;
+  /// This model's fraction of all dispatched requests across the server
+  /// (0 when nothing has been dispatched). Under saturation and
+  /// SchedulePolicy::kWeightedDeficit this converges toward
+  /// weight / sum(weights) — compare it against `weight` to see whether a
+  /// model is getting its configured share.
+  double dispatch_share = 0.0;
+  /// ModelConfig::weight echo, so dashboards can plot share vs. weight.
+  int weight = 1;
+  /// Batches placed on a worker that already held this model's warm arena
+  /// Executor (hit) vs. one that had to build it (miss);
+  /// affinity_hits + affinity_misses == batches. A low hit rate on a hot
+  /// model means its executors are being rebuilt instead of staying
+  /// cache-resident (e.g. more models than workers churning).
+  std::uint64_t affinity_hits = 0;
+  std::uint64_t affinity_misses = 0;
+  /// Requests per dispatched batch: dispatched / batches (0 before the
+  /// first batch).
   double mean_batch_size = 0.0;
   /// batch_size_hist[k] = batches dispatched with exactly k requests
   /// (index 0 unused; sized to the largest batch seen).
   std::vector<std::uint64_t> batch_size_hist;
-  /// End-to-end latency, submit() to future fulfillment — queueing and
-  /// batching delay included (most recent `latency_window` samples).
+  /// End-to-end latency in microseconds, submit() to future fulfillment —
+  /// queueing and batching delay included (most recent
+  /// ServerOptions::latency_window samples).
   LatencySummary latency;
 };
 
 struct ServerStats {
-  AdmissionCounters admission;  // totals across models
-  std::size_t queue_depth = 0;
-  std::uint64_t batches = 0;
-  double mean_batch_size = 0.0;
-  std::vector<std::uint64_t> batch_size_hist;
-  LatencySummary latency;  // across all models (shared window)
+  AdmissionCounters admission;  // request totals across models
+  std::size_t queue_depth = 0;  // queued requests across models (snapshot)
+  std::uint64_t batches = 0;    // batches dispatched across models
+  std::uint64_t dispatched = 0; // requests dispatched across models
+  double mean_batch_size = 0.0; // dispatched / batches (0 before any batch)
+  std::vector<std::uint64_t> batch_size_hist;  // summed across models
+  std::uint64_t affinity_hits = 0;    // batches, summed across models
+  std::uint64_t affinity_misses = 0;  // batches, summed across models
+  /// Live (dispatch-eligible) workers right now. Fixed at
+  /// ServerOptions::workers unless the autoscaler is enabled.
+  int current_workers = 0;
+  /// High-water mark of current_workers since start/reset_stats().
+  int peak_workers = 0;
+  /// Autoscaler scale events since start/reset_stats(): each event moves
+  /// the live count by exactly one worker, so current_workers equals the
+  /// live count at the start of the stats window plus
+  /// scale_up_events - scale_down_events (both 0 when the autoscaler is
+  /// disabled).
+  std::uint64_t scale_up_events = 0;
+  std::uint64_t scale_down_events = 0;
+  LatencySummary latency;          // microseconds, across all models
   std::vector<ModelStats> models;  // registration order
 };
 

@@ -2,13 +2,17 @@
 // every model-zoo network under concurrent multi-client submission, batching
 // triggers (full batch vs deadline partial batch), bounded-queue
 // backpressure observable through admission counters (kReject/kShedOldest),
-// kBlock completion, drain/shutdown semantics with in-flight requests, and
-// the shared LatencyRecorder. Everything here also runs under the TSan CI
-// job — the suite is the concurrency contract of the serving subsystem.
+// kBlock completion, weighted-deficit scheduling (starvation-freedom of a
+// weight-1 model under a saturating weight-8 storm), per-request priority
+// classes, worker-affinity accounting, autoscaler grow/shrink hysteresis,
+// drain/shutdown semantics with in-flight requests, and the shared
+// LatencyRecorder. Everything here also runs under the TSan CI job — the
+// suite is the concurrency contract of the serving subsystem.
 #include "runtime/server/inference_server.h"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <thread>
@@ -354,6 +358,311 @@ TEST(InferenceServer, BlockPolicyCompletesEverythingUnderSustainedOverload) {
   EXPECT_EQ(s.admission.shed, 0u);
 }
 
+// --- priority scheduling -----------------------------------------------------
+
+TEST(InferenceServer, WeightedSchedulingNeverStarvesColdModelUnderHotSaturation) {
+  SmallModel& m = small_model();
+  // One worker, instant-dispatch batching: the weight-8 "hot" model is kept
+  // saturated by a closed-loop client the whole test, and the weight-1
+  // "cold" model must still complete its requests *while the storm runs* —
+  // the weighted scheduler grants every model credits each cycle, so cold
+  // is slowed, never starved.
+  ServerOptions so = quick_options(/*workers=*/1, /*max_batch=*/4, 0us, /*capacity=*/16,
+                                   QueuePolicy::kBlock);
+  InferenceServer server(so);
+  ModelConfig hot_cfg{so.batching, so.queue, /*weight=*/8};
+  ModelConfig cold_cfg{so.batching, so.queue, /*weight=*/1};
+  server.register_model("hot", m.session.network(), hot_cfg);
+  server.register_model("cold", m.session.network(), cold_cfg);
+
+  constexpr int kHot = 600;
+  std::atomic<bool> storm_done{false};
+  std::vector<std::future<QTensor>> hot_futs;
+  hot_futs.reserve(kHot);
+  std::thread hot_client([&] {
+    for (int i = 0; i < kHot; ++i) {
+      hot_futs.push_back(
+          server.submit("hot", m.images[static_cast<std::size_t>(i) % m.images.size()]));
+    }
+    storm_done.store(true);
+  });
+
+  // Wait until the hot queue is genuinely saturated before the cold model
+  // has to compete for dispatch slots.
+  while (server.model_stats("hot").queue_depth < 8 && !storm_done.load()) {
+    std::this_thread::yield();
+  }
+
+  std::vector<std::future<QTensor>> cold_futs;
+  for (int i = 0; i < 8; ++i) cold_futs.push_back(server.submit("cold", m.images[i]));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(cold_futs[i].wait_for(60s), std::future_status::ready)
+        << "cold request " << i << " starved under hot load";
+    EXPECT_EQ(cold_futs[i].get().data, m.refs[i].data);
+  }
+  // 8 cold requests need ~2 scheduling cycles; the 600-request storm runs
+  // ~150 batches — cold must have finished long before the storm did.
+  EXPECT_FALSE(storm_done.load())
+      << "hot storm drained before cold completed; saturation was not exercised";
+
+  hot_client.join();
+  server.drain();
+  const ServerStats s = server.stats();
+  ASSERT_EQ(s.models.size(), 2u);
+  const ModelStats& hot = s.models[0];
+  const ModelStats& cold = s.models[1];
+  EXPECT_EQ(hot.weight, 8);
+  EXPECT_EQ(cold.weight, 1);
+  EXPECT_EQ(hot.admission.completed, static_cast<std::uint64_t>(kHot));
+  EXPECT_EQ(cold.admission.completed, 8u);
+  // Dispatch accounting: every request dispatched exactly once, share sums
+  // to 1 and follows the traffic (hot carried ~99% of it here).
+  EXPECT_EQ(hot.dispatched, hot.admission.completed);
+  EXPECT_EQ(cold.dispatched, cold.admission.completed);
+  EXPECT_GT(hot.dispatch_share, cold.dispatch_share);
+  EXPECT_DOUBLE_EQ(hot.dispatch_share + cold.dispatch_share, 1.0);
+  EXPECT_EQ(hot.affinity_hits + hot.affinity_misses, hot.batches);
+  EXPECT_EQ(cold.affinity_hits + cold.affinity_misses, cold.batches);
+}
+
+TEST(InferenceServer, RoundRobinPolicyStillServesAllModels) {
+  SmallModel& m = small_model();
+  ServerOptions so = quick_options(/*workers=*/2, /*max_batch=*/4, 500us);
+  so.schedule = SchedulePolicy::kRoundRobin;
+  InferenceServer server(so);
+  server.register_model("a", m.session.network());
+  server.register_model("b", m.session.network());
+
+  std::vector<std::future<QTensor>> futs;
+  for (int i = 0; i < 12; ++i) {
+    futs.push_back(server.submit(i % 2 == 0 ? "a" : "b", m.images[i]));
+  }
+  server.drain();
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(futs[i].get().data, m.refs[i].data);
+  }
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.admission.completed, 12u);
+  EXPECT_EQ(s.models[0].admission.completed, 6u);
+  EXPECT_EQ(s.models[1].admission.completed, 6u);
+}
+
+TEST(InferenceServer, HighClassDispatchesFirstAndShedsLast) {
+  SmallModel& m = small_model();
+  // capacity 2 + unreachable batching triggers: the queue state is fully
+  // under this test's control until drain(). kShedOldest must evict normal
+  // requests (oldest first) and touch a kHigh request only when nothing
+  // else is queued.
+  InferenceServer server(quick_options(/*workers=*/1, /*max_batch=*/16, 10s, /*capacity=*/2,
+                                       QueuePolicy::kShedOldest));
+  server.register_model("m", m.session.network());
+
+  std::future<QTensor> h1 = server.submit("m", m.images[0], RequestClass::kHigh);
+  std::future<QTensor> n1 = server.submit("m", m.images[1]);
+  // Queue: {high: [h1], norm: [n1]} — full from here on.
+  std::future<QTensor> n2 = server.submit("m", m.images[2]);  // sheds n1
+  std::future<QTensor> h2 = server.submit("m", m.images[3], RequestClass::kHigh);  // sheds n2
+  std::future<QTensor> n3 = server.submit("m", m.images[4]);  // norm empty: sheds h1
+
+  for (std::future<QTensor>* f : {&n1, &n2, &h1}) {
+    try {
+      f->get();
+      FAIL() << "expected shed";
+    } catch (const ServerRejected& e) {
+      EXPECT_EQ(e.reason(), ServerRejected::Reason::kShed);
+    }
+  }
+  server.drain();
+  EXPECT_EQ(h2.get().data, m.refs[3].data);
+  EXPECT_EQ(n3.get().data, m.refs[4].data);
+  const ModelStats s = server.model_stats("m");
+  EXPECT_EQ(s.admission.accepted, 5u);
+  EXPECT_EQ(s.admission.shed, 3u);
+  EXPECT_EQ(s.admission.completed, 2u);
+}
+
+// --- worker affinity ---------------------------------------------------------
+
+TEST(InferenceServer, AffinityHitAccountingSingleWorker) {
+  SmallModel& m = small_model();
+  // One worker: the first batch must build the executor (miss); every later
+  // batch lands on the now-warm worker (hit).
+  InferenceServer server(quick_options(/*workers=*/1, /*max_batch=*/4, 10s));
+  server.register_model("m", m.session.network());
+
+  constexpr int kRounds = 5;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::future<QTensor>> futs;
+    for (int i = 0; i < 4; ++i) futs.push_back(server.submit("m", m.images[i]));
+    server.drain();
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(futs[i].get().data, m.refs[i].data);
+  }
+  const ModelStats s = server.model_stats("m");
+  EXPECT_EQ(s.batches, static_cast<std::uint64_t>(kRounds));
+  EXPECT_EQ(s.affinity_misses, 1u);
+  EXPECT_EQ(s.affinity_hits, static_cast<std::uint64_t>(kRounds - 1));
+}
+
+TEST(InferenceServer, AffinityCountersPartitionBatchesAcrossWorkers) {
+  SmallModel& m = small_model();
+  // Two workers, many rounds of two concurrent batches: each worker builds
+  // the executor at most once, so misses are bounded by the worker count
+  // and everything else must be a hit. (Which worker takes which batch is
+  // timing-dependent; the partition invariant is not.)
+  InferenceServer server(quick_options(/*workers=*/2, /*max_batch=*/2, 10s));
+  server.register_model("m", m.session.network());
+
+  constexpr int kRounds = 6;
+  for (int round = 0; round < kRounds; ++round) {
+    std::vector<std::future<QTensor>> futs;
+    for (int i = 0; i < 4; ++i) futs.push_back(server.submit("m", m.images[i]));
+    server.drain();
+    for (int i = 0; i < 4; ++i) EXPECT_EQ(futs[i].get().data, m.refs[i].data);
+  }
+  const ModelStats s = server.model_stats("m");
+  EXPECT_EQ(s.batches, static_cast<std::uint64_t>(2 * kRounds));
+  EXPECT_GE(s.affinity_misses, 1u);
+  EXPECT_LE(s.affinity_misses, 2u);  // at most one executor build per worker
+  EXPECT_EQ(s.affinity_hits, s.batches - s.affinity_misses);
+}
+
+// --- autoscaler --------------------------------------------------------------
+
+bool wait_for_worker_count(const InferenceServer& server, int want,
+                           std::chrono::seconds timeout) {
+  const auto until = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < until) {
+    if (server.worker_count() == want) return true;
+    std::this_thread::sleep_for(1ms);
+  }
+  return false;
+}
+
+TEST(InferenceServer, AutoscalerGrowsOnBacklogShrinksWhenIdleWithHysteresis) {
+  SmallModel& m = small_model();
+  ServerOptions so = quick_options(/*workers=*/1, /*max_batch=*/1, 0us, /*capacity=*/1024,
+                                   QueuePolicy::kBlock);
+  so.autoscaler.enabled = true;
+  so.autoscaler.min_workers = 1;
+  so.autoscaler.max_workers = 3;
+  so.autoscaler.interval = 1ms;
+  so.autoscaler.up_queue_per_worker = 1.0;
+  so.autoscaler.up_consecutive = 2;
+  so.autoscaler.down_consecutive = 3;
+  so.autoscaler.cooldown = 2ms;
+  InferenceServer server(so);
+  server.register_model("m", m.session.network());
+  EXPECT_EQ(server.worker_count(), 1);
+
+  // Load step: a burst of single-request batches that far outlasts the
+  // grow path (2 consecutive 1 ms evaluations + 2 ms cooldown per step).
+  std::vector<std::future<QTensor>> futs;
+  for (int i = 0; i < 400; ++i) {
+    futs.push_back(server.submit("m", m.images[static_cast<std::size_t>(i) % m.images.size()]));
+  }
+  EXPECT_TRUE(wait_for_worker_count(server, 3, 30s))
+      << "autoscaler never reached max_workers under sustained backlog";
+
+  server.drain();
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    EXPECT_EQ(futs[i].get().data, m.refs[i % m.refs.size()].data);
+  }
+
+  // Idle: queues stay empty, so the relief streak shrinks the pool back to
+  // min_workers, one cooldown-separated step at a time.
+  EXPECT_TRUE(wait_for_worker_count(server, 1, 30s))
+      << "autoscaler never shrank back to min_workers after the load step";
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.current_workers, 1);
+  EXPECT_EQ(s.peak_workers, 3);
+  EXPECT_EQ(s.scale_up_events, 2u);    // 1 -> 2 -> 3, never past max
+  EXPECT_EQ(s.scale_down_events, 2u);  // 3 -> 2 -> 1, never past min
+
+  // No oscillation: with the queues empty and the pool at min_workers, many
+  // more evaluation intervals must not produce another scale event.
+  std::this_thread::sleep_for(300ms);
+  const ServerStats settled = server.stats();
+  EXPECT_EQ(settled.scale_up_events, s.scale_up_events);
+  EXPECT_EQ(settled.scale_down_events, s.scale_down_events);
+  EXPECT_EQ(settled.current_workers, 1);
+}
+
+TEST(InferenceServer, AutoscalerLatencySignalDoesNotPinIdlePool) {
+  SmallModel& m = small_model();
+  // The latency EWMA only moves when batches complete, so after traffic
+  // stops it freezes at the last burst's (high) value. The signal must be
+  // gated on a non-empty queue: an idle pool holding a stale EWMA above
+  // up_latency_us has to shrink back to min_workers, not stay scaled up.
+  ServerOptions so = quick_options(/*workers=*/1, /*max_batch=*/1, 0us, /*capacity=*/1024,
+                                   QueuePolicy::kBlock);
+  so.autoscaler.enabled = true;
+  so.autoscaler.min_workers = 1;
+  so.autoscaler.max_workers = 3;
+  so.autoscaler.interval = 1ms;
+  so.autoscaler.up_queue_per_worker = 1e9;  // queue-depth signal never trips
+  so.autoscaler.up_latency_us = 1.0;        // any completed batch trips this
+  so.autoscaler.up_consecutive = 2;
+  so.autoscaler.down_consecutive = 3;
+  so.autoscaler.cooldown = 2ms;
+  InferenceServer server(so);
+  server.register_model("m", m.session.network());
+
+  std::vector<std::future<QTensor>> futs;
+  for (int i = 0; i < 200; ++i) {
+    futs.push_back(server.submit("m", m.images[static_cast<std::size_t>(i) % m.images.size()]));
+  }
+  EXPECT_TRUE(wait_for_worker_count(server, 3, 30s))
+      << "latency signal never grew the pool while requests were queued";
+  server.drain();
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    EXPECT_EQ(futs[i].get().data, m.refs[i % m.refs.size()].data);
+  }
+  EXPECT_TRUE(wait_for_worker_count(server, 1, 30s))
+      << "stale latency EWMA pinned the idle pool above min_workers";
+}
+
+TEST(InferenceServer, AutoscalerValidationAndFixedPoolDefaults) {
+  SmallModel& m = small_model();
+  const auto with_autoscaler = [](auto mutate) {
+    ServerOptions so;
+    so.autoscaler.enabled = true;
+    mutate(so.autoscaler);
+    return so;
+  };
+  EXPECT_THROW(InferenceServer(with_autoscaler([](AutoscalerOptions& a) { a.min_workers = 0; })),
+               std::invalid_argument);
+  EXPECT_THROW(InferenceServer(with_autoscaler([](AutoscalerOptions& a) {
+                 a.min_workers = 3;
+                 a.max_workers = 2;
+               })),
+               std::invalid_argument);
+  EXPECT_THROW(InferenceServer(with_autoscaler(
+                   [](AutoscalerOptions& a) { a.interval = std::chrono::microseconds{0}; })),
+               std::invalid_argument);
+  EXPECT_THROW(InferenceServer(with_autoscaler(
+                   [](AutoscalerOptions& a) { a.up_queue_per_worker = 0.0; })),
+               std::invalid_argument);
+
+  // Weight is validated at registration.
+  InferenceServer server(quick_options(/*workers=*/2, /*max_batch=*/4, 1ms));
+  ModelConfig bad_weight;
+  bad_weight.weight = 0;
+  EXPECT_THROW(server.register_model("m", m.session.network(), bad_weight),
+               std::invalid_argument);
+
+  // Without the autoscaler the pool is fixed and the new stats fields are
+  // inert: current == peak == workers, zero scale events.
+  server.register_model("m", m.session.network());
+  server.submit("m", m.images[0]).get();
+  server.drain();
+  const ServerStats s = server.stats();
+  EXPECT_EQ(server.worker_count(), 2);
+  EXPECT_EQ(s.current_workers, 2);
+  EXPECT_EQ(s.peak_workers, 2);
+  EXPECT_EQ(s.scale_up_events, 0u);
+  EXPECT_EQ(s.scale_down_events, 0u);
+}
+
 // --- drain / shutdown --------------------------------------------------------
 
 TEST(InferenceServer, DrainFlushesDeadlinesAndMakesEveryFutureReady) {
@@ -487,6 +796,24 @@ TEST(ServerFacade, RegistersSessionsByNameAndServes) {
   server.drain();
   EXPECT_EQ(server.stats().admission.completed, 1u);
   server.shutdown();
+}
+
+TEST(ServerFacade, PriorityClassAndWeightedConfigRoundTrip) {
+  SmallModel& m = small_model();
+  ServerOptions so = quick_options(/*workers=*/2, /*max_batch=*/4, 500us);
+  bswp::Server server(so);
+  ModelConfig cfg{so.batching, so.queue, /*weight=*/4};
+  server.add("resnet", m.session, cfg);
+
+  std::future<QTensor> f = server.submit("resnet", m.images[0], RequestClass::kHigh);
+  EXPECT_EQ(f.get().data, m.refs[0].data);
+  server.drain();
+  const ModelStats s = server.model_stats("resnet");
+  EXPECT_EQ(s.weight, 4);
+  EXPECT_EQ(s.admission.completed, 1u);
+  EXPECT_DOUBLE_EQ(s.dispatch_share, 1.0);  // only model registered
+  EXPECT_EQ(s.affinity_hits + s.affinity_misses, s.batches);
+  EXPECT_EQ(server.stats().current_workers, server.worker_count());
 }
 
 }  // namespace

@@ -222,10 +222,15 @@ void print_skewed_row(const char* policy, const LoadResult& r) {
               static_cast<unsigned long long>(cold_shed), cold_p99);
 }
 
+struct AutoscaleResult {
+  runtime::ServerStats settled;
+  double burst_p99_us = 0.0;
+};
+
 /// Section 3: load step against an autoscaling pool. Returns once the pool
 /// has shrunk back to min_workers (or a timeout passes).
-void run_autoscaler_step(bswp::Session& hot, double capacity_1w,
-                         std::span<const Tensor> images) {
+AutoscaleResult run_autoscaler_step(bswp::Session& hot, double capacity_1w,
+                                    std::span<const Tensor> images) {
   runtime::ServerOptions so;
   so.workers = 1;
   so.batching.max_batch = 8;
@@ -275,6 +280,7 @@ void run_autoscaler_step(bswp::Session& hot, double capacity_1w,
               static_cast<unsigned long long>(settled.scale_up_events),
               static_cast<unsigned long long>(settled.scale_down_events),
               settled.current_workers, under_load.latency.p99_us);
+  return AutoscaleResult{settled, under_load.latency.p99_us};
 }
 
 int run_bench() {
@@ -349,11 +355,24 @@ int run_bench() {
     }
   }
 
-  // Worker scaling at fixed relative load and deadline.
+  // Worker scaling at fixed relative load and deadline. The per-worker-count
+  // rows feed BENCH_server.json so bench_compare.sh can diff runs.
+  JsonWriter jw;
+  jw.add("smoke_mode", smoke_mode());
+  jw.add("capacity_1w_per_s", capacity_1w);
   for (int workers : smoke_mode() ? std::vector<int>{2} : std::vector<int>{1, 2, 4}) {
     const double offered = 0.9 * capacity_1w * workers;
-    print_row(workers, offered, microseconds{1000},
-              run_open_loop(resnet, tiny, workers, microseconds{1000}, offered, n, images));
+    const LoadResult r =
+        run_open_loop(resnet, tiny, workers, microseconds{1000}, offered, n, images);
+    print_row(workers, offered, microseconds{1000}, r);
+    const std::string prefix = "w" + std::to_string(workers) + "_";
+    jw.add(prefix + "achieved_per_s",
+           r.wall_seconds > 0.0
+               ? static_cast<double>(r.stats.admission.completed) / r.wall_seconds
+               : 0.0);
+    jw.add(prefix + "p50_us", r.stats.latency.p50_us);
+    jw.add(prefix + "p99_us", r.stats.latency.p99_us);
+    jw.add(prefix + "mean_batch", r.stats.mean_batch_size);
   }
 
   // --- Section 2: skewed load, scheduling-policy sweep ----------------------
@@ -395,16 +414,28 @@ int run_bench() {
               100.0 * hot_frac, n_cold, cap_2w, skew_offered);
   std::printf("%-12s %8s %8s %5s %9s %9s | %9s %9s %11s\n", "policy", "hot done", "hot shed",
               "share", "hot p50", "hot p99", "cold done", "cold shed", "cold p99max");
-  print_skewed_row("round-robin",
-                   run_skewed(resnet, resnet, n_cold, runtime::SchedulePolicy::kRoundRobin,
-                              /*hot_weight=*/8, skew_offered, hot_frac, n_skew, images));
-  print_skewed_row("weighted",
-                   run_skewed(resnet, resnet, n_cold, runtime::SchedulePolicy::kWeightedDeficit,
-                              /*hot_weight=*/8, skew_offered, hot_frac, n_skew, images));
+  const LoadResult rr =
+      run_skewed(resnet, resnet, n_cold, runtime::SchedulePolicy::kRoundRobin,
+                 /*hot_weight=*/8, skew_offered, hot_frac, n_skew, images);
+  print_skewed_row("round-robin", rr);
+  const LoadResult wd =
+      run_skewed(resnet, resnet, n_cold, runtime::SchedulePolicy::kWeightedDeficit,
+                 /*hot_weight=*/8, skew_offered, hot_frac, n_skew, images);
+  print_skewed_row("weighted", wd);
+  jw.add("capacity_2w_per_s", cap_2w);
+  jw.add("skew_rr_hot_p99_us", rr.stats.models[0].latency.p99_us);
+  jw.add("skew_wd_hot_p99_us", wd.stats.models[0].latency.p99_us);
+  jw.add("skew_rr_hot_completed", rr.stats.models[0].admission.completed);
+  jw.add("skew_wd_hot_completed", wd.stats.models[0].admission.completed);
 
   // --- Section 3: autoscaler load step --------------------------------------
   std::printf("\n");
-  run_autoscaler_step(resnet, capacity_1w, images);
+  const AutoscaleResult as = run_autoscaler_step(resnet, capacity_1w, images);
+  jw.add("autoscale_peak_workers", as.settled.peak_workers);
+  jw.add("autoscale_scale_ups", as.settled.scale_up_events);
+  jw.add("autoscale_scale_downs", as.settled.scale_down_events);
+  jw.add("autoscale_burst_p99_us", as.burst_p99_us);
+  jw.write("BENCH_server.json");
   return 0;
 }
 

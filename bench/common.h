@@ -187,4 +187,65 @@ inline void print_header(const std::string& title) {
   std::printf("================================================================\n");
 }
 
+// ---------------------------------------------------------------------------
+// Machine-readable bench output
+// ---------------------------------------------------------------------------
+
+/// Flat JSON emitter for bench metrics: one `"key": value,` pair per line,
+/// keys emitted in insertion order. The one-pair-per-line shape is a
+/// deliberate contract — scripts/bench_compare.sh diffs two of these files
+/// with awk alone (no JSON parser in the image), so nested objects and
+/// multi-pair lines are out. Keys name their unit and direction the way
+/// stats structs do: `*_us` / `*latency*` / `*p50*`-style keys are
+/// lower-is-better, everything else (throughput, hit rates, counts)
+/// higher-is-better.
+class JsonWriter {
+ public:
+  void add(const std::string& key, double value) {
+    entries_.emplace_back(key, format_double(value));
+  }
+  void add(const std::string& key, std::uint64_t value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, int value) {
+    entries_.emplace_back(key, std::to_string(value));
+  }
+  void add(const std::string& key, bool value) {
+    entries_.emplace_back(key, value ? "true" : "false");
+  }
+  void add(const std::string& key, const std::string& value) {
+    entries_.emplace_back(key, "\"" + value + "\"");
+  }
+
+  /// Write the collected pairs as a JSON object, one pair per line.
+  /// Returns false (after a warning) when the file cannot be opened —
+  /// benches keep running; the JSON artifact is best-effort.
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %s%s\n", entries_[i].first.c_str(),
+                   entries_[i].second.c_str(),
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu metrics)\n", path.c_str(), entries_.size());
+    return true;
+  }
+
+ private:
+  static std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+  }
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
 }  // namespace bswp::bench

@@ -56,6 +56,7 @@
 #include "pool/finetune.h"
 #include "quant/calibrate.h"
 #include "runtime/evaluate.h"
+#include "runtime/frontdoor/front_door.h"
 #include "runtime/pipeline.h"
 #include "runtime/server/inference_server.h"
 #include "runtime/serving_pool.h"
@@ -188,6 +189,72 @@ class Server {
 
  private:
   std::unique_ptr<runtime::InferenceServer> impl_;
+};
+
+/// Sharded serving cluster behind one front door: N identically configured
+/// Server-style shards, consistent-hash request routing, an optional
+/// idempotent result cache, and per-shard health breakers with failover.
+/// The horizontal layer above bswp::Server — same submit/future contract,
+/// same bit-identity guarantee, cluster-wide stats.
+///
+///   bswp::Cluster cluster({.shards = 2, .cache_capacity = 1024});
+///   cluster.add("kws", kws_session);
+///   std::future<QTensor> f = cluster.submit("kws", image);
+///   QTensor logits = f.get();   // bit-identical to kws_session.run(image)
+///   cluster.drain();
+///   runtime::ClusterStats s = cluster.stats();
+///
+/// Sessions are borrowed and must outlive the cluster; every model is
+/// registered on every shard (the ring decides which shard serves which
+/// request). See runtime/frontdoor/front_door.h and docs/frontdoor.md.
+/// Move-only.
+class Cluster {
+ public:
+  /// Starts every shard (each a full inference server per
+  /// options.server) and the routing threads.
+  explicit Cluster(const runtime::FrontDoorOptions& options = runtime::FrontDoorOptions{});
+  Cluster(Cluster&&) = default;
+  Cluster& operator=(Cluster&&) = default;
+  ~Cluster() = default;  // resolves accepted futures, then joins (shutdown())
+
+  /// Register a session's compiled network under `name` on every shard.
+  /// Throws std::invalid_argument on a duplicate name.
+  Cluster& add(const std::string& name, const Session& session);
+  Cluster& add(const std::string& name, const Session& session,
+               const runtime::ModelConfig& config);
+
+  /// Submit one request. Bit-identical repeat inputs may be answered from
+  /// the result cache without touching a shard; otherwise the consistent-
+  /// hash ring places the request on a live shard. Admission failures
+  /// surface as runtime::ServerRejected through the future.
+  std::future<QTensor> submit(const std::string& name, Tensor image,
+                              runtime::RequestClass cls = runtime::RequestClass::kNormal);
+
+  /// Flush every shard and wait until every accepted future is ready
+  /// (failover retries included).
+  void drain();
+  /// Stop admission, drain, shut every shard down. Idempotent.
+  void shutdown();
+
+  /// Shut one shard down (rolling maintenance / fault injection): it is
+  /// routed around immediately and its accepted requests still complete.
+  void stop_shard(int shard);
+
+  /// Fleet snapshot: routing, health, cache and merged-window latency.
+  runtime::ClusterStats stats() const;
+  /// Zero counters and latency windows cluster-wide (cache entries and
+  /// shard health are preserved).
+  void reset_stats();
+
+  int shard_count() const;
+  /// Shards currently routable (healthy or probing).
+  int healthy_shard_count() const;
+  /// Ring owner of (name, image) when every shard is live (placement
+  /// introspection for tests and ops tooling).
+  int shard_for(const std::string& name, const Tensor& image) const;
+
+ private:
+  std::unique_ptr<runtime::FrontDoor> impl_;
 };
 
 /// Fluent builder owning the pool -> finetune -> calibrate -> compile

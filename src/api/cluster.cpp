@@ -1,0 +1,44 @@
+#include "api/bswp.h"
+
+namespace bswp {
+
+Cluster::Cluster(const runtime::FrontDoorOptions& options)
+    : impl_(std::make_unique<runtime::FrontDoor>(options)) {}
+
+Cluster& Cluster::add(const std::string& name, const Session& session) {
+  impl_->register_model(name, session.network());
+  return *this;
+}
+
+Cluster& Cluster::add(const std::string& name, const Session& session,
+                      const runtime::ModelConfig& config) {
+  impl_->register_model(name, session.network(), config);
+  return *this;
+}
+
+std::future<QTensor> Cluster::submit(const std::string& name, Tensor image,
+                                     runtime::RequestClass cls) {
+  return impl_->submit(name, std::move(image), cls);
+}
+
+void Cluster::drain() { impl_->drain(); }
+
+void Cluster::shutdown() { impl_->shutdown(); }
+
+void Cluster::stop_shard(int shard) { impl_->stop_shard(shard); }
+
+runtime::ClusterStats Cluster::stats() const { return impl_->stats(); }
+
+void Cluster::reset_stats() { impl_->reset_stats(); }
+
+int Cluster::shard_count() const { return impl_->shard_count(); }
+
+int Cluster::healthy_shard_count() const {
+  return impl_->healthy_shard_count();
+}
+
+int Cluster::shard_for(const std::string& name, const Tensor& image) const {
+  return impl_->shard_for(name, image);
+}
+
+}  // namespace bswp

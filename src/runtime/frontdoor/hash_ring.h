@@ -1,0 +1,131 @@
+// Consistent-hash ring with virtual nodes — the request-placement policy of
+// the cluster front door (runtime::FrontDoor).
+//
+// Each shard owns `vnodes_per_shard` pseudo-random points ("virtual nodes")
+// on a 64-bit ring; a request key is routed to the shard owning the first
+// vnode clockwise of the key. Properties the front door leans on:
+//
+//   * removing one of N shards remaps only that shard's ~1/N of the key
+//     space (its segments fall to their clockwise successors, which virtual
+//     nodes spread across all survivors) — every other key keeps its shard,
+//     so per-model warm-executor state on the surviving shards is untouched;
+//   * adding the shard back restores the exact previous mapping (vnode
+//     positions are a pure function of (shard id, replica));
+//   * the successor walk (`candidates()`) is the natural failover order: a
+//     key's second choice is deterministic and evenly distributed, so an
+//     unhealthy shard's load spreads instead of dogpiling one neighbour.
+//
+// The ring itself is a plain value type with no locking; FrontDoor treats it
+// as immutable after construction and expresses shard death by *skipping*
+// dead shards during the candidate walk rather than mutating the ring (so
+// recovery is a no-op and the remap guarantee above is trivially preserved).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bswp::runtime {
+
+/// SplitMix64 finalizer: cheap, well-mixed 64-bit hash step.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a byte range, folded through mix64 for avalanche. `seed`
+/// selects one of a family of independent hash functions (the result cache
+/// keys with two of them).
+inline std::uint64_t hash_bytes(const void* data, std::size_t len,
+                                std::uint64_t seed = 0) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 1469598103934665603ULL ^ mix64(seed);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return mix64(h);
+}
+
+class HashRing {
+ public:
+  /// Ring over shards [0, shards) with `vnodes_per_shard` points each.
+  /// More vnodes -> smoother load split and smaller remap variance, at
+  /// O(shards * vnodes) memory and log-time lookups (64 is plenty for the
+  /// handful of shards one process hosts).
+  explicit HashRing(int shards, int vnodes_per_shard = 64) {
+    ring_.reserve(static_cast<std::size_t>(shards) *
+                  static_cast<std::size_t>(vnodes_per_shard));
+    for (int s = 0; s < shards; ++s) {
+      for (int v = 0; v < vnodes_per_shard; ++v) {
+        // Pure function of (shard, replica): re-adding a shard lands its
+        // vnodes on identical positions, restoring the previous mapping.
+        const std::uint64_t h =
+            mix64(mix64(static_cast<std::uint64_t>(s) * 0x100000001b3ULL) +
+                  static_cast<std::uint64_t>(v));
+        ring_.push_back({h, s});
+      }
+    }
+    std::sort(ring_.begin(), ring_.end());
+    shards_ = shards;
+  }
+
+  int shards() const { return shards_; }
+
+  /// Owner of `key`: the shard of the first vnode at or clockwise of the
+  /// key (wrapping). -1 on an empty ring.
+  int shard_for(std::uint64_t key) const {
+    if (ring_.empty()) return -1;
+    auto it = std::lower_bound(ring_.begin(), ring_.end(),
+                               Vnode{key, -1});
+    if (it == ring_.end()) it = ring_.begin();
+    return it->shard;
+  }
+
+  /// All distinct shards in successor order starting at `key`'s owner —
+  /// the deterministic failover sequence. First entry == shard_for(key).
+  std::vector<int> candidates(std::uint64_t key) const {
+    std::vector<int> out;
+    if (ring_.empty()) return out;
+    out.reserve(static_cast<std::size_t>(shards_));
+    auto it = std::lower_bound(ring_.begin(), ring_.end(), Vnode{key, -1});
+    for (std::size_t walked = 0;
+         walked < ring_.size() && out.size() < static_cast<std::size_t>(shards_);
+         ++walked, ++it) {
+      if (it == ring_.end()) it = ring_.begin();
+      if (std::find(out.begin(), out.end(), it->shard) == out.end()) {
+        out.push_back(it->shard);
+      }
+    }
+    return out;
+  }
+
+  /// Owner of `key` among the shards `alive[s]` marks true — i.e. the
+  /// mapping a ring *without* the dead shards would produce. Dead shards'
+  /// segments fall to their clockwise successors; live shards' keys are
+  /// untouched. -1 when nothing is alive.
+  int shard_for_live(std::uint64_t key, const std::vector<bool>& alive) const {
+    if (ring_.empty()) return -1;
+    auto it = std::lower_bound(ring_.begin(), ring_.end(), Vnode{key, -1});
+    for (std::size_t walked = 0; walked < ring_.size(); ++walked, ++it) {
+      if (it == ring_.end()) it = ring_.begin();
+      if (alive[static_cast<std::size_t>(it->shard)]) return it->shard;
+    }
+    return -1;
+  }
+
+ private:
+  struct Vnode {
+    std::uint64_t hash;
+    int shard;
+    bool operator<(const Vnode& o) const { return hash < o.hash; }
+  };
+
+  std::vector<Vnode> ring_;
+  int shards_ = 0;
+};
+
+}  // namespace bswp::runtime

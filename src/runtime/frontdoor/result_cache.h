@@ -1,0 +1,175 @@
+// Idempotent inference result cache for the cluster front door.
+//
+// Inference here is a pure function: the kernels are deterministic integer
+// code, so (model, input bits) fully determines the output bits. That makes
+// results safely cacheable — a hit returns logits bit-identical to what any
+// shard would have computed, and the request never touches a shard at all.
+//
+// Keying: requests are keyed by TWO independent 64-bit hashes of
+// (model id, input shape, raw float bits) — see RequestKey. A single 64-bit
+// hash would make a collision (two different inputs served each other's
+// logits) merely improbable; 128 bits makes it negligible (~2^-64 per pair),
+// which is the standard content-address trade (the input itself is not
+// retained — storing it would cost more than the result). The float bits are
+// hashed, not the values: -0.0f and 0.0f are different keys, NaN payloads
+// are different keys — "bit-identical in, bit-identical out" is the contract.
+//
+// Replacement is plain LRU over a doubly-linked list + hash map (both O(1));
+// capacity counts *entries* (results of one model have one size; mixed
+// fleets can translate entries to bytes via their largest logits vector).
+// Capacity 0 disables the cache entirely: get() misses without counting and
+// put() drops, so a disabled front door pays one branch, not a mutex.
+//
+// Thread safety: all operations take the internal mutex; the critical
+// sections are O(1) plus one QTensor copy. Counters (hits/misses/insertions/
+// evictions) are read via stats() for ClusterStats.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "core/tensor.h"
+#include "runtime/frontdoor/hash_ring.h"
+
+namespace bswp::runtime {
+
+/// 128-bit content address of (model id, input tensor bits).
+struct RequestKey {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  bool operator==(const RequestKey& o) const { return lo == o.lo && hi == o.hi; }
+
+  /// Hash model id, shape and raw float bits with two independent seeds.
+  /// `lo` doubles as the routing key on the consistent-hash ring.
+  static RequestKey of(const std::string& model_id, const Tensor& image) {
+    RequestKey k;
+    for (int seed = 0; seed < 2; ++seed) {
+      std::uint64_t h = hash_bytes(model_id.data(), model_id.size(),
+                                   static_cast<std::uint64_t>(seed));
+      const auto& shape = image.shape();
+      h = mix64(h ^ hash_bytes(shape.data(), shape.size() * sizeof(int),
+                               static_cast<std::uint64_t>(seed) + 2));
+      h = mix64(h ^ hash_bytes(image.data(), image.size() * sizeof(float),
+                               static_cast<std::uint64_t>(seed) + 4));
+      (seed == 0 ? k.lo : k.hi) = h;
+    }
+    return k;
+  }
+};
+
+struct RequestKeyHash {
+  std::size_t operator()(const RequestKey& k) const {
+    return static_cast<std::size_t>(k.lo ^ mix64(k.hi));
+  }
+};
+
+/// Counter snapshot for ClusterStats. hits/misses count get() calls while
+/// enabled; insertions/evictions count put() outcomes. All zero when the
+/// cache is disabled (capacity 0).
+struct ResultCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;   // currently resident
+  std::size_t capacity = 0;  // configured bound (0 = disabled)
+  /// hits / (hits + misses); 0 before any lookup.
+  double hit_rate = 0.0;
+};
+
+class ResultCache {
+ public:
+  /// `capacity` bounds resident entries; 0 disables the cache.
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0; }
+
+  /// Cached logits for `key`, refreshing its recency; nullopt on a miss
+  /// (or always, when disabled).
+  std::optional<QTensor> get(const RequestKey& key) {
+    if (!enabled()) return std::nullopt;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    lru_.splice(lru_.begin(), lru_, it->second);  // O(1) move-to-front
+    ++hits_;
+    return it->second->result;
+  }
+
+  /// Insert (or refresh) `key`'s result, evicting the least recently used
+  /// entry when at capacity. Dropped silently when disabled.
+  void put(const RequestKey& key, const QTensor& result) {
+    if (!enabled()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      // Concurrent misses on the same key both compute and both put; the
+      // results are bit-identical, so refreshing recency is all that's left.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return;
+    }
+    if (lru_.size() >= capacity_) {
+      index_.erase(lru_.back().key);
+      lru_.pop_back();
+      ++evictions_;
+    }
+    lru_.push_front(Entry{key, result});
+    index_[key] = lru_.begin();
+    ++insertions_;
+  }
+
+  ResultCacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    ResultCacheStats s;
+    s.hits = hits_;
+    s.misses = misses_;
+    s.insertions = insertions_;
+    s.evictions = evictions_;
+    s.entries = lru_.size();
+    s.capacity = capacity_;
+    const std::uint64_t looked = hits_ + misses_;
+    s.hit_rate = looked > 0 ? static_cast<double>(hits_) / static_cast<double>(looked) : 0.0;
+    return s;
+  }
+
+  /// Drop every entry and zero the counters.
+  void clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    lru_.clear();
+    index_.clear();
+    hits_ = misses_ = insertions_ = evictions_ = 0;
+  }
+
+  /// Zero the counters but keep the resident entries — the front door's
+  /// reset_stats() must not cool a warm cache (e.g. between a bench
+  /// warm-up and its measured run).
+  void reset_stats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    hits_ = misses_ = insertions_ = evictions_ = 0;
+  }
+
+ private:
+  struct Entry {
+    RequestKey key;
+    QTensor result;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<RequestKey, std::list<Entry>::iterator, RequestKeyHash> index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t insertions_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace bswp::runtime

@@ -56,6 +56,22 @@ class LatencyRecorder {
     total_ = 0;
   }
 
+  /// Append `other`'s retained window (oldest sample first) into this
+  /// recorder, as if every one of those samples had been record()ed here.
+  /// This is how aggregate percentiles must be computed: summarizing a
+  /// merged window equals summarizing the concatenation of the windows,
+  /// whereas averaging per-source p99s is meaningless (the "mean of p99s"
+  /// trap). Subject to this recorder's own cap — merging more samples than
+  /// `window` keeps the most recently appended ones.
+  void merge(const LatencyRecorder& other) {
+    const std::size_t n = other.samples_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      // Chronological walk of the other ring: once capped, `next_` points
+      // at the oldest retained sample.
+      record(other.samples_[(other.next_ + i) % n]);
+    }
+  }
+
   LatencySummary summary() const { return summarize(samples_); }
 
   /// The retained window, unsorted (ring order once capped). Callers that

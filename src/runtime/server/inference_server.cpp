@@ -709,6 +709,18 @@ int InferenceServer::worker_count() const {
   return live_workers_;
 }
 
+bool InferenceServer::accepting() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return accepting_;
+}
+
+std::size_t InferenceServer::queued_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t queued = 0;
+  for (const auto& m : models_) queued += m->queued();
+  return queued;
+}
+
 std::vector<std::string> InferenceServer::model_ids() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> ids;

@@ -67,10 +67,11 @@
 namespace bswp::runtime {
 
 /// Delivered through a request's future when admission control refuses it:
-/// a kReject overflow, a kShedOldest eviction, or a shutdown-time refusal.
+/// a kReject overflow, a kShedOldest eviction, a shutdown-time refusal, or —
+/// through the cluster front door — a kFailFast route to an unhealthy shard.
 class ServerRejected : public std::runtime_error {
  public:
-  enum class Reason { kQueueFull, kShed, kShutdown };
+  enum class Reason { kQueueFull, kShed, kShutdown, kUnhealthy };
   ServerRejected(Reason reason, const std::string& what)
       : std::runtime_error(what), reason_(reason) {}
   Reason reason() const { return reason_; }
@@ -135,6 +136,13 @@ class InferenceServer {
   /// autoscaler.min_workers/max_workers when autoscaling is enabled.
   int worker_count() const;
   std::vector<std::string> model_ids() const;
+  /// False once shutdown() has begun: every subsequent submit is rejected.
+  /// The cluster front door (runtime/frontdoor/) polls this to route around
+  /// a stopped shard without burning a request to find out.
+  bool accepting() const;
+  /// Queued requests across all models right now — a cheap load signal for
+  /// routing tiers (no latency-window copy, unlike stats()).
+  std::size_t queued_total() const;
 
  private:
   struct Request;

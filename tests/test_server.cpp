@@ -62,6 +62,50 @@ TEST(LatencyRecorder, WindowKeepsMostRecentSamples) {
   EXPECT_EQ(s.p99_us, 10.0);
 }
 
+TEST(LatencyRecorder, MergeEqualsPercentilesOfConcatenatedWindows) {
+  // Two recorders with very different distributions: averaging their p99s
+  // would land near 550, but the p99 of the union is what merge() must
+  // produce — the whole point of cluster-level aggregation.
+  LatencyRecorder a, b;
+  for (int v = 1; v <= 99; ++v) a.record(static_cast<double>(v));        // 1..99
+  for (int v = 1; v <= 11; ++v) b.record(static_cast<double>(v * 100));  // 100..1100
+  std::vector<double> concat;
+  for (double v : a.samples()) concat.push_back(v);
+  for (double v : b.samples()) concat.push_back(v);
+  const LatencySummary expect = LatencyRecorder::summarize(concat);
+
+  LatencyRecorder merged;
+  merged.merge(a);
+  merged.merge(b);
+  const LatencySummary got = merged.summary();
+  EXPECT_EQ(got.count, 110u);
+  EXPECT_EQ(got.p50_us, expect.p50_us);
+  EXPECT_EQ(got.p95_us, expect.p95_us);
+  EXPECT_EQ(got.p99_us, expect.p99_us);
+  EXPECT_DOUBLE_EQ(got.mean_us, expect.mean_us);
+  // And it is NOT the mean-of-p99s value.
+  EXPECT_NE(got.p99_us, (a.summary().p99_us + b.summary().p99_us) / 2.0);
+}
+
+TEST(LatencyRecorder, MergeWalksCappedSourceInChronologicalOrder) {
+  // The source ring has wrapped: retained samples are {7..10}, with the
+  // ring cursor mid-array. merge() must append them oldest-first so a
+  // capped destination keeps the most RECENT of the source's samples.
+  LatencyRecorder src(4);
+  for (int v = 1; v <= 10; ++v) src.record(static_cast<double>(v));
+  LatencyRecorder dst(2);
+  dst.merge(src);  // chronological append: 7, 8, then 9, 10 overwrite
+  const LatencySummary s = dst.summary();
+  EXPECT_EQ(s.count, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_us, 9.5);  // {9, 10}
+
+  // Merging into an unbounded recorder preserves every retained sample.
+  LatencyRecorder all;
+  all.merge(src);
+  EXPECT_EQ(all.size(), 4u);
+  EXPECT_DOUBLE_EQ(all.summary().mean_us, 8.5);  // {7, 8, 9, 10}
+}
+
 // --- environment -------------------------------------------------------------
 
 /// Compile a model through the pass pipeline with a unit-range synthetic

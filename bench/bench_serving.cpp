@@ -10,6 +10,8 @@
 // layer per run) collapsed into one block. "arena (reused)" is the
 // steady-state path: zero allocations per run. The worker rows measure
 // Session::run_batch on the persistent pool at 1/2/4/8 workers.
+//
+// Emits BENCH_serving.json (bench::JsonWriter) for scripts/bench_compare.sh.
 #include <chrono>
 #include <cstdio>
 
@@ -52,7 +54,9 @@ int run_bench() {
               d.model_opts.width, session.network().plans.size(),
               static_cast<double>(runtime::Executor(session.network()).arena_bytes()) / 1024.0);
 
-  const int kIters = 48;
+  JsonWriter jw;
+  jw.add("smoke_mode", smoke_mode());
+  const int kIters = smoke_scaled(48, 12);
   std::vector<Tensor> images;
   for (int i = 0; i < kIters; ++i) {
     Tensor x({1, 3, d.model_opts.image_size, d.model_opts.image_size});
@@ -75,6 +79,8 @@ int run_bench() {
     const double dt = seconds_since(t0);
     std::printf("%-22s %10d %11.1f %9.0f %9s %9s %9s\n", "fresh-executor", kIters,
                 static_cast<double>(alloc_count() - a0) / kIters, kIters / dt, "-", "-", "-");
+    jw.add("fresh_executor_ips", kIters / dt);
+    jw.add("fresh_executor_allocs_per_img", static_cast<double>(alloc_count() - a0) / kIters);
   }
 
   // 2. Reused arena executor: steady-state zero-allocation inference.
@@ -87,6 +93,8 @@ int run_bench() {
     const double dt = seconds_since(t0);
     std::printf("%-22s %10d %11.1f %9.0f %9s %9s %9s\n", "arena (reused)", kIters,
                 static_cast<double>(alloc_count() - a0) / kIters, kIters / dt, "-", "-", "-");
+    jw.add("arena_reused_ips", kIters / dt);
+    jw.add("arena_reused_allocs_per_img", static_cast<double>(alloc_count() - a0) / kIters);
   }
 
   // 3. Persistent serving pool at 1/2/4/8 workers (second batch per count so
@@ -99,7 +107,12 @@ int run_bench() {
     std::printf("%-22s %10zu %11s %9.0f %9.0f %9.0f %9.0f\n", label, r.stats.images, "-",
                 r.stats.throughput_ips, r.stats.latency.p50_us, r.stats.latency.p95_us,
                 r.stats.latency.p99_us);
+    const std::string prefix = "pool_x" + std::to_string(workers);
+    jw.add(prefix + "_ips", r.stats.throughput_ips);
+    jw.add(prefix + "_p50_us", r.stats.latency.p50_us);
+    jw.add(prefix + "_p99_us", r.stats.latency.p99_us);
   }
+  jw.write("BENCH_serving.json");
   return 0;
 }
 

@@ -15,6 +15,7 @@
 //   ResNet-10     5.28 / 3.00 / 2.22 / 1.87 / 1.61
 //   ResNet-14        / / 3.46 / 2.59 / 1.92 / 1.73
 //   MobileNet-v2     / / 3.60 / 3.12 / 3.07 / 2.78
+#include <cctype>
 #include <optional>
 
 #include "common.h"
@@ -114,11 +115,25 @@ void print_cell(const Cell& c, bool fits) {
   }
 }
 
+std::string json_key(const char* net) {
+  std::string k(net);
+  for (char& c : k) {
+    if (c == '-') c = '_';
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return k;
+}
+
 }  // namespace
 
 int main() {
   using namespace bswp;
   using namespace bswp::bench;
+
+  // BENCH_table7.json: `*_seconds` keys are simulated latencies
+  // (lower-is-better), `*_speedup` higher-is-better.
+  JsonWriter jw;
+  jw.add("smoke_mode", smoke_mode());
 
   print_header("Table 7 — full-network inference latency (seconds per image)");
 
@@ -168,6 +183,13 @@ int main() {
       }
       std::printf("\n");
       std::fflush(stdout);
+      const std::string base = (is_large ? "large_" : "small_") + json_key(row.name);
+      jw.add(base + "_cmsis_seconds", cmsis.seconds);
+      jw.add(base + "_64_8_seconds", p64_8.seconds);
+      jw.add(base + "_32_8_seconds", p32_8.seconds);
+      jw.add(base + "_64_m_seconds", p64_m.seconds);
+      jw.add(base + "_32_m_seconds", p32_m.seconds);
+      jw.add(base + "_speedup", cmsis.seconds / p64_m.seconds);
     }
   }
   std::printf(
@@ -178,5 +200,6 @@ int main() {
       "\nknown deviation: the paper reports MC-small numbers for ResNet-s, but\n"
       "its ~171k int8 parameters exceed the F103RB's 128 kB flash outright —\n"
       "our memory model reports '/' (see EXPERIMENTS.md).\n");
+  jw.write("BENCH_table7.json");
   return 0;
 }

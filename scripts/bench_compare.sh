@@ -8,10 +8,11 @@
 # The JSON is the flat one-"key": value-per-line shape bench::JsonWriter
 # emits, so awk is enough — no JSON parser needed. Regression direction is
 # inferred from the key name the same way the stats structs name units:
-# keys containing `_us`, `latency`, `p50`, `p95` or `p99` are
-# lower-is-better (latencies); everything else (throughput, hit rates,
-# counters) is higher-is-better. Non-numeric values (strings, booleans) and
-# keys present in only one file are reported but never flagged.
+# keys containing `_us`, `latency`, `p50`, `p95`, `p99`, `seconds` or
+# `allocs` are lower-is-better (latencies / allocation counts); everything
+# else (throughput, hit rates, speedups) is higher-is-better. Non-numeric
+# values (strings, booleans) and keys present in only one file are reported
+# but never flagged.
 #
 # Exit status: 0 always, unless --strict is given, in which case any flagged
 # regression exits 1 (CI runs this non-blocking, without --strict — smoke-
@@ -44,7 +45,8 @@ done
 awk -v threshold="$threshold" -v strict="$strict" \
     -v old_name="$old_file" -v new_name="$new_file" '
 function lower_is_better(key) {
-  return key ~ /_us/ || key ~ /latency/ || key ~ /p50/ || key ~ /p95/ || key ~ /p99/
+  return key ~ /_us/ || key ~ /latency/ || key ~ /p50/ || key ~ /p95/ || key ~ /p99/ || \
+         key ~ /seconds/ || key ~ /allocs/
 }
 function is_number(v) {
   return v ~ /^-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?$/

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Smoke-run every bench binary with minimal reps so the paper-table, serving
-# and kernel benches cannot rot between performance PRs. The accuracy benches
-# honor BSWP_BENCH_SMOKE=1 (tiny datasets, 1 epoch — numbers are meaningless,
-# only the code paths matter); bench_kernels gets a minimal measurement time.
+# and kernel benches cannot rot between performance PRs. Every bench honors
+# BSWP_BENCH_SMOKE=1 (tiny datasets, few reps — numbers are meaningless,
+# only the code paths matter).
 # Usage: scripts/bench_smoke.sh [build-dir]
 set -uo pipefail
 build="${1:-build}"
@@ -12,11 +12,7 @@ for bin in "$build"/bench/*; do
   [ -x "$bin" ] || continue
   name="$(basename "$bin")"
   start=$SECONDS
-  if [ "$name" = bench_kernels ]; then
-    "$bin" --benchmark_min_time=0.01 >/dev/null || { echo "FAIL $name"; status=1; continue; }
-  else
-    "$bin" >/dev/null || { echo "FAIL $name"; status=1; continue; }
-  fi
+  "$bin" >/dev/null || { echo "FAIL $name"; status=1; continue; }
   echo "ok   $name ($((SECONDS - start))s)"
 done
 exit $status

@@ -79,6 +79,16 @@ Deployment& Deployment::cost_profile(const sim::McuProfile& profile) {
   return *this;
 }
 
+Deployment& Deployment::host_lanes(runtime::HostLaneSelect mode) {
+  opts_.host_lanes = mode;
+  return *this;
+}
+
+Deployment& Deployment::host_profile(const sim::McuProfile& profile) {
+  opts_.host_profile = profile;
+  return *this;
+}
+
 Deployment& Deployment::pass_trace(bool enabled) {
   opts_.pass_trace = enabled;
   return *this;
@@ -102,6 +112,8 @@ Deployment& Deployment::with_options(const runtime::CompileOptions& options) {
   lut_order(options.lut_order);
   backend_select(options.backend_select);
   cost_profile(options.cost_profile);
+  host_lanes(options.host_lanes);
+  host_profile(options.host_profile);
   pass_trace(options.pass_trace);
   auto_precompute(options.auto_precompute);
   opts_.force_variant = options.force_variant;

@@ -10,6 +10,7 @@
 
 #include <cmath>
 
+#include "kernels/simd/simd_dispatch.h"
 #include "runtime/kernel_backend.h"
 
 namespace bswp::binary {
@@ -24,6 +25,10 @@ runtime::LayerPlan make_binary_conv_plan(const Tensor& w, const nn::ConvSpec& sp
         "make_binary_conv_plan: rq.scale/bias must have out_ch entries");
   runtime::LayerPlan plan;
   plan.kind = runtime::PlanKind::kConvBinary;
+  // Binary plans bypass SelectBackends, so pick the host lane here: the
+  // word-widened popcount core is bit-identical to the scalar one and always
+  // at least as fast, so use it whenever the SIMD family is registered.
+  if (kernels::simd::available()) plan.lane = runtime::HostLane::kSimd;
   plan.spec = spec;
   plan.rq = rq;
   // Fold the XNOR-Net per-filter alpha = mean|w| into the requant scales so

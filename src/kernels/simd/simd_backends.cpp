@@ -1,0 +1,153 @@
+// Registry adapters for the SIMD host kernel family (HostLane::kSimd keys).
+//
+// Registered only when the library is built with BSWP_SIMD=ON; otherwise
+// register_simd_backends is a no-op and SIMD-lane plans resolve to the
+// scalar backends through KernelRegistry::find's scalar-lane fallback. One
+// bit-serial implementation serves all five variant keys — the variants are
+// bit-identical by contract and differ only in the MCU cost tallied.
+#include "binary/binarized.h"
+#include "kernels/simd/simd_dispatch.h"
+#include "kernels/simd/simd_kernels.h"
+#include "runtime/kernel_backend.h"
+
+namespace bswp::runtime {
+namespace {
+
+class SimdConvBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "simd/conv"; }
+  void execute(const ExecContext& ctx) const override {
+    kernels::simd::simd_conv2d(ctx.input(0), ctx.plan.qweights, ctx.plan.spec, ctx.plan.rq,
+                               *ctx.out, *ctx.scratch, ctx.counter);
+  }
+  std::size_t scratch_bytes(const CompiledNetwork& net, const LayerPlan& plan) const override {
+    (void)net;
+    return kernels::simd::simd_conv_scratch_bytes(plan.spec);
+  }
+};
+
+class SimdLinearBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "simd/linear"; }
+  void execute(const ExecContext& ctx) const override {
+    kernels::simd::simd_linear(ctx.input(0), ctx.plan.qweights, ctx.plan.rq, *ctx.out,
+                               *ctx.scratch, ctx.counter);
+  }
+  std::size_t scratch_bytes(const CompiledNetwork& net, const LayerPlan& plan) const override {
+    (void)net;
+    return kernels::simd::simd_linear_scratch_bytes(plan.qweights.dim(1));
+  }
+};
+
+class SimdBitSerialConvBackend : public KernelBackend {
+ public:
+  explicit SimdBitSerialConvBackend(kernels::BitSerialVariant v) : variant_(v) {}
+  const char* name() const override { return "simd/bitserial-conv"; }
+  void execute(const ExecContext& ctx) const override {
+    kernels::simd::simd_bitserial_conv2d(ctx.input(0), ctx.plan.indices, ctx.net.lut,
+                                         ctx.plan.spec, ctx.plan.rq, variant_, *ctx.out,
+                                         *ctx.scratch, ctx.counter);
+  }
+  std::size_t scratch_bytes(const CompiledNetwork& net, const LayerPlan& plan) const override {
+    return kernels::simd::simd_bitserial_scratch_bytes(plan.spec.out_ch, net.lut.pool_size,
+                                                       net.lut.group_size);
+  }
+
+ private:
+  kernels::BitSerialVariant variant_;
+};
+
+class SimdBitSerialLinearBackend : public KernelBackend {
+ public:
+  explicit SimdBitSerialLinearBackend(kernels::BitSerialVariant v) : variant_(v) {}
+  const char* name() const override { return "simd/bitserial-linear"; }
+  void execute(const ExecContext& ctx) const override {
+    kernels::simd::simd_bitserial_linear(ctx.input(0), ctx.plan.indices, ctx.net.lut,
+                                         ctx.plan.rq, variant_, *ctx.out, *ctx.scratch,
+                                         ctx.counter);
+  }
+  std::size_t scratch_bytes(const CompiledNetwork& net, const LayerPlan& plan) const override {
+    return kernels::simd::simd_bitserial_scratch_bytes(plan.indices.out_ch, net.lut.pool_size,
+                                                       net.lut.group_size);
+  }
+
+ private:
+  kernels::BitSerialVariant variant_;
+};
+
+/// Same staging as the scalar XnorConvBackend; the counts core runs the
+/// 64-bit-word popcount path.
+class SimdXnorConvBackend : public KernelBackend {
+ public:
+  const char* name() const override { return "simd/xnor-conv"; }
+  void execute(const ExecContext& ctx) const override {
+    const LayerPlan& plan = ctx.plan;
+    const kernels::QView& in = ctx.input(0);
+    check(in.rank == 4 && in.shape[0] == 1,
+          "simd xnor backend: input must be a single CHW activation");
+    const nn::ConvSpec& spec = plan.spec;
+    check(in.dim(1) == spec.in_ch, "simd xnor backend: channel mismatch");
+    const int h = in.dim(2), w = in.dim(3);
+    const int oh = spec.out_h(h), ow = spec.out_w(w);
+    const int words = binary::binary_pack_words(spec.in_ch);
+
+    uint32_t* in_bits = ctx.scratch->alloc<uint32_t>(static_cast<std::size_t>(h) * w * words);
+    uint32_t* w_bits = ctx.scratch->alloc<uint32_t>(static_cast<std::size_t>(spec.out_ch) *
+                                                    spec.kh * spec.kw * words);
+    int32_t* counts =
+        ctx.scratch->alloc<int32_t>(static_cast<std::size_t>(spec.out_ch) * oh * ow);
+    binary::pack_binary_input_q(in.data, spec.in_ch, h, w, in.zero_point, in_bits);
+    binary::pack_binary_weights_q(plan.qweights.data.data(), spec, w_bits);
+    kernels::simd::simd_xnor_conv2d_counts(in_bits, spec.in_ch, h, w, w_bits, spec, counts,
+                                           ctx.counter);
+
+    kernels::QView& out = *ctx.out;
+    out.set_shape({1, spec.out_ch, oh, ow});
+    out.bits = plan.rq.out.bits;
+    out.is_signed = plan.rq.out.is_signed;
+    out.scale = plan.rq.out.scale;
+    out.zero_point = plan.rq.out.zero_point;
+    const int hw = oh * ow;
+    for (int o = 0; o < spec.out_ch; ++o) {
+      for (int i = 0; i < hw; ++i) {
+        const std::size_t idx = static_cast<std::size_t>(o) * hw + static_cast<std::size_t>(i);
+        out.data[idx] = plan.rq.apply(counts[idx], o);
+      }
+    }
+  }
+
+  std::size_t scratch_bytes(const CompiledNetwork& net, const LayerPlan& plan) const override {
+    const nn::ConvSpec& spec = plan.spec;
+    const LayerPlan& src = net.plans[static_cast<std::size_t>(plan.inputs[0])];
+    const std::size_t words = static_cast<std::size_t>(binary::binary_pack_words(spec.in_ch));
+    const std::size_t in_hw =
+        spec.in_ch > 0 ? src.out_elems() / static_cast<std::size_t>(spec.in_ch) : 0;
+    const std::size_t taps = static_cast<std::size_t>(spec.out_ch) * spec.kh * spec.kw;
+    return ScratchArena::bytes_for<uint32_t>(in_hw * words) +
+           ScratchArena::bytes_for<uint32_t>(taps * words) +
+           ScratchArena::bytes_for<int32_t>(plan.out_elems());
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+void register_simd_backends(KernelRegistry& r) {
+  if (!kernels::simd::compiled()) return;
+  r.add(PlanKind::kConvBaseline, kSimdKeyOffset, std::make_unique<SimdConvBackend>());
+  r.add(PlanKind::kLinearBaseline, kSimdKeyOffset, std::make_unique<SimdLinearBackend>());
+  using kernels::BitSerialVariant;
+  for (BitSerialVariant v :
+       {BitSerialVariant::kNaive, BitSerialVariant::kInputReuse, BitSerialVariant::kCached,
+        BitSerialVariant::kCachedPrecompute, BitSerialVariant::kCachedMemoize}) {
+    r.add(PlanKind::kConvBitSerial, kSimdKeyOffset + static_cast<int>(v),
+          std::make_unique<SimdBitSerialConvBackend>(v));
+    r.add(PlanKind::kLinearBitSerial, kSimdKeyOffset + static_cast<int>(v),
+          std::make_unique<SimdBitSerialLinearBackend>(v));
+  }
+  r.add(PlanKind::kConvBinary, kSimdKeyOffset, std::make_unique<SimdXnorConvBackend>());
+}
+
+}  // namespace detail
+}  // namespace bswp::runtime

@@ -1,0 +1,233 @@
+// Widened bit-serial LUT accumulate (HostLane::kSimd).
+//
+// Per (output position, kernel tap, channel group) context the scalar
+// variants walk the filter loop doing per-filter LUT lookups; this core
+// instead always materializes all S pool dot products
+//   vals[s] = sum_j lut(bitvec[j], s) << j
+// — vectorized 8 int32 lanes at a time over the contiguous s axis of an
+// input-oriented LUT (weight-oriented layouts stride by 2^N per s, so they
+// precompute scalar) — and then processes 8 output channels per step:
+// _mm256_i32gather_epi32 over the packed uint8 pool indices feeds 8
+// accumulators per instruction. Every variant computes the identical sums
+// (they differ only in modeled cost), so one SIMD implementation serves all
+// five variant keys; `variant` only selects which scalar cost closed-form to
+// tally so MCU latency estimates stay faithful to the plan.
+#include "kernels/bit_unpack.h"
+#include "kernels/simd/simd_dispatch.h"
+#include "kernels/simd/simd_kernels.h"
+#include "sim/layer_cost.h"
+
+#include <algorithm>
+
+#if defined(BSWP_SIMD_ENABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define BSWP_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace bswp::kernels::simd {
+namespace {
+
+#if defined(BSWP_SIMD_X86)
+
+/// vals[s] = sum_j row_j[s] << j over contiguous input-oriented LUT rows.
+__attribute__((target("avx2"))) void precompute_pool_avx2(const pool::DotLut& lut,
+                                                          const uint32_t* bitvec, int bits,
+                                                          int32_t* vals) {
+  const int S = lut.pool_size;
+  const int32_t* e = lut.entries.data();
+  for (int j = 0; j < bits; ++j) {
+    const int32_t* row = e + static_cast<std::size_t>(bitvec[j]) * S;
+    int s = 0;
+    if (j == 0) {
+      for (; s + 8 <= S; s += 8) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(vals + s),
+                            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + s)));
+      }
+      for (; s < S; ++s) vals[s] = row[s];
+    } else {
+      for (; s + 8 <= S; s += 8) {
+        const __m256i v = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(vals + s));
+        const __m256i r = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + s));
+        _mm256_storeu_si256(reinterpret_cast<__m256i*>(vals + s),
+                            _mm256_add_epi32(v, _mm256_slli_epi32(r, j)));
+      }
+      for (; s < S; ++s) vals[s] += row[s] << j;
+    }
+  }
+}
+
+/// acc[o] += vals[idx[o]] for 8 output channels per gather.
+__attribute__((target("avx2"))) void accumulate_avx2(const int32_t* vals, const uint8_t* idx,
+                                                     int out_ch, int32_t* acc) {
+  int o = 0;
+  for (; o + 8 <= out_ch; o += 8) {
+    const __m128i b = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(idx + o));
+    const __m256i gathered = _mm256_i32gather_epi32(vals, _mm256_cvtepu8_epi32(b), 4);
+    const __m256i a = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + o));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + o), _mm256_add_epi32(a, gathered));
+  }
+  for (; o < out_ch; ++o) acc[o] += vals[idx[o]];
+}
+
+#endif  // BSWP_SIMD_X86
+
+void precompute_pool_portable(const pool::DotLut& lut, const uint32_t* bitvec, int bits,
+                              int32_t* vals) {
+  const int S = lut.pool_size;
+  if (lut.order == pool::LutOrder::kInputOriented) {
+    const int32_t* e = lut.entries.data();
+    for (int j = 0; j < bits; ++j) {
+      const int32_t* row = e + static_cast<std::size_t>(bitvec[j]) * S;
+      if (j == 0) {
+#pragma omp simd
+        for (int s = 0; s < S; ++s) vals[s] = row[s];
+      } else {
+#pragma omp simd
+        for (int s = 0; s < S; ++s) vals[s] += row[s] << j;
+      }
+    }
+  } else {
+    // Weight-oriented blocks put consecutive s a full 2^N entries apart;
+    // gather scalar (the cost model never prefers the SIMD lane here).
+    for (int s = 0; s < S; ++s) {
+      int32_t v = 0;
+      for (int j = 0; j < bits; ++j) v += lut.at(bitvec[j], s) << j;
+      vals[s] = v;
+    }
+  }
+}
+
+void accumulate_portable(const int32_t* vals, const uint8_t* idx, int out_ch, int32_t* acc) {
+#pragma omp simd
+  for (int o = 0; o < out_ch; ++o) acc[o] += vals[idx[o]];
+}
+
+/// One context: decompose the group vector, precompute the pool, accumulate
+/// all filters through the index gather.
+void run_context(const pool::DotLut& lut, const int16_t* group_vals, int group_size, int bits,
+                 const uint8_t* idx, int out_ch, uint32_t* bitvec, int32_t* vals, int32_t* acc,
+                 bool use_avx2) {
+  unpack_bits(group_vals, group_size, bits, bitvec, nullptr);
+#if defined(BSWP_SIMD_X86)
+  if (use_avx2 && lut.order == pool::LutOrder::kInputOriented) {
+    precompute_pool_avx2(lut, bitvec, bits, vals);
+    accumulate_avx2(vals, idx, out_ch, acc);
+    return;
+  }
+#else
+  (void)use_avx2;
+#endif
+  precompute_pool_portable(lut, bitvec, bits, vals);
+  accumulate_portable(vals, idx, out_ch, acc);
+}
+
+}  // namespace
+
+void simd_bitserial_conv2d(const QView& in, const PackedIndices& indices,
+                           const pool::DotLut& lut, const nn::ConvSpec& spec, const Requant& rq,
+                           BitSerialVariant variant, QView& out, ScratchArena& scratch,
+                           sim::CostCounter* counter) {
+  check(in.rank == 4 && in.shape[0] == 1, "simd_bitserial_conv2d: input must be 1xCxHxW");
+  check(!in.is_signed, "simd_bitserial_conv2d: activations must be unsigned-quantized");
+  check(spec.groups == 1, "simd_bitserial_conv2d: grouped convs are not poolable");
+  check(spec.in_ch % lut.group_size == 0,
+        "simd_bitserial_conv2d: in_ch must divide by group size");
+  check(indices.out_ch == spec.out_ch && indices.kh == spec.kh && indices.kw == spec.kw &&
+            indices.groups == spec.in_ch / lut.group_size,
+        "simd_bitserial_conv2d: index map does not match conv spec");
+  const int M = in.bits;
+  check(M >= 1 && M <= 16, "simd_bitserial_conv2d: activation bits out of range");
+
+  const int G = lut.group_size;
+  const int gcnt = spec.in_ch / G;
+  const int h = in.dim(2), w = in.dim(3);
+  const int oh = spec.out_h(h), ow = spec.out_w(w);
+  const int F = spec.out_ch;
+  const int S = lut.pool_size;
+
+  out.set_shape({1, F, oh, ow});
+  out.bits = rq.out.bits;
+  out.is_signed = rq.out.is_signed;
+  out.scale = rq.out.scale;
+  out.zero_point = rq.out.zero_point;
+
+  int32_t* acc = scratch.alloc<int32_t>(static_cast<std::size_t>(F));
+  int32_t* vals = scratch.alloc<int32_t>(static_cast<std::size_t>(S));
+  int16_t* group_vals = scratch.alloc<int16_t>(static_cast<std::size_t>(G));
+  uint32_t bitvec[16] = {};
+  const bool use_avx2 = avx2_supported();
+
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      std::fill(acc, acc + F, 0);
+      for (int ky = 0; ky < spec.kh; ++ky) {
+        const int iy = oy * spec.stride + ky - spec.pad;
+        if (iy < 0 || iy >= h) continue;
+        for (int kx = 0; kx < spec.kw; ++kx) {
+          const int ix = ox * spec.stride + kx - spec.pad;
+          if (ix < 0 || ix >= w) continue;
+          for (int g = 0; g < gcnt; ++g) {
+            for (int j = 0; j < G; ++j) {
+              group_vals[static_cast<std::size_t>(j)] =
+                  in.data[(static_cast<std::size_t>(g * G + j) * h + iy) * w + ix];
+            }
+            run_context(lut, group_vals, G, M, indices.idx.data() + indices.flat(ky, kx, g, 0),
+                        F, bitvec, vals, acc, use_avx2);
+          }
+        }
+      }
+      for (int o = 0; o < F; ++o) {
+        out.data[(static_cast<std::size_t>(o) * oh + oy) * ow + ox] = rq.apply(acc[o], o);
+      }
+    }
+  }
+  // Tally the plan's scalar variant's exact event counts (the closed form is
+  // pinned to the scalar kernel) so MCU estimates ignore the host lane.
+  if (counter != nullptr)
+    counter->merge(sim::bitserial_conv_cost(spec, h, w, M, lut, indices, variant));
+}
+
+void simd_bitserial_linear(const QView& in, const PackedIndices& indices,
+                           const pool::DotLut& lut, const Requant& rq,
+                           BitSerialVariant variant, QView& out, ScratchArena& scratch,
+                           sim::CostCounter* counter) {
+  check(in.rank == 2 && in.shape[0] == 1, "simd_bitserial_linear: input must be 1xF");
+  check(!in.is_signed, "simd_bitserial_linear: activations must be unsigned-quantized");
+  const int fin = in.dim(1);
+  const int G = lut.group_size;
+  check(fin % G == 0, "simd_bitserial_linear: input features must divide by group size");
+  check(indices.kh == 1 && indices.kw == 1 && indices.groups == fin / G,
+        "simd_bitserial_linear: index map mismatch");
+  const int M = in.bits;
+  const int F = indices.out_ch;
+  const int S = lut.pool_size;
+
+  out.set_shape({1, F});
+  out.bits = rq.out.bits;
+  out.is_signed = rq.out.is_signed;
+  out.scale = rq.out.scale;
+  out.zero_point = rq.out.zero_point;
+
+  int32_t* acc = scratch.alloc<int32_t>(static_cast<std::size_t>(F));
+  int32_t* vals = scratch.alloc<int32_t>(static_cast<std::size_t>(S));
+  std::fill(acc, acc + F, 0);
+  uint32_t bitvec[16] = {};
+  const bool use_avx2 = avx2_supported();
+
+  for (int g = 0; g < fin / G; ++g) {
+    run_context(lut, in.data + static_cast<std::size_t>(g) * G, G, M,
+                indices.idx.data() + indices.flat(0, 0, g, 0), F, bitvec, vals, acc, use_avx2);
+  }
+  for (int o = 0; o < F; ++o) out.data[static_cast<std::size_t>(o)] = rq.apply(acc[o], o);
+  if (counter != nullptr)
+    counter->merge(sim::bitserial_linear_cost(fin, M, lut, indices, variant));
+}
+
+std::size_t simd_bitserial_scratch_bytes(int out_ch, int pool_size, int group_size) {
+  return ScratchArena::bytes_for<int32_t>(static_cast<std::size_t>(out_ch)) +
+         ScratchArena::bytes_for<int32_t>(static_cast<std::size_t>(pool_size)) +
+         ScratchArena::bytes_for<int16_t>(static_cast<std::size_t>(group_size));
+}
+
+}  // namespace bswp::kernels::simd

@@ -1,0 +1,30 @@
+#include "kernels/simd/simd_dispatch.h"
+
+namespace bswp::kernels::simd {
+
+bool compiled() {
+#if defined(BSWP_SIMD_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+bool avx2_supported() {
+#if defined(BSWP_SIMD_ENABLED) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+bool available() { return compiled(); }
+
+const char* isa_name() {
+  if (!compiled()) return "off";
+  return avx2_supported() ? "avx2" : "portable";
+}
+
+}  // namespace bswp::kernels::simd

@@ -1,0 +1,29 @@
+// Build/runtime capability probe for the vectorized host kernel family.
+//
+// The SIMD kernels compile in two flavors from the same sources: an AVX2
+// intrinsics path selected per-call at runtime (function-level
+// target("avx2") so the rest of the library needs no -mavx2), and a
+// portable register-blocked `#pragma omp simd` path that serves NEON and
+// plain scalar builds. `compiled()` reflects the BSWP_SIMD CMake option;
+// when it is false the family is not registered at all and every plan
+// resolves to the scalar backends (see KernelRegistry::find's scalar-lane
+// fallback).
+#pragma once
+
+namespace bswp::kernels::simd {
+
+/// True when the library was built with BSWP_SIMD=ON.
+bool compiled();
+
+/// True when the running CPU supports the AVX2 intrinsics path (always
+/// false on non-x86 builds or when the family is compiled out).
+bool avx2_supported();
+
+/// True when the SIMD backends are registered and usable. The portable
+/// fallback needs no CPU feature, so this equals compiled().
+bool available();
+
+/// "avx2", "portable" or "off" — which implementation executes.
+const char* isa_name();
+
+}  // namespace bswp::kernels::simd

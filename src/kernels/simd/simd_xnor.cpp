@@ -1,0 +1,77 @@
+// 64-bit-word XNOR popcount core (HostLane::kSimd).
+//
+// Identical packed layouts, counts and counter tallies as
+// binary::xnor_conv2d_counts; pairs of adjacent 32-bit lane words are fused
+// into one uint64 XNOR + popcount per step (with a 32-bit step for an odd
+// trailing word), halving the popcount instruction count on 64-bit hosts.
+#include "kernels/simd/simd_kernels.h"
+
+#include <bit>
+
+#include "binary/binarized.h"
+
+namespace bswp::kernels::simd {
+
+using sim::Event;
+
+void simd_xnor_conv2d_counts(const uint32_t* in_bits, int in_ch, int h, int w,
+                             const uint32_t* weight_bits, const nn::ConvSpec& spec,
+                             int32_t* counts, sim::CostCounter* counter) {
+  check(in_ch == spec.in_ch, "simd_xnor_conv2d: channel mismatch");
+  const int words = binary::binary_pack_words(in_ch);
+  const int oh = spec.out_h(h), ow = spec.out_w(w);
+  const uint32_t tail_mask = in_ch % 32 == 0 ? 0xffffffffu : ((1u << (in_ch % 32)) - 1u);
+
+  for (int oy = 0; oy < oh; ++oy) {
+    for (int ox = 0; ox < ow; ++ox) {
+      for (int o = 0; o < spec.out_ch; ++o) {
+        int matches = 0, total_lanes = 0;
+        for (int ky = 0; ky < spec.kh; ++ky) {
+          const int iy = oy * spec.stride + ky - spec.pad;
+          for (int kx = 0; kx < spec.kw; ++kx) {
+            const int ix = ox * spec.stride + kx - spec.pad;
+            const bool in_bounds = iy >= 0 && iy < h && ix >= 0 && ix < w;
+            const uint32_t* arow =
+                in_bounds ? in_bits + (static_cast<std::size_t>(iy) * w + ix) * words : nullptr;
+            const uint32_t* wrow =
+                weight_bits +
+                ((static_cast<std::size_t>(o) * spec.kh + ky) * spec.kw + kx) *
+                    static_cast<std::size_t>(words);
+            int wd = 0;
+            for (; wd + 2 <= words; wd += 2) {
+              const uint32_t m_lo = 0xffffffffu;
+              const uint32_t m_hi = wd + 1 == words - 1 ? tail_mask : 0xffffffffu;
+              const uint64_t m64 = m_lo | (static_cast<uint64_t>(m_hi) << 32);
+              // Padding encodes as activation bits 0 (-1); still counted
+              // lanes, matching the scalar core.
+              const uint64_t a64 =
+                  in_bounds ? arow[wd] | (static_cast<uint64_t>(arow[wd + 1]) << 32) : 0u;
+              const uint64_t w64 = wrow[wd] | (static_cast<uint64_t>(wrow[wd + 1]) << 32);
+              matches += std::popcount(~(a64 ^ w64) & m64);
+              total_lanes += std::popcount(m64);
+            }
+            if (wd < words) {
+              const uint32_t mask = wd == words - 1 ? tail_mask : 0xffffffffu;
+              const uint32_t a = in_bounds ? arow[wd] : 0u;
+              matches += std::popcount(~(a ^ wrow[wd]) & mask);
+              total_lanes += std::popcount(mask);
+            }
+          }
+        }
+        counts[(static_cast<std::size_t>(o) * oh + oy) * ow + ox] = 2 * matches - total_lanes;
+      }
+    }
+  }
+  // Same MCU reference tallies as the scalar core (32-bit word granularity).
+  if (counter != nullptr) {
+    const uint64_t inner = static_cast<uint64_t>(oh) * ow * spec.out_ch * spec.kh * spec.kw *
+                           static_cast<uint64_t>(words);
+    counter->add(Event::kSramRead, inner);
+    counter->add(Event::kFlashSeqWord, inner);
+    counter->add(Event::kAlu, 3 * inner);
+    counter->add(Event::kRequant, static_cast<uint64_t>(oh) * ow * spec.out_ch);
+    counter->add(Event::kSramWrite, static_cast<uint64_t>(oh) * ow * spec.out_ch);
+  }
+}
+
+}  // namespace bswp::kernels::simd

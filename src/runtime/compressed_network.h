@@ -6,6 +6,7 @@
 // indices, and one global LUT serves every pooled layer.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -68,6 +69,23 @@ static_assert(detail::all_plan_kinds_named(),
               "every PlanKind in [0, kNumPlanKinds) needs a plan_kind_name() case — a new "
               "kind cannot silently skip naming, serialization, or backend registration");
 
+/// Host execution lane of a plan: the scalar reference kernels, or the
+/// vectorized + cache-blocked kernels under src/kernels/simd/. Lanes are
+/// bit-identical by contract (integer accumulation reordered, scalar
+/// requantization per element) and differ only in wall-clock cost;
+/// SelectBackends prices them with CompileOptions::host_profile. A plan
+/// carrying kSimd resolves to the scalar backend when the SIMD family is
+/// compiled out or unsupported at runtime (see backend_variant_key /
+/// KernelRegistry::find fallback).
+enum class HostLane : uint8_t {
+  kScalar = 0,
+  kSimd = 1,
+};
+
+constexpr const char* host_lane_name(HostLane l) {
+  return l == HostLane::kSimd ? "simd" : "scalar";
+}
+
 struct LayerPlan {
   PlanKind kind = PlanKind::kInput;
   std::string name;
@@ -78,6 +96,9 @@ struct LayerPlan {
   QTensor qweights;                // baseline conv & linear weights (int8)
   kernels::PackedIndices indices;  // bit-serial plans
   kernels::BitSerialVariant variant = kernels::BitSerialVariant::kCached;
+  /// Host execution lane (scalar vs SIMD kernels). Chosen by SelectBackends
+  /// for conv/linear kinds; structural plans always run scalar.
+  HostLane lane = HostLane::kScalar;
   int pool_k = 2, pool_stride = 2;
 
   // Output quantization of this plan's activation. For requantizing plans it

@@ -13,6 +13,7 @@ KernelRegistry& KernelRegistry::instance() {
     detail::register_baseline_backends(reg);
     detail::register_bitserial_backends(reg);
     detail::register_binary_backends(reg);
+    detail::register_simd_backends(reg);
   });
   return reg;
 }
@@ -38,14 +39,24 @@ std::unique_ptr<KernelBackend> KernelRegistry::add(PlanKind kind, int variant,
 }
 
 const KernelBackend* KernelRegistry::find(PlanKind kind, int variant) const {
+  // A SIMD-lane key falls back onto its scalar-lane key before the wildcard,
+  // so a kSimd plan still resolves (bit-identically) on a scalar-only build.
+  // kSimdKeyOffset + 0 is the SIMD key of variant-less kinds, whose scalar
+  // registration is the kAnyVariant wildcard itself.
+  const bool simd_key = variant >= kSimdKeyOffset;
+  const int scalar_key = simd_key && variant > kSimdKeyOffset ? variant - kSimdKeyOffset
+                                                              : kAnyVariant;
   std::lock_guard<std::mutex> lock(mu_);
+  const KernelBackend* scalar = nullptr;
   const KernelBackend* fallback = nullptr;
   for (const auto& entry : backends_) {
     if (entry.first.kind != static_cast<int>(kind)) continue;
     if (entry.first.variant == variant) return entry.second.get();
+    if (simd_key && scalar_key != kAnyVariant && entry.first.variant == scalar_key)
+      scalar = entry.second.get();
     if (entry.first.variant == kAnyVariant) fallback = entry.second.get();
   }
-  return fallback;
+  return scalar != nullptr ? scalar : fallback;
 }
 
 const KernelBackend& KernelRegistry::resolve(PlanKind kind, int variant) const {
@@ -73,6 +84,26 @@ std::vector<std::string> KernelRegistry::registered() const {
     out.push_back(std::move(line));
   }
   std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> KernelRegistry::describe(const CompiledNetwork& net) const {
+  std::vector<std::string> out;
+  out.reserve(net.plans.size());
+  for (const LayerPlan& plan : net.plans) {
+    const int key = backend_variant_key(plan);
+    const KernelBackend* b = find(plan.kind, key);
+    std::string line = plan.name;
+    line += ": ";
+    line += plan_kind_name(plan.kind);
+    line += "/";
+    line += key == kAnyVariant ? "*" : std::to_string(key);
+    line += " [";
+    line += host_lane_name(plan.lane);
+    line += "] -> ";
+    line += b != nullptr ? b->name() : "<unresolved>";
+    out.push_back(std::move(line));
+  }
   return out;
 }
 

@@ -85,11 +85,23 @@ class KernelBackend {
 /// Wildcard variant key for plan kinds that carry no bit-serial variant.
 constexpr int kAnyVariant = -1;
 
-/// Variant key a plan resolves under.
+/// Key-space offset for HostLane::kSimd registrations. A SIMD backend for
+/// bit-serial variant v registers under v + kSimdKeyOffset; SIMD backends for
+/// kinds without a bit-serial variant register under kSimdKeyOffset + 0.
+/// Scalar keys stay below the offset (there are only a handful of bit-serial
+/// variants), so the two lanes never collide and find() can strip the offset
+/// to fall back onto the scalar lane when no SIMD backend is registered.
+constexpr int kSimdKeyOffset = 64;
+
+/// Variant key a plan resolves under: the bit-serial variant for bit-serial
+/// kinds (kAnyVariant otherwise), shifted into the SIMD key space when the
+/// plan's host lane is kSimd.
 inline int backend_variant_key(const LayerPlan& plan) {
-  return (plan.kind == PlanKind::kConvBitSerial || plan.kind == PlanKind::kLinearBitSerial)
-             ? static_cast<int>(plan.variant)
-             : kAnyVariant;
+  const bool bit_serial =
+      plan.kind == PlanKind::kConvBitSerial || plan.kind == PlanKind::kLinearBitSerial;
+  const int scalar_key = bit_serial ? static_cast<int>(plan.variant) : kAnyVariant;
+  if (plan.lane != HostLane::kSimd) return scalar_key;
+  return bit_serial ? scalar_key + kSimdKeyOffset : kSimdKeyOffset;
 }
 
 /// Process-global backend registry. Thread-safe; the built-in backends are
@@ -109,7 +121,11 @@ class KernelRegistry {
                                      std::unique_ptr<KernelBackend> backend,
                                      bool replace = false);
 
-  /// Exact (kind, variant) match, then (kind, kAnyVariant); null if neither.
+  /// Exact (kind, variant) match first. A SIMD-lane key (>= kSimdKeyOffset)
+  /// that misses then retries its scalar-lane key (offset stripped) — so a
+  /// plan compiled for the SIMD lane still executes, bit-identically, on a
+  /// build without the SIMD family. Finally (kind, kAnyVariant); null if
+  /// nothing matches.
   const KernelBackend* find(PlanKind kind, int variant) const;
 
   /// Like find, but throws std::runtime_error naming the missing key and the
@@ -118,6 +134,11 @@ class KernelRegistry {
 
   /// "kind/variant -> name" lines for every registered backend.
   std::vector<std::string> registered() const;
+
+  /// Per-plan resolution report for a compiled network: one
+  /// "layer: kind/variant [lane] -> backend" line per plan, showing exactly
+  /// which backend each layer executes on (after any scalar-lane fallback).
+  std::vector<std::string> describe(const CompiledNetwork& net) const;
 
  private:
   KernelRegistry() = default;
@@ -140,6 +161,7 @@ void register_structural_backends(KernelRegistry& r);
 void register_baseline_backends(KernelRegistry& r);
 void register_bitserial_backends(KernelRegistry& r);
 void register_binary_backends(KernelRegistry& r);
+void register_simd_backends(KernelRegistry& r);
 }  // namespace detail
 
 }  // namespace bswp::runtime

@@ -114,6 +114,7 @@ void freeze(PlanGraph& pg, CompiledNetwork& net) {
     PlanNode& n = pg.node(id);
     check(n.legalized, "freeze: live node '" + n.name + "' was never legalized");
     LayerPlan plan = std::move(n.plan);
+    plan.lane = n.lane;
     plan.inputs.clear();
     plan.inputs.reserve(n.inputs.size());
     for (int in : n.inputs) {
@@ -158,6 +159,17 @@ std::string CompileReport::summary() const {
         os << "      " << c.backend << ": " << c.cycles << " cyc"
            << (c.selectable ? "" : " [comparison only]") << "\n";
       }
+    }
+  }
+  if (!lane_choices.empty()) {
+    os << "host lane selection:\n";
+    for (const LaneChoice& l : lane_choices) {
+      os << "  " << l.layer << " [" << plan_kind_name(l.kind) << "] -> "
+         << host_lane_name(l.lane);
+      if (l.simd_cycles > 0.0) {
+        os << " (scalar " << l.scalar_cycles << " cyc, simd " << l.simd_cycles << " cyc)";
+      }
+      os << "\n";
     }
   }
   return os.str();

@@ -61,6 +61,7 @@ struct PlanNode {
   // --- backend decision (SelectBackends) -------------------------------------
   PlanKind kind = PlanKind::kInput;
   kernels::BitSerialVariant variant = kernels::BitSerialVariant::kCached;
+  HostLane lane = HostLane::kScalar;  // host kernel family (freeze -> plan.lane)
   bool kind_assigned = false;
   kernels::PackedIndices indices;  // packed for pooled nodes (reused by Legalize)
 

@@ -11,8 +11,16 @@
 // which remains available as BackendSelect::kHeuristic for ablations. The
 // baseline int8 kernel is priced alongside for the report, but never chosen
 // for a pooled layer (it computes different numerics than the LUT path).
+//
+// Orthogonally, every conv/linear layer gets a HostLane: the scalar
+// reference kernels or the SIMD family under src/kernels/simd/. Both lanes
+// are bit-identical, so the decision is pure wall-clock — the same argmin
+// machinery prices the scalar closed form against the simd_* closed form
+// under CompileOptions::host_profile and keeps the cheaper lane (ties go to
+// scalar). kSimd is never assigned when the SIMD backends are compiled out.
 #include <limits>
 
+#include "kernels/simd/simd_dispatch.h"
 #include "runtime/lowering/plan_graph.h"
 #include "sim/layer_cost.h"
 
@@ -30,7 +38,7 @@ class SelectBackends : public Pass {
   const char* name() const override { return "SelectBackends"; }
 
   int run(PlanGraph& pg, PassContext& ctx, std::string* detail) override {
-    int decided = 0, cost_picked = 0;
+    int decided = 0, cost_picked = 0, simd_lanes = 0;
     for (int id : pg.live_nodes()) {
       PlanNode& n = pg.node(id);
       switch (n.op) {
@@ -46,12 +54,14 @@ class SelectBackends : public Pass {
           if (pl == nullptr) {
             n.kind = n.op == nn::Op::kConv2d ? PlanKind::kConvBaseline
                                              : PlanKind::kLinearBaseline;
-            break;
+          } else {
+            n.kind = n.op == nn::Op::kConv2d ? PlanKind::kConvBitSerial
+                                             : PlanKind::kLinearBitSerial;
+            n.indices = kernels::PackedIndices::pack(*pl);
+            if (choose_variant(pg, ctx, n)) ++cost_picked;
           }
-          n.kind = n.op == nn::Op::kConv2d ? PlanKind::kConvBitSerial
-                                           : PlanKind::kLinearBitSerial;
-          n.indices = kernels::PackedIndices::pack(*pl);
-          if (choose_variant(pg, ctx, n)) ++cost_picked;
+          choose_lane(pg, ctx, n);
+          if (n.lane == HostLane::kSimd) ++simd_lanes;
           break;
         }
         default:
@@ -60,9 +70,17 @@ class SelectBackends : public Pass {
       n.kind_assigned = true;
       ++decided;
     }
-    if (detail != nullptr && cost_picked > 0) {
-      *detail = std::to_string(cost_picked) + " pooled layer(s) priced by " +
-                ctx.opt.cost_profile.name;
+    if (detail != nullptr && (cost_picked > 0 || simd_lanes > 0)) {
+      std::string d;
+      if (cost_picked > 0) {
+        d = std::to_string(cost_picked) + " pooled layer(s) priced by " +
+            ctx.opt.cost_profile.name;
+      }
+      if (simd_lanes > 0) {
+        if (!d.empty()) d += "; ";
+        d += std::to_string(simd_lanes) + " layer(s) on the simd host lane";
+      }
+      *detail = std::move(d);
     }
     return decided;
   }
@@ -122,6 +140,71 @@ class SelectBackends : public Pass {
     choice.candidates.push_back({"baseline int8", mcu.cycles(baseline_cost(ctx, n, src)), false});
     if (ctx.report != nullptr) ctx.report->backend_choices.push_back(std::move(choice));
     return true;
+  }
+
+  /// Assign n.lane for a conv/linear node (any of the four compute kinds).
+  /// Forced modes short-circuit; kCostModel prices the scalar closed form of
+  /// the *chosen* backend against its simd_* counterpart under
+  /// CompileOptions::host_profile. kSimd is only ever assigned when
+  /// kernels::simd::available() — a network compiled on a SIMD build still
+  /// loads on a scalar-only one because KernelRegistry::find falls back, but
+  /// the compile-time decision must not promise what this build lacks.
+  void choose_lane(const PlanGraph& pg, PassContext& ctx, PlanNode& n) const {
+    n.lane = HostLane::kScalar;
+    double scalar_cyc = 0.0, simd_cyc = 0.0;
+    if (kernels::simd::available() && ctx.opt.host_lanes != HostLaneSelect::kScalar) {
+      if (ctx.opt.host_lanes == HostLaneSelect::kSimd) {
+        n.lane = HostLane::kSimd;
+      } else {
+        const sim::McuProfile& host = ctx.opt.host_profile;
+        const PlanNode& src = pg.node(n.inputs[0]);
+        scalar_cyc = host.cycles(scalar_lane_cost(ctx, n, src));
+        simd_cyc = host.cycles(simd_lane_cost(ctx, n, src));
+        if (simd_cyc < scalar_cyc) n.lane = HostLane::kSimd;
+      }
+    }
+    if (ctx.report != nullptr) {
+      ctx.report->lane_choices.push_back({n.name, n.kind, n.lane, scalar_cyc, simd_cyc});
+    }
+  }
+
+  /// Host-profile event counts of the scalar lane for the backend already
+  /// chosen for `n` (baseline int8 or the winning bit-serial variant).
+  static sim::CostCounter scalar_lane_cost(const PassContext& ctx, const PlanNode& n,
+                                           const PlanNode& src) {
+    if (n.kind == PlanKind::kConvBaseline || n.kind == PlanKind::kLinearBaseline) {
+      return baseline_cost_for(ctx, n, src);
+    }
+    check(src.quant_assigned, "SelectBackends: producer of '" + n.name + "' lacks quantization");
+    return variant_cost(ctx, n, src, src.oq.bits, n.variant);
+  }
+
+  static sim::CostCounter simd_lane_cost(const PassContext& ctx, const PlanNode& n,
+                                         const PlanNode& src) {
+    if (n.op == nn::Op::kLinear) {
+      const int fin = static_cast<int>(elems(src.out_chw));
+      if (n.kind == PlanKind::kLinearBaseline) {
+        return sim::simd_linear_cost(fin, ctx.graph.node(n.graph_node).weight.dim(0));
+      }
+      return sim::simd_bitserial_linear_cost(fin, n.indices.out_ch, src.oq.bits, *ctx.lut);
+    }
+    const nn::ConvSpec& spec = ctx.graph.node(n.graph_node).conv;
+    if (n.kind == PlanKind::kConvBaseline) {
+      return sim::simd_conv_cost(spec, src.out_chw[1], src.out_chw[2]);
+    }
+    return sim::simd_bitserial_conv_cost(spec, src.out_chw[1], src.out_chw[2], src.oq.bits,
+                                         *ctx.lut);
+  }
+
+  /// Like baseline_cost, but valid for unpooled layers too (no indices).
+  static sim::CostCounter baseline_cost_for(const PassContext& ctx, const PlanNode& n,
+                                            const PlanNode& src) {
+    if (n.op == nn::Op::kLinear) {
+      const int fin = static_cast<int>(elems(src.out_chw));
+      return sim::baseline_linear_cost(fin, ctx.graph.node(n.graph_node).weight.dim(0));
+    }
+    const nn::ConvSpec& spec = ctx.graph.node(n.graph_node).conv;
+    return sim::baseline_conv_cost(spec, src.out_chw[1], src.out_chw[2]);
   }
 
   static sim::CostCounter variant_cost(const PassContext& ctx, const PlanNode& n,

@@ -34,6 +34,22 @@ enum class BackendSelect {
   kHeuristic,
 };
 
+/// How SelectBackends assigns each compute layer's HostLane (the host-CPU
+/// kernel family that will execute it; MCU latency estimates are unaffected).
+enum class HostLaneSelect {
+  /// Price HostLane::kScalar vs HostLane::kSimd per layer with
+  /// sim/layer_cost.h's closed forms under CompileOptions::host_profile and
+  /// keep the cheaper one (ties go to scalar). Never assigns kSimd when the
+  /// SIMD backends are compiled out (BSWP_SIMD=OFF).
+  kCostModel,
+  /// Force every layer onto the scalar reference kernels (ablations, golden
+  /// fixture regeneration).
+  kScalar,
+  /// Force every layer onto the SIMD kernels where they exist (falls back to
+  /// scalar when compiled out).
+  kSimd,
+};
+
 struct CompileOptions {
   int act_bits = 8;     // M: activation bitwidth of all hidden activations
   int weight_bits = 8;  // B_w for uncompressed layers and the pool quant
@@ -43,6 +59,12 @@ struct CompileOptions {
   BackendSelect backend_select = BackendSelect::kCostModel;
   /// MCU profile pricing the cost model's event counts (kCostModel only).
   sim::McuProfile cost_profile = sim::mc_large();
+  /// Host-lane policy: scalar vs SIMD kernel family per layer. Orthogonal to
+  /// backend_select (which picks the bit-serial *variant*); every variant is
+  /// bit-identical across lanes, so this only moves wall-clock time.
+  HostLaneSelect host_lanes = HostLaneSelect::kCostModel;
+  /// Profile pricing the scalar-vs-SIMD lane decision (kCostModel lanes).
+  sim::McuProfile host_profile = sim::host_profile();
   /// Heuristic mode only: pick cached+precompute when filters > pool size.
   bool auto_precompute = true;
   /// Force one bit-serial variant for every pooled layer, linear included

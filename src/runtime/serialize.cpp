@@ -5,12 +5,16 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "kernels/simd/simd_dispatch.h"
+
 namespace bswp::runtime {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x42535750;  // "BSWP"
-constexpr uint32_t kVersion = 1;
+// v2 appends a HostLane byte after each plan's variant; v1 files still load
+// (every plan gets HostLane::kScalar, the lane all v1 networks ran on).
+constexpr uint32_t kVersion = 2;
 
 // A new PlanKind must be wired through the plan payload writers/readers
 // below (and through export_c_header's flash emission) before this count is
@@ -156,6 +160,7 @@ void save_network(const CompiledNetwork& net, std::ostream& os) {
     write_pod<int32_t>(os, p.indices.out_ch);
     write_vec(os, p.indices.idx);
     write_pod<int32_t>(os, static_cast<int32_t>(p.variant));
+    write_pod<uint8_t>(os, static_cast<uint8_t>(p.lane));
     write_pod<int32_t>(os, p.pool_k);
     write_pod<int32_t>(os, p.pool_stride);
     write_pod(os, p.out.scale);
@@ -175,7 +180,10 @@ void save_network(const CompiledNetwork& net, const std::string& path) {
 
 CompiledNetwork load_network(std::istream& is) {
   if (read_pod<uint32_t>(is) != kMagic) throw std::runtime_error("bswp: bad magic");
-  if (read_pod<uint32_t>(is) != kVersion) throw std::runtime_error("bswp: unsupported version");
+  const auto version = read_pod<uint32_t>(is);
+  if (version < 1 || version > kVersion) {
+    throw std::runtime_error("bswp: unsupported version");
+  }
   CompiledNetwork net;
   net.act_bits = read_pod<int32_t>(is);
   net.input_scale = read_pod<float>(is);
@@ -219,6 +227,15 @@ CompiledNetwork load_network(std::istream& is) {
     p.indices.out_ch = read_pod<int32_t>(is);
     p.indices.idx = read_vec<uint8_t>(is);
     p.variant = static_cast<kernels::BitSerialVariant>(read_pod<int32_t>(is));
+    if (version >= 2) {
+      const auto lane = read_pod<uint8_t>(is);
+      if (lane > static_cast<uint8_t>(HostLane::kSimd)) {
+        throw std::runtime_error("bswp: unknown host lane");
+      }
+      // A network compiled on a SIMD build loads on a scalar-only one: the
+      // lanes are bit-identical, so silently downgrade instead of refusing.
+      p.lane = kernels::simd::available() ? static_cast<HostLane>(lane) : HostLane::kScalar;
+    }
     p.pool_k = read_pod<int32_t>(is);
     p.pool_stride = read_pod<int32_t>(is);
     p.out.scale = read_pod<float>(is);

@@ -35,4 +35,30 @@ CostCounter baseline_conv_cost(const nn::ConvSpec& spec, int in_h, int in_w);
 /// Exact event counts of kernels::baseline_linear.
 CostCounter baseline_linear_cost(int in_features, int out_features);
 
+// --- SIMD host lane (kernels under src/kernels/simd/) ------------------------
+//
+// These model the *vectorized* dataflow, not the MCU reference: one kMac is
+// one 16-lane madd step (or a scalar tail multiply), staging/reduce
+// overheads appear explicitly, and the bit-serial form charges the
+// precompute-then-gather pipeline. They are priced with sim::host_profile()
+// against the scalar forms above to choose a HostLane per layer; they are
+// deliberately NOT what the SIMD kernels tally at run time (those tally the
+// scalar MCU reference so Session::estimate_latency stays an MCU estimate).
+
+/// Modeled event counts of kernels::simd::simd_conv2d.
+CostCounter simd_conv_cost(const nn::ConvSpec& spec, int in_h, int in_w);
+
+/// Modeled event counts of kernels::simd::simd_linear.
+CostCounter simd_linear_cost(int in_features, int out_features);
+
+/// Modeled event counts of kernels::simd::simd_bitserial_conv2d. A
+/// weight-oriented LUT precomputes scalar (strided rows), which the model
+/// reflects — the SIMD lane rarely wins there.
+CostCounter simd_bitserial_conv_cost(const nn::ConvSpec& spec, int in_h, int in_w, int act_bits,
+                                     const pool::DotLut& lut);
+
+/// Modeled event counts of kernels::simd::simd_bitserial_linear.
+CostCounter simd_bitserial_linear_cost(int in_features, int out_features, int act_bits,
+                                       const pool::DotLut& lut);
+
 }  // namespace bswp::sim

@@ -41,6 +41,27 @@ McuProfile mc_large() {
   return m;
 }
 
+McuProfile host_profile() {
+  McuProfile m;
+  m.name = "host (generic superscalar)";
+  // Effectively unbounded: the host lane never fails a footprint check.
+  m.sram_bytes = static_cast<std::size_t>(1) << 40;
+  m.flash_bytes = static_cast<std::size_t>(1) << 40;
+  m.freq_mhz = 3000.0;
+  // Out-of-order core with caches: no wait-stated flash, sub-cycle
+  // loads/stores, cheap ALU; requantization stays a scalar float chain.
+  m.event_cycles[static_cast<int>(Event::kFlashRandomByte)] = 1.0;
+  m.event_cycles[static_cast<int>(Event::kFlashSeqByte)] = 0.25;
+  m.event_cycles[static_cast<int>(Event::kFlashSeqWord)] = 0.5;
+  m.event_cycles[static_cast<int>(Event::kSramRead)] = 0.5;
+  m.event_cycles[static_cast<int>(Event::kSramWrite)] = 0.5;
+  m.event_cycles[static_cast<int>(Event::kMac)] = 1.0;
+  m.event_cycles[static_cast<int>(Event::kAlu)] = 0.25;
+  m.event_cycles[static_cast<int>(Event::kBranch)] = 1.0;
+  m.event_cycles[static_cast<int>(Event::kRequant)] = 6.0;
+  return m;
+}
+
 McuProfile mc_small() {
   McuProfile m;
   m.name = "MC-small (STM32F103RB)";

@@ -96,6 +96,50 @@ class XnorConvBackend : public runtime::KernelBackend {
     }
   }
 
+  void execute_batch(const runtime::ExecContext& ctx) const override {
+    const runtime::LayerPlan& plan = ctx.plan;
+    const kernels::QView& in = ctx.input(0);
+    check(in.rank == 4 && in.shape[0] == 1,
+          "xnor backend: input must be a single CHW activation");
+    const nn::ConvSpec& spec = plan.spec;
+    check(in.dim(1) == spec.in_ch, "xnor backend: channel mismatch");
+    const int h = in.dim(2), w = in.dim(3);
+    const int oh = spec.out_h(h), ow = spec.out_w(w);
+    const int words = binary_pack_words(spec.in_ch);
+    const std::size_t in_stride =
+        ctx.net.plans[static_cast<std::size_t>(plan.inputs[0])].out_elems();
+    const std::size_t out_stride = plan.out_elems();
+
+    // Weights are packed ONCE for the whole batch (the packers are
+    // counter-free, so tallies stay exactly batch x the per-image counts);
+    // the input/count staging buffers are reused image to image.
+    uint32_t* in_bits = ctx.scratch->alloc<uint32_t>(static_cast<std::size_t>(h) * w * words);
+    uint32_t* w_bits = ctx.scratch->alloc<uint32_t>(static_cast<std::size_t>(spec.out_ch) *
+                                                    spec.kh * spec.kw * words);
+    int32_t* counts = ctx.scratch->alloc<int32_t>(static_cast<std::size_t>(spec.out_ch) * oh * ow);
+    pack_binary_weights_q(plan.qweights.data.data(), spec, w_bits);
+
+    kernels::QView& out = *ctx.out;
+    out.set_shape({1, spec.out_ch, oh, ow});
+    out.bits = plan.rq.out.bits;
+    out.is_signed = plan.rq.out.is_signed;
+    out.scale = plan.rq.out.scale;
+    out.zero_point = plan.rq.out.zero_point;
+    const int hw = oh * ow;
+    for (int b = 0; b < ctx.batch; ++b) {
+      const int16_t* src = in.data + static_cast<std::size_t>(b) * in_stride;
+      pack_binary_input_q(src, spec.in_ch, h, w, in.zero_point, in_bits);
+      xnor_conv2d_counts(in_bits, spec.in_ch, h, w, w_bits, spec, counts, ctx.counter);
+      int16_t* dst = out.data + static_cast<std::size_t>(b) * out_stride;
+      for (int o = 0; o < spec.out_ch; ++o) {
+        for (int i = 0; i < hw; ++i) {
+          const std::size_t idx = static_cast<std::size_t>(o) * hw + static_cast<std::size_t>(i);
+          dst[idx] = plan.rq.apply(counts[idx], o);
+        }
+      }
+    }
+  }
+
   std::size_t scratch_bytes(const runtime::CompiledNetwork& net,
                             const runtime::LayerPlan& plan) const override {
     const nn::ConvSpec& spec = plan.spec;

@@ -7,12 +7,22 @@
 namespace bswp::runtime {
 namespace {
 
+/// Per-image element stride of the plan's first input inside a batched arena.
+std::size_t input_stride(const ExecContext& ctx) {
+  return ctx.net.plans[static_cast<std::size_t>(ctx.plan.inputs[0])].out_elems();
+}
+
 class BaselineConvBackend : public KernelBackend {
  public:
   const char* name() const override { return "baseline/conv"; }
   void execute(const ExecContext& ctx) const override {
     kernels::baseline_conv2d(ctx.input(0), ctx.plan.qweights, ctx.plan.spec, ctx.plan.rq,
                              *ctx.out, ctx.counter);
+  }
+  void execute_batch(const ExecContext& ctx) const override {
+    kernels::baseline_conv2d_batch(ctx.input(0), input_stride(ctx), ctx.batch, ctx.plan.qweights,
+                                   ctx.plan.spec, ctx.plan.rq, *ctx.out, ctx.plan.out_elems(),
+                                   ctx.counter);
   }
 };
 
@@ -21,6 +31,10 @@ class BaselineLinearBackend : public KernelBackend {
   const char* name() const override { return "baseline/linear"; }
   void execute(const ExecContext& ctx) const override {
     kernels::baseline_linear(ctx.input(0), ctx.plan.qweights, ctx.plan.rq, *ctx.out, ctx.counter);
+  }
+  void execute_batch(const ExecContext& ctx) const override {
+    kernels::baseline_linear_batch(ctx.input(0), input_stride(ctx), ctx.batch, ctx.plan.qweights,
+                                   ctx.plan.rq, *ctx.out, ctx.plan.out_elems(), ctx.counter);
   }
 };
 

@@ -27,6 +27,26 @@ void baseline_conv2d(const QView& in, const QTensor& weights, const nn::ConvSpec
 void baseline_linear(const QView& in, const QTensor& weights, const Requant& rq, QView& out,
                      sim::CostCounter* counter);
 
+// --- batched cores -----------------------------------------------------------
+//
+// Batch-N forms over arena slots laid out at a fixed per-image element
+// stride: image b reads `in.data + b * in_stride` and writes
+// `out.data + b * out_stride` (`in`/`out` describe image 0). The image loop
+// sits INSIDE the filter loop so each weight row is loaded once per batch
+// instead of once per image; per-image accumulation order is unchanged, so
+// results and CostCounter tallies are byte-identical to running the
+// per-image core `batch` times (tallies are exactly batch x per-image).
+
+/// Batched int8 convolution (see block comment above).
+void baseline_conv2d_batch(const QView& in, std::size_t in_stride, int batch,
+                           const QTensor& weights, const nn::ConvSpec& spec, const Requant& rq,
+                           QView& out, std::size_t out_stride, sim::CostCounter* counter);
+
+/// Batched int8 fully-connected layer (see block comment above).
+void baseline_linear_batch(const QView& in, std::size_t in_stride, int batch,
+                           const QTensor& weights, const Requant& rq, QView& out,
+                           std::size_t out_stride, sim::CostCounter* counter);
+
 /// Max pooling in the quantized domain (scale-preserving) into `out`.
 void maxpool_q(const QView& in, int k, int stride, QView& out, sim::CostCounter* counter);
 

@@ -62,6 +62,35 @@ void bitserial_linear(const QView& in, const PackedIndices& indices, const pool:
 /// `group_size` (conservative: sized for the hungriest variant).
 std::size_t bitserial_host_scratch_bytes(int out_ch, int pool_size, int group_size);
 
+// --- batched cores -----------------------------------------------------------
+//
+// Batch-N forms over arena slots at a fixed per-image element stride (image
+// b reads `in.data + b * in_stride`, writes `out.data + b * out_stride`;
+// the views describe image 0). The image loop sits inside the (position,
+// kernel tap, channel group) context so the packed index row and cached LUT
+// blocks stay hot across the batch; each image's unpack / lookup /
+// accumulate sequence is unchanged, so outputs and CostCounter tallies are
+// byte-identical to `batch` per-image calls (tallies exactly batch x).
+
+/// Batched bit-serial pooled convolution (see block comment above).
+void bitserial_conv2d_batch(const QView& in, std::size_t in_stride, int batch,
+                            const PackedIndices& indices, const pool::DotLut& lut,
+                            const nn::ConvSpec& spec, const Requant& rq, BitSerialVariant variant,
+                            QView& out, std::size_t out_stride, ScratchArena& scratch,
+                            sim::CostCounter* counter);
+
+/// Batched bit-serial pooled fully-connected layer (see block comment above).
+void bitserial_linear_batch(const QView& in, std::size_t in_stride, int batch,
+                            const PackedIndices& indices, const pool::DotLut& lut,
+                            const Requant& rq, BitSerialVariant variant, QView& out,
+                            std::size_t out_stride, ScratchArena& scratch,
+                            sim::CostCounter* counter);
+
+/// Host scratch bytes of the batched cores: the accumulator array carries a
+/// batch dimension; the per-group staging buffers are shared.
+std::size_t bitserial_host_scratch_bytes_batch(int out_ch, int pool_size, int group_size,
+                                               int batch);
+
 // --- owning wrappers ---------------------------------------------------------
 
 QTensor bitserial_conv2d(const QTensor& input, const PackedIndices& indices,

@@ -2,14 +2,16 @@
 
 namespace bswp::runtime {
 
-Executor::Executor(const CompiledNetwork& net) : net_(&net) {
+Executor::Executor(const CompiledNetwork& net, int max_batch)
+    : net_(&net), max_batch_(max_batch) {
   check(!net.plans.empty(), "Executor: empty network");
+  check(max_batch >= 1, "Executor: max_batch must be >= 1");
   const KernelRegistry& registry = KernelRegistry::instance();
   backends_.reserve(net.plans.size());
   for (const LayerPlan& plan : net.plans) {
     backends_.push_back(&registry.resolve(plan.kind, backend_variant_key(plan)));
   }
-  plan_ = MemoryPlanner::plan_host(net, backends_);
+  plan_ = MemoryPlanner::plan_host(net, backends_, max_batch);
 
   // One backing block: [activation region | scratch region].
   arena_ = std::make_unique<std::byte[]>(plan_.peak_bytes());
@@ -46,8 +48,51 @@ const kernels::QView& Executor::run_view(const Tensor& image, sim::CostCounter* 
   return views_.back();
 }
 
+const kernels::QView& Executor::run_batch_view(std::span<const Tensor> images,
+                                               sim::CostCounter* counter) {
+  const int n = static_cast<int>(images.size());
+  check(n >= 1, "Executor: run_batch_view needs at least one image");
+  check(n <= max_batch_, "Executor: batch exceeds the executor's max_batch");
+  if (n == 1) return run_view(images[0], counter);
+  const CompiledNetwork& net = *net_;
+  for (std::size_t p = 0; p < net.plans.size(); ++p) {
+    scratch_.reset();
+    ExecContext ctx{net,
+                    net.plans[p],
+                    images.data(),
+                    inputs_.data() + input_start_[p],
+                    static_cast<int>(net.plans[p].inputs.size()),
+                    &views_[p],
+                    &scratch_,
+                    counter,
+                    n};
+    backends_[p]->execute_batch(ctx);
+    check(views_[p].len <= net.plans[p].out_elems(),
+          "Executor: backend overflowed its planned output slot");
+  }
+  return views_.back();
+}
+
+kernels::QView Executor::logits_view(int i) const {
+  check(i >= 0 && i < max_batch_, "Executor: logits_view index out of range");
+  kernels::QView v = views_.back();
+  v.data += static_cast<std::size_t>(i) * net_->plans.back().out_elems();
+  return v;
+}
+
 QTensor Executor::run(const Tensor& image, sim::CostCounter* counter) {
   return run_view(image, counter).to_qtensor();
+}
+
+std::vector<QTensor> Executor::run_batch(std::span<const Tensor> images,
+                                         sim::CostCounter* counter) {
+  run_batch_view(images, counter);
+  std::vector<QTensor> out;
+  out.reserve(images.size());
+  for (int i = 0; i < static_cast<int>(images.size()); ++i) {
+    out.push_back(logits_view(i).to_qtensor());
+  }
+  return out;
 }
 
 }  // namespace bswp::runtime

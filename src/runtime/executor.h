@@ -6,6 +6,15 @@
 // zero heap allocations: activations are written into fixed arena slots
 // through QViews and temporaries come from a bump-reset ScratchArena.
 //
+// Batched execution: an Executor built with max_batch > 1 plans every
+// activation slot with a batch dimension (image i of plan p lives at
+// views[p].data + i * p.out_elems()) and run_batch_view() walks the plan
+// list ONCE for the whole batch, handing each backend an ExecContext with
+// batch = N. Backends with a batched core amortize their stationary operand
+// (weights, LUT residency, im2row tiles) across the batch; the rest fall
+// back to a per-image loop. Either way the results are byte-identical to N
+// sequential run_view() calls.
+//
 // This replaces the PR-1-era free functions runtime::run / run_logits /
 // resolve_backends (which allocated every activation on every call). One-off
 // callers go through bswp::Session; sustained traffic holds an Executor (or
@@ -17,6 +26,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "runtime/kernel_backend.h"
 #include "runtime/memory_planner.h"
@@ -25,9 +35,10 @@ namespace bswp::runtime {
 
 class Executor {
  public:
-  /// Resolve backends, plan the arena and allocate it. `net` is borrowed and
-  /// must outlive the executor. Throws if any plan has no registered backend.
-  explicit Executor(const CompiledNetwork& net);
+  /// Resolve backends, plan the arena (with room for up to `max_batch`
+  /// images per activation slot) and allocate it. `net` is borrowed and must
+  /// outlive the executor. Throws if any plan has no registered backend.
+  explicit Executor(const CompiledNetwork& net, int max_batch = 1);
 
   Executor(Executor&&) = default;
   Executor& operator=(Executor&&) = default;
@@ -37,11 +48,29 @@ class Executor {
   /// valid until the next run_view()/run() call or destruction.
   const kernels::QView& run_view(const Tensor& image, sim::CostCounter* counter = nullptr);
 
+  /// Run `images.size()` images (<= max_batch) through the network in one
+  /// plan walk and return the view of image 0's logits; image i's logits are
+  /// at logits_view(i). Zero heap allocations; bit-identical to running each
+  /// image through run_view() in order. Views are valid until the next
+  /// run/run_batch call or destruction.
+  const kernels::QView& run_batch_view(std::span<const Tensor> images,
+                                       sim::CostCounter* counter = nullptr);
+
+  /// Logits view of image i from the last run_batch_view() call. The view's
+  /// metadata is shared; data points at image i's slice.
+  kernels::QView logits_view(int i) const;
+
   /// run_view() + materialize the logits as an owning QTensor.
   QTensor run(const Tensor& image, sim::CostCounter* counter = nullptr);
 
+  /// run_batch_view() + materialize every image's logits (allocates).
+  std::vector<QTensor> run_batch(std::span<const Tensor> images,
+                                 sim::CostCounter* counter = nullptr);
+
   const CompiledNetwork& network() const { return *net_; }
   const MemoryPlan& memory_plan() const { return plan_; }
+  /// Largest batch a single run_batch_view() call accepts.
+  int max_batch() const { return max_batch_; }
   /// Bytes of the one backing allocation (activation region + scratch).
   std::size_t arena_bytes() const { return plan_.peak_bytes(); }
   /// Deepest scratch use observed so far (<= plan_.scratch_bytes).
@@ -49,6 +78,7 @@ class Executor {
 
  private:
   const CompiledNetwork* net_;
+  int max_batch_ = 1;
   std::vector<const KernelBackend*> backends_;
   MemoryPlan plan_;
   std::unique_ptr<std::byte[]> arena_;

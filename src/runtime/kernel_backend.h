@@ -56,8 +56,14 @@ struct ExecContext {
   /// Per-layer scratch (reset before each execute call).
   ScratchArena* scratch = nullptr;
   sim::CostCounter* counter = nullptr;
+  /// Number of images in this call (execute_batch only; execute sees 1).
+  /// Image i of a plan p lives at `view.data + i * p.out_elems()` — the
+  /// planned slot capacity is the per-image element stride, and the base
+  /// views (`inputs`, `out`) describe image 0. For kInput plans, `image`
+  /// points at a contiguous array of `batch` Tensors.
+  int batch = 1;
 
-  /// Activation produced by the plan's i-th input.
+  /// Activation produced by the plan's i-th input (image 0 when batched).
   const kernels::QView& input(int i) const { return *inputs[i]; }
 };
 
@@ -70,6 +76,14 @@ class KernelBackend {
   /// Execute `ctx.plan`, writing the result into `ctx.out` and drawing
   /// temporaries from `ctx.scratch` (never the heap).
   virtual void execute(const ExecContext& ctx) const = 0;
+  /// Execute `ctx.plan` for `ctx.batch` images laid out contiguously at the
+  /// per-image stride (see ExecContext::batch). Backends override this to
+  /// amortize stationary work (weight loads, LUT residency, im2row tiles)
+  /// across the batch; the override MUST stay byte-identical to running
+  /// execute() once per image — same int32 accumulation order, same requant,
+  /// same CostCounter tallies (exactly batch x the per-image counts). The
+  /// default loops execute() per image, resetting scratch between images.
+  virtual void execute_batch(const ExecContext& ctx) const;
   /// Upper bound on the scratch bytes execute() draws for this plan. The
   /// MemoryPlanner sizes the Executor's scratch region from the maximum over
   /// all plans; an under-report makes the ScratchArena throw at run time.
@@ -79,6 +93,15 @@ class KernelBackend {
     (void)net;
     (void)plan;
     return 0;
+  }
+  /// Upper bound on the scratch bytes execute_batch() draws for `batch`
+  /// images. Default: the per-image bound — correct for the default
+  /// per-image loop and for any batched core that reuses one image's
+  /// staging buffers; a core staging batch-wide state must override.
+  virtual std::size_t scratch_bytes_batch(const CompiledNetwork& net, const LayerPlan& plan,
+                                          int batch) const {
+    (void)batch;
+    return scratch_bytes(net, plan);
   }
 };
 

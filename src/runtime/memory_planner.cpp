@@ -157,13 +157,16 @@ MemoryPlan MemoryPlanner::plan(const CompiledNetwork& net,
 }
 
 MemoryPlan MemoryPlanner::plan_host(const CompiledNetwork& net,
-                                    const std::vector<const KernelBackend*>& backends) {
+                                    const std::vector<const KernelBackend*>& backends, int batch) {
   check(backends.size() == net.plans.size(), "MemoryPlanner: backends do not match the network");
+  check(batch >= 1, "MemoryPlanner: batch must be >= 1");
   std::vector<std::size_t> out_bytes(net.plans.size());
   std::vector<std::size_t> scratch(net.plans.size());
   for (std::size_t p = 0; p < net.plans.size(); ++p) {
-    out_bytes[p] = net.plans[p].out_elems() * sizeof(int16_t);
-    scratch[p] = backends[p]->scratch_bytes(net, net.plans[p]);
+    out_bytes[p] =
+        net.plans[p].out_elems() * sizeof(int16_t) * static_cast<std::size_t>(batch);
+    scratch[p] = batch > 1 ? backends[p]->scratch_bytes_batch(net, net.plans[p], batch)
+                           : backends[p]->scratch_bytes(net, net.plans[p]);
   }
   return plan(net, out_bytes, scratch);
 }

@@ -57,8 +57,12 @@ class MemoryPlanner {
 
   /// Plan the host Executor's arena: int16 activation slots + the resolved
   /// backends' scratch_bytes high-water. `backends` must parallel net.plans.
+  /// With `batch` > 1 every activation slot holds `batch` images laid out at
+  /// the per-image stride (plan.out_elems() elements) and scratch is sized
+  /// from scratch_bytes_batch — liveness and in-place logic are unchanged,
+  /// the slots just scale by the batch dimension.
   static MemoryPlan plan_host(const CompiledNetwork& net,
-                              const std::vector<const KernelBackend*>& backends);
+                              const std::vector<const KernelBackend*>& backends, int batch = 1);
 
   /// Plan the modeled MCU deployment: bit-packed M-bit activations +
   /// modeled kernel scratch (feeds runtime::footprint()). Models the

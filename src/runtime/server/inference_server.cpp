@@ -24,6 +24,36 @@ void validate(const ModelConfig& config, const char* who) {
   check(config.weight >= 1, std::string(who) + ": priority weight must be >= 1");
 }
 
+/// Mirrors InputBackend's shape check (structural_backends.cpp) so a bad
+/// request can be rejected *before* the batch dispatches: under batched
+/// execution its neighbours ride one batched executor call undisturbed.
+/// Returns null when the image is a valid single CHW/1xCxHxW image of shape
+/// `want` (or when the compiled input shape is unknown — the executor then
+/// remains the authority).
+std::exception_ptr validate_image(const Tensor& img, const std::vector<int>& want) {
+  if (want.size() != 3) return nullptr;
+  int c = 0, h = 0, w = 0;
+  if (img.rank() == 3) {
+    c = img.dim(0);
+    h = img.dim(1);
+    w = img.dim(2);
+  } else if (img.rank() == 4 && img.dim(0) == 1) {
+    c = img.dim(1);
+    h = img.dim(2);
+    w = img.dim(3);
+  } else {
+    return std::make_exception_ptr(
+        std::invalid_argument("engine: input must be a single CHW image"));
+  }
+  if (c != want[0] || h != want[1] || w != want[2]) {
+    return std::make_exception_ptr(std::invalid_argument(
+        "engine: input image shape " + std::to_string(c) + "x" + std::to_string(h) + "x" +
+        std::to_string(w) + " does not match the network input " + std::to_string(want[0]) +
+        "x" + std::to_string(want[1]) + "x" + std::to_string(want[2])));
+  }
+  return nullptr;
+}
+
 void validate(const AutoscalerOptions& a, const char* who) {
   if (!a.enabled) return;
   check(a.min_workers >= 1, std::string(who) + ": autoscaler min_workers must be >= 1");
@@ -61,11 +91,21 @@ struct InferenceServer::Request {
 /// oldest request across both.
 struct InferenceServer::ModelState {
   ModelState(std::string id_, const CompiledNetwork& n, const ModelConfig& c, std::size_t window)
-      : id(std::move(id_)), net(&n), config(c), latency(window) {}
+      : id(std::move(id_)), net(&n), config(c), latency(window), exec_latency(window) {
+    for (const auto& p : n.plans) {
+      if (p.kind == PlanKind::kInput) {
+        input_chw = p.out_chw;
+        break;
+      }
+    }
+  }
 
   std::string id;
   const CompiledNetwork* net;
   ModelConfig config;
+  /// The compiled input CHW, for pre-dispatch shape validation under batched
+  /// execution (empty when the network has no kInput plan).
+  std::vector<int> input_chw;
 
   std::deque<Request> high;  // RequestClass::kHigh, FIFO
   std::deque<Request> norm;  // RequestClass::kNormal, FIFO
@@ -81,6 +121,7 @@ struct InferenceServer::ModelState {
   std::uint64_t affinity_misses = 0;
   std::vector<std::uint64_t> batch_size_hist;  // index = batch size
   LatencyRecorder latency;  // end-to-end, incl. queueing (guarded by stats_mu_)
+  LatencyRecorder exec_latency;  // executor time only (guarded by stats_mu_)
 
   std::size_t queued() const { return high.size() + norm.size(); }
 
@@ -130,7 +171,9 @@ struct InferenceServer::WorkerState {
 };
 
 InferenceServer::InferenceServer(const ServerOptions& options)
-    : options_(options), global_latency_(options.latency_window) {
+    : options_(options),
+      global_latency_(options.latency_window),
+      global_exec_latency_(options.latency_window) {
   check(options_.workers >= 1, "InferenceServer: workers must be >= 1");
   validate(ModelConfig{options_.batching, options_.queue}, "InferenceServer");
   validate(options_.autoscaler, "InferenceServer");
@@ -432,8 +475,15 @@ void InferenceServer::worker_main(int wid) {
   // One arena Executor per model this worker has served, keyed by the
   // stable ModelState address; arenas stay warm across batches (and across
   // descale/rescale — a parked worker keeps its cache, which is what makes
-  // affinity hits resume immediately after a scale-up).
+  // affinity hits resume immediately after a scale-up). Executors are built
+  // with the model's max_batch so batched dispatch has the arena slots.
   std::unordered_map<const ModelState*, std::unique_ptr<Executor>> executors;
+  // Batched dispatch stages validated images contiguously here (Tensor moves
+  // only) so the whole batch goes through ONE run_batch_view span; both
+  // vectors keep their capacity across batches, so the steady state of a
+  // warm worker performs no heap allocations on the dispatch path.
+  std::vector<Tensor> staging;
+  std::vector<std::size_t> staged_req;  // staging slot -> request index
 
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
@@ -452,7 +502,8 @@ void InferenceServer::worker_main(int wid) {
     std::exception_ptr build_error;
     if (exec == nullptr) {
       try {
-        exec = std::make_unique<Executor>(*m.net);
+        exec = std::make_unique<Executor>(
+            *m.net, options_.batched_execution ? m.config.batching.max_batch : 1);
         built = true;
       } catch (...) {
         build_error = std::current_exception();
@@ -463,22 +514,80 @@ void InferenceServer::worker_main(int wid) {
       QTensor logits;
       std::exception_ptr error;
       double e2e_us = 0.0;
+      double exec_us = 0.0;  // executor wall time attributed to this request
+      bool ran = false;      // produced logits (exec_us is meaningful)
     };
     std::vector<Outcome> outcomes(task.requests.size());
-    for (std::size_t i = 0; i < task.requests.size(); ++i) {
-      Outcome& o = outcomes[i];
-      if (build_error != nullptr) {
-        o.error = build_error;
-      } else {
+    const bool batched = options_.batched_execution && build_error == nullptr &&
+                         task.requests.size() > 1 &&
+                         static_cast<int>(task.requests.size()) <= exec->max_batch();
+    if (build_error != nullptr) {
+      for (Outcome& o : outcomes) o.error = build_error;
+    } else if (batched) {
+      // Up-front shape validation: a bad request fails its own future here
+      // and never enters the batch, so its neighbours still ride the single
+      // batched executor call.
+      staging.clear();
+      staged_req.clear();
+      for (std::size_t i = 0; i < task.requests.size(); ++i) {
+        std::exception_ptr bad = validate_image(task.requests[i].image, m.input_chw);
+        if (bad != nullptr) {
+          outcomes[i].error = bad;
+        } else {
+          staging.push_back(std::move(task.requests[i].image));
+          staged_req.push_back(i);
+        }
+      }
+      if (!staging.empty()) {
+        const Clock::time_point exec_t0 = Clock::now();
+        bool batch_ok = true;
+        try {
+          exec->run_batch_view(std::span<const Tensor>(staging.data(), staging.size()));
+        } catch (...) {
+          batch_ok = false;
+        }
+        if (batch_ok) {
+          const double per_image_us =
+              micros_since(exec_t0) / static_cast<double>(staging.size());
+          for (std::size_t k = 0; k < staging.size(); ++k) {
+            Outcome& o = outcomes[staged_req[k]];
+            o.logits = exec->logits_view(static_cast<int>(k)).to_qtensor();
+            o.exec_us = per_image_us;
+            o.ran = true;
+          }
+        } else {
+          // The batched call failed as a whole; per-image fallback isolates
+          // the failing request to its own future.
+          for (std::size_t k = 0; k < staging.size(); ++k) {
+            Outcome& o = outcomes[staged_req[k]];
+            const Clock::time_point r0 = Clock::now();
+            try {
+              o.logits = exec->run(staging[k]);
+              o.exec_us = micros_since(r0);
+              o.ran = true;
+            } catch (...) {
+              o.error = std::current_exception();
+            }
+          }
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < task.requests.size(); ++i) {
+        Outcome& o = outcomes[i];
         // A bad request (e.g. wrong input shape) fails its own future only;
         // batch neighbours are other clients' requests.
+        const Clock::time_point r0 = Clock::now();
         try {
           o.logits = exec->run(task.requests[i].image);
+          o.exec_us = micros_since(r0);
+          o.ran = true;
         } catch (...) {
           o.error = std::current_exception();
         }
       }
-      o.e2e_us = micros_since(task.requests[i].arrival);
+    }
+    for (std::size_t i = 0; i < task.requests.size(); ++i) {
+      outcomes[i].e2e_us = micros_since(task.requests[i].arrival);
     }
 
     // Fulfill promises before reporting quiescence so drain() returning
@@ -503,6 +612,10 @@ void InferenceServer::worker_main(int wid) {
       for (const Outcome& o : outcomes) {
         m.latency.record(o.e2e_us);
         global_latency_.record(o.e2e_us);
+        if (o.ran) {
+          m.exec_latency.record(o.exec_us);
+          global_exec_latency_.record(o.exec_us);
+        }
       }
     }
 
@@ -635,17 +748,26 @@ ServerStats InferenceServer::stats() const {
                             : 0.0;
   }
   std::vector<std::vector<double>> model_samples;
+  std::vector<std::vector<double>> model_exec_samples;
   std::vector<double> global_samples;
+  std::vector<double> global_exec_samples;
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     model_samples.reserve(order.size());
-    for (const ModelState* m : order) model_samples.push_back(m->latency.samples());
+    model_exec_samples.reserve(order.size());
+    for (const ModelState* m : order) {
+      model_samples.push_back(m->latency.samples());
+      model_exec_samples.push_back(m->exec_latency.samples());
+    }
     global_samples = global_latency_.samples();
+    global_exec_samples = global_exec_latency_.samples();
   }
   for (std::size_t i = 0; i < s.models.size(); ++i) {
     s.models[i].latency = LatencyRecorder::summarize(std::move(model_samples[i]));
+    s.models[i].exec_latency = LatencyRecorder::summarize(std::move(model_exec_samples[i]));
   }
   s.latency = LatencyRecorder::summarize(std::move(global_samples));
+  s.exec_latency = LatencyRecorder::summarize(std::move(global_exec_samples));
   return s;
 }
 
@@ -669,11 +791,14 @@ ModelStats InferenceServer::model_stats(const std::string& model_id) const {
                          ? static_cast<double>(s.dispatched) / static_cast<double>(total_dispatched)
                          : 0.0;
   std::vector<double> samples;
+  std::vector<double> exec_samples;
   {
     std::lock_guard<std::mutex> stats_lock(stats_mu_);
     samples = found->latency.samples();
+    exec_samples = found->exec_latency.samples();
   }
   s.latency = LatencyRecorder::summarize(std::move(samples));
+  s.exec_latency = LatencyRecorder::summarize(std::move(exec_samples));
   return s;
 }
 
@@ -700,8 +825,12 @@ void InferenceServer::reset_stats() {
     lat_ewma_valid_ = false;
   }
   std::lock_guard<std::mutex> stats_lock(stats_mu_);
-  for (ModelState* m : order) m->latency.clear();
+  for (ModelState* m : order) {
+    m->latency.clear();
+    m->exec_latency.clear();
+  }
   global_latency_.clear();
+  global_exec_latency_.clear();
 }
 
 int InferenceServer::worker_count() const {

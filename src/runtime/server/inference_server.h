@@ -216,7 +216,8 @@ class InferenceServer {
   bool stop_threads_ = false;
   bool joined_ = false;
 
-  LatencyRecorder global_latency_;  // across models, guarded by stats_mu_
+  LatencyRecorder global_latency_;       // across models, guarded by stats_mu_
+  LatencyRecorder global_exec_latency_;  // executor time only, guarded by stats_mu_
 
   std::thread scheduler_;
   std::vector<std::thread> workers_;

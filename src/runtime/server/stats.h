@@ -73,6 +73,14 @@ struct ModelStats {
   /// queueing and batching delay included (most recent
   /// ServerOptions::latency_window samples).
   LatencySummary latency;
+  /// Execute-time latency in MICROSECONDS, exclusive of queueing and
+  /// batching delay: the wall time of the executor call that produced each
+  /// request's logits. Under batched dispatch the whole batch runs as one
+  /// executor call and every request in it records batch wall time / batch
+  /// size, so `latency` - `exec_latency` is the serving overhead (queueing +
+  /// batch formation). Requests that fail before or during execution record
+  /// no sample: count tracks completed requests, not dispatched ones.
+  LatencySummary exec_latency;
 };
 
 struct ServerStats {
@@ -97,6 +105,8 @@ struct ServerStats {
   std::uint64_t scale_up_events = 0;
   std::uint64_t scale_down_events = 0;
   LatencySummary latency;          // microseconds, across all models
+  /// Execute-time latency across all models (see ModelStats::exec_latency).
+  LatencySummary exec_latency;
   std::vector<ModelStats> models;  // registration order
 };
 

@@ -31,8 +31,10 @@ struct ServingPool::Batch {
   int active = 0;  // participating workers still running (guarded by pool mu_)
 };
 
-ServingPool::ServingPool(const CompiledNetwork& net) : net_(&net) {
+ServingPool::ServingPool(const CompiledNetwork& net, int exec_batch)
+    : net_(&net), exec_batch_(exec_batch) {
   check(!net.plans.empty(), "ServingPool: empty network");
+  check(exec_batch >= 1, "ServingPool: exec_batch must be >= 1");
 }
 
 ServingPool::~ServingPool() {
@@ -75,7 +77,7 @@ void ServingPool::worker_main(int id) {
 
     if (exec == nullptr) {
       try {
-        exec = std::make_unique<Executor>(*net_);
+        exec = std::make_unique<Executor>(*net_, exec_batch_);
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(b->err_mu);
@@ -86,16 +88,26 @@ void ServingPool::worker_main(int id) {
     }
 
     if (exec != nullptr) {
-      // Steal loop. Checking the failure flag here (not just the cursor) is
-      // the early-exit contract: once any image fails, no worker starts
-      // another image and the rest of the queue drains unexecuted.
+      // Chunked steal loop: each steal claims up to exec_batch_ contiguous
+      // images and runs them as ONE batched executor call (bit-identical to
+      // per-image execution). Checking the failure flag here (not just the
+      // cursor) is the early-exit contract: once any chunk fails, no worker
+      // starts another chunk and the rest of the queue drains unexecuted.
+      const auto chunk = static_cast<std::size_t>(exec_batch_);
       while (!b->failed.load(std::memory_order_acquire)) {
-        const std::size_t i = b->next.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t i = b->next.fetch_add(chunk, std::memory_order_relaxed);
         if (i >= b->images.size()) break;
+        const std::size_t n = std::min(chunk, b->images.size() - i);
         const Clock::time_point t0 = Clock::now();
         try {
-          (*b->out)[i] = exec->run_view(b->images[i]).to_qtensor();
-          (*b->lat_us)[i] = micros_since(t0);
+          exec->run_batch_view(b->images.subspan(i, n));
+          // Per-image latency under batched execution is the amortized share
+          // of the chunk's wall time — the quantity a capacity planner needs.
+          const double per_image = micros_since(t0) / static_cast<double>(n);
+          for (std::size_t k = 0; k < n; ++k) {
+            (*b->out)[i + k] = exec->logits_view(static_cast<int>(k)).to_qtensor();
+            (*b->lat_us)[i + k] = per_image;
+          }
         } catch (...) {
           {
             std::lock_guard<std::mutex> lock(b->err_mu);
@@ -131,12 +143,19 @@ std::vector<QTensor> ServingPool::run(std::span<const Tensor> images, int n_work
   const Clock::time_point t_batch = Clock::now();
 
   if (workers == 1) {
-    // Inline on the caller thread; the sequential executor persists too.
-    if (seq_exec_ == nullptr) seq_exec_ = std::make_unique<Executor>(*net_);
-    for (std::size_t i = 0; i < images.size(); ++i) {
+    // Inline on the caller thread; the sequential executor persists too and
+    // serves the batch in exec_batch_-wide batched calls like the workers.
+    if (seq_exec_ == nullptr) seq_exec_ = std::make_unique<Executor>(*net_, exec_batch_);
+    const auto chunk = static_cast<std::size_t>(exec_batch_);
+    for (std::size_t i = 0; i < images.size(); i += chunk) {
+      const std::size_t n = std::min(chunk, images.size() - i);
       const Clock::time_point t0 = Clock::now();
-      out[i] = seq_exec_->run_view(images[i]).to_qtensor();
-      lat_us[i] = micros_since(t0);
+      seq_exec_->run_batch_view(images.subspan(i, n));
+      const double per_image = micros_since(t0) / static_cast<double>(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        out[i + k] = seq_exec_->logits_view(static_cast<int>(k)).to_qtensor();
+        lat_us[i + k] = per_image;
+      }
     }
   } else {
     ensure_workers(workers);

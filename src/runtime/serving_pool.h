@@ -43,7 +43,12 @@ class ServingPool {
  public:
   /// The pool serves exactly one compiled network; `net` is borrowed and
   /// must outlive the pool. No threads are created until a batch needs them.
-  explicit ServingPool(const CompiledNetwork& net);
+  /// `exec_batch` is the executor-level batch width (>= 1): workers steal
+  /// chunks of up to `exec_batch` images and run each chunk as ONE
+  /// Executor::run_batch_view call, so the batched kernel cores amortize
+  /// their stationary operands. 1 reproduces the per-image steal loop
+  /// exactly. Results are bit-identical for every setting.
+  explicit ServingPool(const CompiledNetwork& net, int exec_batch = 8);
   ~ServingPool();
 
   ServingPool(const ServingPool&) = delete;
@@ -66,6 +71,7 @@ class ServingPool {
   void worker_main(int id);
 
   const CompiledNetwork* net_;
+  int exec_batch_ = 1;  // executor batch width (chunk size of the steal loop)
 
   std::mutex run_mu_;  // serializes batches
 

@@ -805,6 +805,84 @@ TEST(InferenceServer, UnknownModelAndDuplicateRegistrationThrow) {
   EXPECT_THROW(InferenceServer(quick_options(1, 0, 1ms)), std::invalid_argument);
 }
 
+// --- batched dispatch --------------------------------------------------------
+
+TEST(InferenceServer, BatchedAndPerImageDispatchBitIdentical) {
+  // The one-call batched dispatch (default) must produce byte-identical
+  // logits to the per-request dispatch loop it replaced; batched_execution
+  // is the ablation toggle between them.
+  SmallModel& m = small_model();
+  for (bool batched : {true, false}) {
+    ServerOptions so = quick_options(/*workers=*/1, /*max_batch=*/4, 50ms);
+    so.batched_execution = batched;
+    InferenceServer server(so);
+    server.register_model("m", m.session.network());
+    std::vector<std::future<QTensor>> futs;
+    for (int i = 0; i < 8; ++i) futs.push_back(server.submit("m", m.images[i]));
+    server.drain();
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(futs[static_cast<std::size_t>(i)].get().data, m.refs[static_cast<std::size_t>(i)].data)
+          << "batched=" << batched << " image " << i;
+    }
+    const ServerStats s = server.stats();
+    EXPECT_EQ(s.admission.completed, 8u);
+    EXPECT_EQ(s.admission.failed, 0u);
+  }
+}
+
+TEST(InferenceServer, BadShapeRejectedBeforeBatchingUnderBatchedDispatch) {
+  // Pre-dispatch validation: with batched execution on, a wrong-shape
+  // request must fail its own future (same error as the engine's) while its
+  // batch neighbours ride the single batched executor call.
+  SmallModel& m = small_model();
+  ServerOptions so = quick_options(/*workers=*/1, /*max_batch=*/8, 50ms);
+  so.batched_execution = true;
+  InferenceServer server(so);
+  server.register_model("m", m.session.network());
+
+  std::future<QTensor> good0 = server.submit("m", m.images[0]);
+  std::future<QTensor> bad_shape = server.submit("m", Tensor({5, 16, 16}, 0.1f));
+  std::future<QTensor> bad_rank = server.submit("m", Tensor({2, 3, 16, 16}, 0.1f));
+  std::future<QTensor> good1 = server.submit("m", m.images[1]);
+  server.drain();
+
+  EXPECT_EQ(good0.get().data, m.refs[0].data);
+  EXPECT_THROW(bad_shape.get(), std::invalid_argument);
+  EXPECT_THROW(bad_rank.get(), std::invalid_argument);
+  EXPECT_EQ(good1.get().data, m.refs[1].data);
+  const ModelStats s = server.model_stats("m");
+  EXPECT_EQ(s.admission.completed, 2u);
+  EXPECT_EQ(s.admission.failed, 2u);
+  // Only the two valid requests executed, so only they record exec samples.
+  EXPECT_EQ(s.exec_latency.count, 2u);
+}
+
+TEST(InferenceServer, ExecLatencySeparatesExecutorTimeFromQueueing) {
+  SmallModel& m = small_model();
+  InferenceServer server(quick_options(/*workers=*/2, /*max_batch=*/4, 300us));
+  server.register_model("m", m.session.network());
+  std::vector<std::future<QTensor>> futs;
+  for (int i = 0; i < 16; ++i) futs.push_back(server.submit("m", m.images[i % 8]));
+  server.drain();
+  for (auto& f : futs) f.get();
+
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.exec_latency.count, 16u);
+  EXPECT_GT(s.exec_latency.mean_us, 0.0);
+  // Executor time excludes queueing and batching delay, so it can never
+  // exceed the end-to-end mean over the same sample set.
+  EXPECT_LE(s.exec_latency.mean_us, s.latency.mean_us);
+  ASSERT_EQ(s.models.size(), 1u);
+  EXPECT_EQ(s.models[0].exec_latency.count, 16u);
+  EXPECT_LE(s.models[0].exec_latency.mean_us, s.models[0].latency.mean_us);
+  EXPECT_EQ(server.model_stats("m").exec_latency.count, 16u);
+
+  server.reset_stats();
+  const ServerStats z = server.stats();
+  EXPECT_EQ(z.exec_latency.count, 0u);
+  EXPECT_EQ(z.models[0].exec_latency.count, 0u);
+}
+
 // --- facade ------------------------------------------------------------------
 
 TEST(ServerFacade, RegistersSessionsByNameAndServes) {

@@ -10,7 +10,8 @@
 # inferred from the key name the same way the stats structs name units:
 # keys containing `_us`, `latency`, `p50`, `p95`, `p99`, `seconds` or
 # `allocs` are lower-is-better (latencies / allocation counts); everything
-# else (throughput, hit rates, speedups) is higher-is-better. Non-numeric
+# else (throughput, hit rates, speedups) is higher-is-better. `tokens_per_s`
+# keys are always higher-is-better, overriding any latency-ish substring. Non-numeric
 # values (strings, booleans) and keys present in only one file are reported
 # but never flagged.
 #
@@ -45,6 +46,9 @@ done
 awk -v threshold="$threshold" -v strict="$strict" \
     -v old_name="$old_file" -v new_name="$new_file" '
 function lower_is_better(key) {
+  # Throughputs stay higher-is-better even when the key also carries a
+  # latency-ish substring (e.g. a per-percentile tokens_per_s breakdown).
+  if (key ~ /tokens_per_s/) return 0
   return key ~ /_us/ || key ~ /latency/ || key ~ /p50/ || key ~ /p95/ || key ~ /p99/ || \
          key ~ /seconds/ || key ~ /allocs/
 }

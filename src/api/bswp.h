@@ -60,6 +60,7 @@
 #include "runtime/pipeline.h"
 #include "runtime/server/inference_server.h"
 #include "runtime/serving_pool.h"
+#include "runtime/sessions/session_manager.h"
 
 namespace bswp {
 
@@ -189,6 +190,79 @@ class Server {
 
  private:
   std::unique_ptr<runtime::InferenceServer> impl_;
+};
+
+/// Stateful autoregressive serving: token LMs from the zoo
+/// (models::build_token_lm) served as multi-step generation sessions through
+/// an owned inference server. The session layer keeps each session's
+/// recurrent state warm host-side, dispatches the greedy decode loop
+/// step-by-step through the server (session-affinity worker placement +
+/// per-token deadlines), and streams tokens through a callback:
+///
+///   bswp::SessionServer srv({.workers = 2});
+///   srv.add("lm", lm_session, lm_options);       // compiled token LM + geometry
+///   runtime::SessionId id = srv.open("lm");
+///   runtime::GenerationResult r =
+///       srv.generate(id, {3, 1, 4}, 32,          // prompt, max_tokens
+///                    [](const runtime::TokenEvent& e) { /* stream */ });
+///   srv.close(id);
+///   runtime::ServerStats s = srv.stats();        // .sessions filled
+///
+/// Greedy decode is bit-identical across runs, worker counts and
+/// scalar-vs-SIMD lanes (deterministic integer kernels + pure argmax/state
+/// splice). See runtime/sessions/session_manager.h and docs/sessions.md.
+/// Move-only.
+class SessionServer {
+ public:
+  explicit SessionServer(
+      const runtime::ServerOptions& server = runtime::ServerOptions{},
+      const runtime::SessionManagerOptions& sessions = runtime::SessionManagerOptions{});
+  SessionServer(SessionServer&&) = default;
+  SessionServer& operator=(SessionServer&&) = default;
+  ~SessionServer();  // shutdown(): sessions first, then the server
+
+  /// Register a compiled token LM under `name` with its geometry (the
+  /// session layer needs vocab/embed/state dims to build step inputs and
+  /// split step outputs). The session is borrowed and must outlive the
+  /// server. An optional ModelConfig tunes batching — the default uses
+  /// max_delay = 0 so a lone decode step never waits out a batching window
+  /// (concurrent sessions' steps still coalesce when simultaneous).
+  SessionServer& add(const std::string& name, const Session& session,
+                     const models::TokenLmOptions& lm);
+  SessionServer& add(const std::string& name, const Session& session,
+                     const models::TokenLmOptions& lm, const runtime::ModelConfig& config);
+
+  /// Open / close a generation session on a registered LM.
+  runtime::SessionId open(const std::string& name);
+  void close(runtime::SessionId id);
+
+  /// Blocking greedy decode (see runtime::SessionManager::generate).
+  runtime::GenerationResult generate(
+      runtime::SessionId id, const std::vector<int>& prompt, int max_tokens,
+      const runtime::TokenCallback& on_token = runtime::TokenCallback{});
+  /// Decode on a background thread; the future carries the result.
+  std::future<runtime::GenerationResult> generate_async(
+      runtime::SessionId id, std::vector<int> prompt, int max_tokens,
+      runtime::TokenCallback on_token = runtime::TokenCallback{});
+
+  /// Close sessions idle past SessionManagerOptions::session_ttl.
+  int expire_idle();
+  /// Stop generations at their next token boundary, then shut the server
+  /// down. Idempotent (also run by the destructor).
+  void shutdown();
+
+  /// Server snapshot with the session-serving rollup merged in
+  /// (ServerStats::sessions — tokens/s, per-token p50/p99, active/peak
+  /// sessions, affinity hit rate).
+  runtime::ServerStats stats() const;
+  runtime::SessionStats session_stats(runtime::SessionId id) const;
+  std::size_t active_sessions() const;
+  int worker_count() const;
+
+ private:
+  runtime::ServerOptions server_options_;  // source of the default LM config
+  std::unique_ptr<runtime::InferenceServer> server_;
+  std::unique_ptr<runtime::SessionManager> sessions_;
 };
 
 /// Sharded serving cluster behind one front door: N identically configured

@@ -1,0 +1,86 @@
+#include "api/bswp.h"
+
+namespace bswp {
+
+namespace {
+
+/// Decode-step traffic is latency-critical and arrives one request per
+/// session at a time: a lone step must dispatch immediately (max_delay = 0)
+/// while simultaneous steps from concurrent sessions still coalesce into
+/// one batch. Queue/weight defaults come from the server options.
+runtime::ModelConfig lm_config(const runtime::ServerOptions& server) {
+  runtime::ModelConfig config{server.batching, server.queue};
+  config.batching.max_delay = std::chrono::microseconds{0};
+  return config;
+}
+
+}  // namespace
+
+SessionServer::SessionServer(const runtime::ServerOptions& server,
+                             const runtime::SessionManagerOptions& sessions)
+    : server_options_(server),
+      server_(std::make_unique<runtime::InferenceServer>(server)),
+      sessions_(std::make_unique<runtime::SessionManager>(*server_, sessions)) {}
+
+SessionServer::~SessionServer() {
+  if (sessions_ != nullptr) shutdown();  // null after a move-from
+}
+
+SessionServer& SessionServer::add(const std::string& name, const Session& session,
+                                  const models::TokenLmOptions& lm) {
+  server_->register_model(name, session.network(), lm_config(server_options_));
+  sessions_->register_lm(name, lm);
+  return *this;
+}
+
+SessionServer& SessionServer::add(const std::string& name, const Session& session,
+                                  const models::TokenLmOptions& lm,
+                                  const runtime::ModelConfig& config) {
+  server_->register_model(name, session.network(), config);
+  sessions_->register_lm(name, lm);
+  return *this;
+}
+
+runtime::SessionId SessionServer::open(const std::string& name) {
+  return sessions_->open_session(name);
+}
+
+void SessionServer::close(runtime::SessionId id) { sessions_->close_session(id); }
+
+runtime::GenerationResult SessionServer::generate(runtime::SessionId id,
+                                                  const std::vector<int>& prompt,
+                                                  int max_tokens,
+                                                  const runtime::TokenCallback& on_token) {
+  return sessions_->generate(id, prompt, max_tokens, on_token);
+}
+
+std::future<runtime::GenerationResult> SessionServer::generate_async(
+    runtime::SessionId id, std::vector<int> prompt, int max_tokens,
+    runtime::TokenCallback on_token) {
+  return sessions_->generate_async(id, std::move(prompt), max_tokens, std::move(on_token));
+}
+
+int SessionServer::expire_idle() { return sessions_->expire_idle(); }
+
+void SessionServer::shutdown() {
+  // Sessions first so decode loops stop at a token boundary with the server
+  // still able to complete their in-flight step; then the server drains.
+  sessions_->shutdown();
+  server_->shutdown();
+}
+
+runtime::ServerStats SessionServer::stats() const {
+  runtime::ServerStats s = server_->stats();
+  s.sessions = sessions_->stats();
+  return s;
+}
+
+runtime::SessionStats SessionServer::session_stats(runtime::SessionId id) const {
+  return sessions_->session_stats(id);
+}
+
+std::size_t SessionServer::active_sessions() const { return sessions_->active_sessions(); }
+
+int SessionServer::worker_count() const { return server_->worker_count(); }
+
+}  // namespace bswp

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/rng.h"
+
 namespace bswp::models {
 
 int scale_channels(int ch, float width, int multiple) {
@@ -176,6 +178,132 @@ nn::Graph build_binarized_tinyconv(const ModelOptions& opt) {
   x = g.global_avgpool(x);
   g.linear(x, opt.num_classes, /*bias=*/true, "classifier");
   return g;
+}
+
+namespace {
+
+void validate(const TokenLmOptions& opt, const char* who) {
+  check(opt.vocab >= 2, std::string(who) + ": vocab must be >= 2");
+  check(opt.embed_dim >= 1, std::string(who) + ": embed_dim must be >= 1");
+  check(opt.state_dim >= 1, std::string(who) + ": state_dim must be >= 1");
+  check(opt.hidden_dim >= 1, std::string(who) + ": hidden_dim must be >= 1");
+  check(opt.state_clip > 0.0f, std::string(who) + ": state_clip must be > 0");
+}
+
+float clip_state(float v, float clip) { return std::clamp(v, -clip, clip); }
+
+}  // namespace
+
+nn::Graph build_token_lm(const TokenLmOptions& opt) {
+  validate(opt, "build_token_lm");
+  nn::Graph g;
+  int x = g.input(opt.embed_dim + opt.state_dim, 1, 1);
+  x = g.flatten(x);
+  // Reset / update / candidate: ReLU-fused linears (M-bit activations, the
+  // shape the bit-serial and SIMD linear kernels serve); the add mixes the
+  // direct update path with the two-layer candidate path and its trailing
+  // relu fuses into the add.
+  int r = g.relu(g.linear(x, opt.hidden_dim, /*bias=*/true, "gru_reset"));
+  int z = g.relu(g.linear(x, opt.hidden_dim, /*bias=*/true, "gru_update"));
+  int c = g.relu(g.linear(r, opt.hidden_dim, /*bias=*/true, "gru_cand"));
+  int m = g.relu(g.add(z, c));
+  // Unfused head: AssignActivationQuant's classifier rule gives it 16-bit
+  // signed output, so both the logits argmax and the re-fed state slice are
+  // carried at int16 precision.
+  g.linear(m, opt.vocab + opt.state_dim, /*bias=*/true, "lm_head");
+  return g;
+}
+
+std::vector<float> token_embedding(const TokenLmOptions& opt, int token) {
+  validate(opt, "token_embedding");
+  check(token >= 0 && token < opt.vocab, "token_embedding: token out of range");
+  // Seed mixing mirrors SplitMix64's increment so adjacent tokens land in
+  // unrelated streams; Rng itself is fixed-algorithm (xoshiro256**), so the
+  // table is identical on every platform without being stored anywhere.
+  Rng rng(opt.embed_seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(token + 1));
+  std::vector<float> e(static_cast<std::size_t>(opt.embed_dim));
+  for (float& v : e) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return e;
+}
+
+Tensor token_lm_input(const TokenLmOptions& opt, int token, const std::vector<float>* state) {
+  const std::vector<float> emb = token_embedding(opt, token);
+  Tensor in({opt.embed_dim + opt.state_dim, 1, 1});
+  std::copy(emb.begin(), emb.end(), in.data());
+  if (state != nullptr && !state->empty()) {
+    check(static_cast<int>(state->size()) == opt.state_dim,
+          "token_lm_input: state size mismatch");
+    for (int h = 0; h < opt.state_dim; ++h) {
+      in[static_cast<std::size_t>(opt.embed_dim + h)] =
+          clip_state((*state)[static_cast<std::size_t>(h)], opt.state_clip);
+    }
+  }
+  return in;
+}
+
+int token_lm_decode(const TokenLmOptions& opt, const QTensor& out,
+                    std::vector<float>* next_state) {
+  check(static_cast<int>(out.size()) == opt.vocab + opt.state_dim,
+        "token_lm_decode: output size mismatch");
+  // Greedy argmax on the raw int16 logits (scale > 0 and a shared zero point
+  // make raw order == real order); lowest index wins ties, so the decode is
+  // a pure function of the integer output.
+  int best = 0;
+  for (int v = 1; v < opt.vocab; ++v) {
+    if (out.data[static_cast<std::size_t>(v)] > out.data[static_cast<std::size_t>(best)]) {
+      best = v;
+    }
+  }
+  if (next_state != nullptr) {
+    next_state->resize(static_cast<std::size_t>(opt.state_dim));
+    for (int h = 0; h < opt.state_dim; ++h) {
+      (*next_state)[static_cast<std::size_t>(h)] =
+          clip_state(out.real(static_cast<std::size_t>(opt.vocab + h)), opt.state_clip);
+    }
+  }
+  return best;
+}
+
+TokenLmRollout::TokenLmRollout(nn::Graph& graph, const TokenLmOptions& opt, int sequences,
+                               int steps, std::uint64_t seed)
+    : opt_(opt) {
+  validate(opt, "TokenLmRollout");
+  check(sequences >= 1 && steps >= 1, "TokenLmRollout: sequences and steps must be >= 1");
+  samples_.reserve(static_cast<std::size_t>(sequences) * static_cast<std::size_t>(steps));
+  labels_.reserve(samples_.capacity());
+  Rng rng(seed);
+  const int in_ch = opt.embed_dim + opt.state_dim;
+  for (int s = 0; s < sequences; ++s) {
+    std::vector<float> state;  // empty = zero initial state
+    int token = static_cast<int>(rng.uniform_int(static_cast<std::uint64_t>(opt.vocab)));
+    for (int t = 0; t < steps; ++t) {
+      Tensor in = token_lm_input(opt, token, &state);
+      Tensor x({1, in_ch, 1, 1}, in.vec());
+      const Tensor& out = graph.forward(x, /*training=*/false);
+      int best = 0;
+      for (int v = 1; v < opt.vocab; ++v) {
+        if (out[static_cast<std::size_t>(v)] > out[static_cast<std::size_t>(best)]) best = v;
+      }
+      state.resize(static_cast<std::size_t>(opt.state_dim));
+      for (int h = 0; h < opt.state_dim; ++h) {
+        state[static_cast<std::size_t>(h)] =
+            clip_state(out[static_cast<std::size_t>(opt.vocab + h)], opt.state_clip);
+      }
+      samples_.push_back(std::move(in));
+      labels_.push_back(best);
+      // Alternate greedy continuation with random restarts so the recorded
+      // states cover both attractor orbits and fresh-context transients.
+      token = (t % 2 == 0) ? best
+                           : static_cast<int>(
+                                 rng.uniform_int(static_cast<std::uint64_t>(opt.vocab)));
+    }
+  }
+}
+
+int TokenLmRollout::sample(int index, float* out) const {
+  const Tensor& t = samples_.at(static_cast<std::size_t>(index));
+  std::copy(t.vec().begin(), t.vec().end(), out);
+  return labels_.at(static_cast<std::size_t>(index));
 }
 
 std::vector<NamedModel> paper_models() {

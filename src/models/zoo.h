@@ -13,10 +13,13 @@
 // multiples of the pool group size so z-pooling stays exact).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "core/tensor.h"
+#include "data/synthetic.h"
 #include "nn/graph.h"
 
 namespace bswp::models {
@@ -58,5 +61,93 @@ std::vector<NamedModel> paper_models();
 
 /// Round a scaled channel count to a multiple of `multiple` (>= multiple).
 int scale_channels(int ch, float width, int multiple = 8);
+
+// --- token language model (autoregressive serving workload) ----------------
+//
+// A tiny GRU-style recurrent LM expressed entirely with ops the PlanGraph
+// pipeline already lowers (kLinear / kAdd / kReLU / kFlatten), so one decode
+// step compiles and runs on the baseline / bit-serial / SIMD backends
+// unchanged. The graph has a single input and a single output, so the
+// recurrence is carried *around* the network by the caller:
+//
+//   input  [embed_dim + state_dim] : token embedding ‖ previous state
+//   output [vocab + state_dim]     : next-token logits ‖ next state
+//
+//   x  ── reset ──┐
+//    \            candidate ──┐
+//     `─ update ──────────────┴─ add ─ relu ─ lm_head
+//
+// `reset`/`update`/`candidate` are ReLU-fused linears (M-bit activations,
+// z-poolable); the residual add mixes the direct update path with the
+// two-layer candidate path (the additive stand-in for GRU gating — true
+// sigmoid gates need elementwise multiply, which the integer pipeline does
+// not model). `lm_head` is an unfused linear, so AssignActivationQuant gives
+// it the 16-bit signed classifier quantization: logits argmax deterministic
+// and the re-fed state carried at int16 precision.
+//
+// Everything downstream is deterministic integer code, so greedy decode is
+// bit-identical across runs, worker counts and scalar-vs-SIMD lanes — the
+// property tests/test_sessions.cpp pins against a golden token fixture.
+struct TokenLmOptions {
+  int vocab = 64;       // V: token id range [0, vocab)
+  int embed_dim = 16;   // E: token embedding width
+  int state_dim = 32;   // H: recurrent state width
+  int hidden_dim = 32;  // width of the reset/update/candidate layers
+  /// Recurrent state is clamped to [-state_clip, state_clip] before being
+  /// re-fed (by token_lm_input); keeps the float rollout used for
+  /// calibration and the served recurrence in the same bounded range, so
+  /// neither can diverge from the other.
+  float state_clip = 4.0f;
+  /// Seed of the deterministic embedding table (see token_embedding).
+  std::uint64_t embed_seed = 0x70ceb5ULL;
+};
+
+/// Build the decode-step graph described above. Weights are uninitialized —
+/// call Graph::init_weights (a fixed seed makes the whole LM reproducible).
+nn::Graph build_token_lm(const TokenLmOptions& opt);
+
+/// Deterministic embedding of `token`: opt.embed_dim uniforms in [-1, 1)
+/// drawn from an Rng seeded by (embed_seed, token). A pure function — no
+/// stored table — so every process that agrees on TokenLmOptions agrees on
+/// the embedding, which is what makes golden token fixtures portable.
+std::vector<float> token_embedding(const TokenLmOptions& opt, int token);
+
+/// Assemble one decode-step input: [embedding(token) ‖ clamp(state)] as the
+/// {E+H, 1, 1} CHW tensor the compiled input plan expects. `state` may be
+/// null or empty for the zero initial state; otherwise it must hold
+/// opt.state_dim floats.
+Tensor token_lm_input(const TokenLmOptions& opt, int token, const std::vector<float>* state);
+
+/// Split one decode-step output: greedy argmax over the logits slice
+/// (raw int16 comparison, lowest index wins ties) and the dequantized,
+/// clamped next state written to `next_state` (resized to opt.state_dim;
+/// pass null to discard). Returns the argmax token.
+int token_lm_decode(const TokenLmOptions& opt, const QTensor& out,
+                    std::vector<float>* next_state);
+
+/// Calibration dataset for the token LM: float-graph rollouts over
+/// Rng-driven token streams, recording every decode-step input the
+/// recurrence actually visits (embedding ‖ evolved state), so activation
+/// ranges cover the states the served model will see rather than just the
+/// zero-state first step. Labels are the float-graph greedy next token.
+class TokenLmRollout : public data::Dataset {
+ public:
+  /// Rolls `sequences` sequences of `steps` steps each through `graph`
+  /// (weights must be initialized) and materializes the inputs.
+  TokenLmRollout(nn::Graph& graph, const TokenLmOptions& opt, int sequences, int steps,
+                 std::uint64_t seed);
+
+  int size() const override { return static_cast<int>(samples_.size()); }
+  int num_classes() const override { return opt_.vocab; }
+  int channels() const override { return opt_.embed_dim + opt_.state_dim; }
+  int height() const override { return 1; }
+  int width() const override { return 1; }
+  int sample(int index, float* out) const override;
+
+ private:
+  TokenLmOptions opt_;
+  std::vector<Tensor> samples_;
+  std::vector<int> labels_;
+};
 
 }  // namespace bswp::models

@@ -79,6 +79,11 @@ struct InferenceServer::Request {
   std::promise<QTensor> promise;
   Clock::time_point arrival;
   Clock::time_point enqueue;
+  /// SubmitOptions::affinity_key (0 = none): sticky-worker placement.
+  std::uint64_t affinity_key = 0;
+  /// Absolute queue-residency deadline (enqueue + SubmitOptions::deadline);
+  /// max() = none. Expired requests are purged by the scheduler.
+  Clock::time_point deadline = Clock::time_point::max();
 };
 
 /// Everything the server knows about one registered model. Heap-pinned
@@ -119,6 +124,15 @@ struct InferenceServer::ModelState {
   std::uint64_t dispatched = 0;  // requests handed to workers
   std::uint64_t affinity_hits = 0;
   std::uint64_t affinity_misses = 0;
+  std::uint64_t session_affinity_hits = 0;    // keyed batches on the sticky worker
+  std::uint64_t session_affinity_misses = 0;  // keyed batches elsewhere
+  std::uint64_t deadline_expired = 0;         // requests purged past deadline
+  /// Sticky worker of each session-affinity key, written at dispatch and
+  /// erased by forget_affinity(). State, not statistics: reset_stats leaves
+  /// it alone. Defensively bounded in dispatch_locked — a client that leaks
+  /// keys (never calls forget_affinity) degrades to cold placement instead
+  /// of growing this map without bound.
+  std::unordered_map<std::uint64_t, int> sticky;
   std::vector<std::uint64_t> batch_size_hist;  // index = batch size
   LatencyRecorder latency;  // end-to-end, incl. queueing (guarded by stats_mu_)
   LatencyRecorder exec_latency;  // executor time only (guarded by stats_mu_)
@@ -131,6 +145,13 @@ struct InferenceServer::ModelState {
     if (high.empty()) return norm.front().enqueue;
     if (norm.empty()) return high.front().enqueue;
     return std::min(high.front().enqueue, norm.front().enqueue);
+  }
+
+  /// Affinity key of the next request pop_next() would return (0 if none
+  /// queued or unkeyed) — what worker selection steers by.
+  std::uint64_t next_key() const {
+    const std::deque<Request>& q = high.empty() ? norm : high;
+    return q.empty() ? 0 : q.front().affinity_key;
   }
 
   /// Next request to dispatch: high-class first, FIFO within a class.
@@ -217,6 +238,13 @@ void InferenceServer::register_model(const std::string& model_id, const Compiled
 
 std::future<QTensor> InferenceServer::submit(const std::string& model_id, Tensor image,
                                              RequestClass cls) {
+  SubmitOptions options;
+  options.cls = cls;
+  return submit(model_id, std::move(image), options);
+}
+
+std::future<QTensor> InferenceServer::submit(const std::string& model_id, Tensor image,
+                                             const SubmitOptions& options) {
   const Clock::time_point arrival = Clock::now();
   std::promise<QTensor> promise;
   std::future<QTensor> fut = promise.get_future();
@@ -277,10 +305,55 @@ std::future<QTensor> InferenceServer::submit(const std::string& model_id, Tensor
   r.promise = std::move(promise);
   r.arrival = arrival;
   r.enqueue = Clock::now();
-  (cls == RequestClass::kHigh ? m->high : m->norm).push_back(std::move(r));
+  r.affinity_key = options.affinity_key;
+  if (options.deadline.count() > 0) r.deadline = r.enqueue + options.deadline;
+  (options.cls == RequestClass::kHigh ? m->high : m->norm).push_back(std::move(r));
   ++m->adm.accepted;
   sched_cv_.notify_one();
   return fut;
+}
+
+void InferenceServer::forget_affinity(const std::string& model_id, std::uint64_t affinity_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& m : models_) {
+    if (m->id == model_id) {
+      m->sticky.erase(affinity_key);
+      return;
+    }
+  }
+  throw std::invalid_argument("InferenceServer::forget_affinity: unknown model '" + model_id +
+                              "'");
+}
+
+void InferenceServer::expire_deadlines_locked(ModelState& m, Clock::time_point now,
+                                              Clock::time_point* next_deadline) {
+  bool removed = false;
+  for (std::deque<Request>* q : {&m.high, &m.norm}) {
+    for (auto it = q->begin(); it != q->end();) {
+      if (it->deadline <= now) {
+        // Fail the future before mu_ is released, like the kShedOldest path:
+        // once the request leaves the queue it is invisible to the
+        // drain()/shutdown idle predicate, whose "every accepted future is
+        // ready" guarantee must not race this set_exception.
+        ++m.adm.shed;
+        ++m.deadline_expired;
+        it->promise.set_exception(std::make_exception_ptr(
+            ServerRejected(ServerRejected::Reason::kDeadlineExpired,
+                           "InferenceServer: request deadline expired in queue")));
+        it = q->erase(it);
+        removed = true;
+      } else {
+        if (it->deadline != Clock::time_point::max()) {
+          *next_deadline = std::min(*next_deadline, it->deadline);
+        }
+        ++it;
+      }
+    }
+  }
+  if (removed) {
+    space_cv_.notify_all();  // queue space freed for kBlock submitters
+    idle_cv_.notify_all();   // a drain() may be waiting on empty queues
+  }
 }
 
 InferenceServer::ModelState* InferenceServer::select_model_locked(
@@ -314,6 +387,12 @@ InferenceServer::ModelState* InferenceServer::select_model_locked(
   for (std::size_t k = 0; k < n; ++k) {
     ModelState& m = *models_[(rr_ + k) % n];
     if (m.queued() == 0) continue;
+    // Purge expired per-request deadlines first: an expired request must
+    // never be dispatched, and the earliest surviving request deadline joins
+    // the batching deadlines in the scheduler's wake computation so expiry
+    // is timely even when no batch is forming.
+    expire_deadlines_locked(m, now, next_deadline);
+    if (m.queued() == 0) continue;
     const Clock::time_point deadline = m.oldest_enqueue() + m.config.batching.max_delay;
     const bool is_ready = flush_ ||
                           static_cast<int>(m.queued()) >= m.config.batching.max_batch ||
@@ -337,7 +416,27 @@ InferenceServer::ModelState* InferenceServer::select_model_locked(
   return exhausted;
 }
 
-int InferenceServer::select_worker_locked(const ModelState& m, bool* hit) const {
+int InferenceServer::select_worker_locked(const ModelState& m, bool* hit,
+                                          bool* session_hit) const {
+  *hit = false;
+  *session_hit = false;
+  // Sticky placement first: the worker that last served the next request's
+  // affinity key holds that session's decode state pattern in its warm
+  // executor and cache. Only taken when that worker is free and live — a
+  // busy sticky worker falls through to the warm scan (an affinity miss,
+  // never a stall).
+  const std::uint64_t key = m.next_key();
+  if (key != 0) {
+    const auto it = m.sticky.find(key);
+    if (it != m.sticky.end() && it->second < live_workers_) {
+      const WorkerState& w = *worker_state_[static_cast<std::size_t>(it->second)];
+      if (!w.busy && !w.has_task) {
+        *session_hit = true;
+        *hit = std::find(w.warm.begin(), w.warm.end(), &m) != w.warm.end();
+        return it->second;
+      }
+    }
+  }
   int cold = -1;
   for (int i = 0; i < live_workers_; ++i) {
     const WorkerState& w = *worker_state_[static_cast<std::size_t>(i)];
@@ -348,18 +447,33 @@ int InferenceServer::select_worker_locked(const ModelState& m, bool* hit) const 
     }
     if (cold < 0) cold = i;
   }
-  *hit = false;
   return cold;
 }
 
-void InferenceServer::dispatch_locked(ModelState& m, int wid, bool affinity_hit) {
+void InferenceServer::dispatch_locked(ModelState& m, int wid, bool affinity_hit,
+                                      bool session_hit) {
   WorkerState& w = *worker_state_[static_cast<std::size_t>(wid)];
   BatchTask task;
   task.model = &m;
+  const std::uint64_t lead_key = m.next_key();
   const std::size_t take =
       std::min(m.queued(), static_cast<std::size_t>(m.config.batching.max_batch));
   task.requests.reserve(take);
   for (std::size_t i = 0; i < take; ++i) task.requests.push_back(m.pop_next());
+  // Record every keyed request's worker so the next step of its session
+  // steers here. The bound self-heals a client that leaks keys: past it,
+  // placement degrades to cold rather than the map growing without limit.
+  if (m.sticky.size() > 65536) m.sticky.clear();
+  for (const Request& r : task.requests) {
+    if (r.affinity_key != 0) m.sticky[r.affinity_key] = wid;
+  }
+  if (lead_key != 0) {
+    if (session_hit) {
+      ++m.session_affinity_hits;
+    } else {
+      ++m.session_affinity_misses;
+    }
+  }
   if (options_.schedule == SchedulePolicy::kWeightedDeficit) {
     if (m.credits > 0) --m.credits;
     if (m.queued() == 0) m.credits = 0;  // no banking across idle periods
@@ -396,11 +510,12 @@ void InferenceServer::scheduler_main() {
     ModelState* pick = select_model_locked(now, &next_deadline);
     if (pick != nullptr) {
       bool hit = false;
-      const int wid = select_worker_locked(*pick, &hit);
+      bool session_hit = false;
+      const int wid = select_worker_locked(*pick, &hit, &session_hit);
       // select_model_locked only returns a model while a worker is free and
       // the lock has been held throughout, so a slot is guaranteed.
       check(wid >= 0, "InferenceServer: scheduler invariant violated (no free worker)");
-      dispatch_locked(*pick, wid, hit);
+      dispatch_locked(*pick, wid, hit, session_hit);
       continue;  // more models (or more of this one) may be ready
     }
 
@@ -697,6 +812,9 @@ ModelStats InferenceServer::snapshot_locked(const ModelState& m) const {
   s.weight = m.config.weight;
   s.affinity_hits = m.affinity_hits;
   s.affinity_misses = m.affinity_misses;
+  s.session_affinity_hits = m.session_affinity_hits;
+  s.session_affinity_misses = m.session_affinity_misses;
+  s.deadline_expired = m.deadline_expired;
   s.mean_batch_size =
       m.batches > 0 ? static_cast<double>(m.dispatched) / static_cast<double>(m.batches) : 0.0;
   s.batch_size_hist = m.batch_size_hist;
@@ -726,6 +844,9 @@ ServerStats InferenceServer::stats() const {
       s.dispatched += ms.dispatched;
       s.affinity_hits += ms.affinity_hits;
       s.affinity_misses += ms.affinity_misses;
+      s.session_affinity_hits += ms.session_affinity_hits;
+      s.session_affinity_misses += ms.session_affinity_misses;
+      s.deadline_expired += ms.deadline_expired;
       if (s.batch_size_hist.size() < ms.batch_size_hist.size()) {
         s.batch_size_hist.resize(ms.batch_size_hist.size(), 0);
       }
@@ -815,6 +936,9 @@ void InferenceServer::reset_stats() {
       m->dispatched = 0;
       m->affinity_hits = 0;
       m->affinity_misses = 0;
+      m->session_affinity_hits = 0;
+      m->session_affinity_misses = 0;
+      m->deadline_expired = 0;
       m->batch_size_hist.clear();
       order.push_back(m.get());
     }

@@ -67,11 +67,12 @@
 namespace bswp::runtime {
 
 /// Delivered through a request's future when admission control refuses it:
-/// a kReject overflow, a kShedOldest eviction, a shutdown-time refusal, or —
-/// through the cluster front door — a kFailFast route to an unhealthy shard.
+/// a kReject overflow, a kShedOldest eviction, a shutdown-time refusal, a
+/// SubmitOptions::deadline that elapsed in queue, or — through the cluster
+/// front door — a kFailFast route to an unhealthy shard.
 class ServerRejected : public std::runtime_error {
  public:
-  enum class Reason { kQueueFull, kShed, kShutdown, kUnhealthy };
+  enum class Reason { kQueueFull, kShed, kShutdown, kUnhealthy, kDeadlineExpired };
   ServerRejected(Reason reason, const std::string& what)
       : std::runtime_error(what), reason_(reason) {}
   Reason reason() const { return reason_; }
@@ -109,6 +110,18 @@ class InferenceServer {
   /// any number of threads.
   std::future<QTensor> submit(const std::string& model_id, Tensor image,
                               RequestClass cls = RequestClass::kNormal);
+  /// Submit with the full per-request option set: priority class plus an
+  /// optional session-affinity key (sticky worker placement for stateful
+  /// sequences) and an optional queue-residency deadline (expired requests
+  /// fail with ServerRejected::Reason::kDeadlineExpired before reaching a
+  /// worker). See SubmitOptions for the exact semantics of each knob.
+  std::future<QTensor> submit(const std::string& model_id, Tensor image,
+                              const SubmitOptions& options);
+
+  /// Drop the sticky-worker mapping for `affinity_key` on `model_id` (no-op
+  /// for an unknown key). Session close/expiry calls this so a recycled key
+  /// starts cold instead of chasing a stale worker.
+  void forget_affinity(const std::string& model_id, std::uint64_t affinity_key);
 
   /// Flush every queued request (batching deadlines ignored) and wait until
   /// the server is momentarily idle: queues empty, no batch in flight.
@@ -154,15 +167,23 @@ class InferenceServer {
   void worker_main(int wid);
   /// Policy-aware model selection: the ready model the scheduler should
   /// dispatch next, or null. Fills `next_deadline` with the earliest
-  /// batching deadline among not-yet-ready models. Lock held.
+  /// batching OR request deadline among queued requests. Expired-deadline
+  /// requests are purged (futures failed) as a side effect. Lock held.
   ModelState* select_model_locked(std::chrono::steady_clock::time_point now,
                                   std::chrono::steady_clock::time_point* next_deadline);
-  /// Free live worker for `m`, preferring a warm executor (affinity hit);
-  /// -1 when every live worker is occupied. Lock held.
-  int select_worker_locked(const ModelState& m, bool* hit) const;
+  /// Purge requests whose SubmitOptions::deadline elapsed; fails their
+  /// futures with kDeadlineExpired. Feeds the earliest surviving request
+  /// deadline into `next_deadline`. Lock held.
+  void expire_deadlines_locked(ModelState& m, std::chrono::steady_clock::time_point now,
+                               std::chrono::steady_clock::time_point* next_deadline);
+  /// Free live worker for `m`, preferring (1) the sticky worker of the next
+  /// request's affinity key, (2) a warm executor (affinity hit); -1 when
+  /// every live worker is occupied. Lock held.
+  int select_worker_locked(const ModelState& m, bool* hit, bool* session_hit) const;
   /// Pop up to max_batch requests from `m` (kHigh first) into worker
-  /// `wid`'s dispatch slot. Lock held.
-  void dispatch_locked(ModelState& m, int wid, bool affinity_hit);
+  /// `wid`'s dispatch slot; records keyed requests' sticky workers. Lock
+  /// held.
+  void dispatch_locked(ModelState& m, int wid, bool affinity_hit, bool session_hit);
   /// One autoscaler evaluation: maybe move live_workers_ by one. Lock held.
   void autoscale_locked(std::chrono::steady_clock::time_point now);
   bool queues_empty_locked() const;

@@ -10,6 +10,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 
 namespace bswp::runtime {
 
@@ -76,6 +77,29 @@ enum class RequestClass {
   /// request is shed. Cross-model ordering is the scheduler's business
   /// (SchedulePolicy / ModelConfig::weight), not RequestClass's.
   kHigh,
+};
+
+/// Per-request submission knobs beyond the RequestClass: the session-serving
+/// layer (runtime/sessions/) is the primary client, but any caller may use
+/// them. Defaults reproduce the plain submit(model, image, cls) behavior.
+struct SubmitOptions {
+  /// Priority class within the model's queue (see RequestClass).
+  RequestClass cls = RequestClass::kNormal;
+  /// Session-affinity key (0 = none). Requests sharing a non-zero key are
+  /// preferentially dispatched to the worker that last served that key for
+  /// this model, keeping a stateful session's warm arena executor (and the
+  /// CPU cache lines its weights occupy) on one worker across the sequential
+  /// decode steps of a generation. A plain warm worker is the fallback; the
+  /// scheduler never *waits* for the preferred worker — a busy preferred
+  /// worker costs a session-affinity miss, not latency. Forget keys with
+  /// InferenceServer::forget_affinity when the session closes.
+  std::uint64_t affinity_key = 0;
+  /// Queue-residency deadline measured from admission (0 = none). A request
+  /// still queued when its deadline elapses is purged by the scheduler and
+  /// its future fails with ServerRejected::Reason::kDeadlineExpired — it
+  /// never reaches a worker. A request already dispatched runs to
+  /// completion; the deadline bounds queueing, not execution.
+  std::chrono::microseconds deadline{0};
 };
 
 /// Admission-driven autoscaling of the worker pool. Disabled by default:

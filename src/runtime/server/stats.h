@@ -30,7 +30,10 @@ struct AdmissionCounters {
   std::uint64_t rejected = 0;   // requests refused at submit (kReject overflow
                                 // or shutdown) — never entered the queue
   std::uint64_t shed = 0;       // requests evicted from the queue after
-                                // admission (kShedOldest overflow)
+                                // admission (kShedOldest overflow, or a
+                                // SubmitOptions::deadline expiring in queue —
+                                // the latter also counted in
+                                // ModelStats::deadline_expired)
   std::uint64_t completed = 0;  // futures fulfilled with logits
   std::uint64_t failed = 0;     // futures fulfilled with an error (bad input,
                                 // executor failure) — shed is counted in
@@ -63,6 +66,16 @@ struct ModelStats {
   /// cache-resident (e.g. more models than workers churning).
   std::uint64_t affinity_hits = 0;
   std::uint64_t affinity_misses = 0;
+  /// Batches that carried a SubmitOptions::affinity_key and landed on (hit)
+  /// vs. off (miss) the worker that last served that key; batches without a
+  /// key count in neither. A session-affinity hit implies the session's
+  /// warm state executor was reused in place — the signal the session layer
+  /// surfaces as its affinity hit rate.
+  std::uint64_t session_affinity_hits = 0;
+  std::uint64_t session_affinity_misses = 0;
+  /// Requests purged from the queue because their SubmitOptions::deadline
+  /// elapsed before dispatch (also included in admission.shed).
+  std::uint64_t deadline_expired = 0;
   /// Requests per dispatched batch: dispatched / batches (0 before the
   /// first batch).
   double mean_batch_size = 0.0;
@@ -83,6 +96,34 @@ struct ModelStats {
   LatencySummary exec_latency;
 };
 
+/// The session-serving layer's slice of ServerStats (tokens, not requests —
+/// one generated token is one decode-step request through submit()). Filled
+/// by runtime/sessions/SessionManager::stats(); zero-valued on a server with
+/// no session layer attached. Latency fields are MICROSECONDS per token,
+/// end-to-end (queueing + execution + state splice).
+struct SessionServingStats {
+  std::uint64_t opened = 0;        // sessions opened since start
+  std::uint64_t closed = 0;        // sessions closed explicitly
+  std::uint64_t expired = 0;       // sessions closed by idle-TTL expiry
+  std::size_t active_sessions = 0; // open right now (snapshot)
+  std::size_t peak_sessions = 0;   // high-water mark of active_sessions
+  std::uint64_t tokens = 0;        // generated tokens (prompt prefill excluded)
+  std::uint64_t generations = 0;   // generate() calls that ran to completion
+  std::uint64_t cancelled = 0;     // generate() calls stopped by close/shutdown
+  std::uint64_t deadline_misses = 0;  // per-token deadline expiries (each
+                                      // retried without a deadline, so a miss
+                                      // costs latency, never a token)
+  /// Generated tokens per wall-clock second, summed over completed decode
+  /// loops (prefill steps excluded from both numerator and denominator).
+  double tokens_per_s = 0.0;
+  /// Per-token end-to-end latency (most recent window).
+  LatencySummary token_latency;
+  /// Session-affinity hit rate of the decode traffic, from the server's
+  /// session_affinity counters: hits / (hits + misses); 0 before any
+  /// keyed dispatch.
+  double affinity_hit_rate = 0.0;
+};
+
 struct ServerStats {
   AdmissionCounters admission;  // request totals across models
   std::size_t queue_depth = 0;  // queued requests across models (snapshot)
@@ -92,6 +133,9 @@ struct ServerStats {
   std::vector<std::uint64_t> batch_size_hist;  // summed across models
   std::uint64_t affinity_hits = 0;    // batches, summed across models
   std::uint64_t affinity_misses = 0;  // batches, summed across models
+  std::uint64_t session_affinity_hits = 0;    // keyed batches, across models
+  std::uint64_t session_affinity_misses = 0;  // keyed batches, across models
+  std::uint64_t deadline_expired = 0;  // requests, summed across models
   /// Live (dispatch-eligible) workers right now. Fixed at
   /// ServerOptions::workers unless the autoscaler is enabled.
   int current_workers = 0;
@@ -107,6 +151,9 @@ struct ServerStats {
   LatencySummary latency;          // microseconds, across all models
   /// Execute-time latency across all models (see ModelStats::exec_latency).
   LatencySummary exec_latency;
+  /// Session-serving rollup (all-zero unless a SessionManager fills it —
+  /// bswp::SessionServer::stats() returns the merged snapshot).
+  SessionServingStats sessions;
   std::vector<ModelStats> models;  // registration order
 };
 

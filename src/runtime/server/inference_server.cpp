@@ -360,6 +360,17 @@ InferenceServer::ModelState* InferenceServer::select_model_locked(
     Clock::time_point now, Clock::time_point* next_deadline) {
   *next_deadline = Clock::time_point::max();
 
+  // Purge expired per-request deadlines over every queued model before
+  // anything else — in particular before the no-free-worker early return
+  // below. An expired request must fail its future promptly even under full
+  // worker saturation (the session layer's deadline-free retry waits on that
+  // failure), and the earliest surviving request deadline joins the batching
+  // deadlines in the scheduler's wake computation so the purge re-runs on
+  // time while all workers stay busy.
+  for (const auto& m : models_) {
+    if (m->queued() != 0) expire_deadlines_locked(*m, now, next_deadline);
+  }
+
   // A batch is formed only while a live worker is free: at most one pending
   // task per idle worker. When all live workers are busy, requests age in
   // the bounded per-model queues — that is what makes admission control see
@@ -386,12 +397,8 @@ InferenceServer::ModelState* InferenceServer::select_model_locked(
   std::size_t exhausted_k = 0;
   for (std::size_t k = 0; k < n; ++k) {
     ModelState& m = *models_[(rr_ + k) % n];
-    if (m.queued() == 0) continue;
-    // Purge expired per-request deadlines first: an expired request must
-    // never be dispatched, and the earliest surviving request deadline joins
-    // the batching deadlines in the scheduler's wake computation so expiry
-    // is timely even when no batch is forming.
-    expire_deadlines_locked(m, now, next_deadline);
+    // Expired requests were already purged above, so everything still
+    // queued here is dispatchable.
     if (m.queued() == 0) continue;
     const Clock::time_point deadline = m.oldest_enqueue() + m.config.batching.max_delay;
     const bool is_ready = flush_ ||

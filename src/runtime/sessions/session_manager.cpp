@@ -189,9 +189,15 @@ GenerationResult SessionManager::generate(SessionId id, const std::vector<int>& 
     QTensor out;
     if (options_.warm_state) {
       // Prefill: feed every context token but the last; the last is fed by
-      // the first emission step so its logits are not thrown away.
-      std::vector<int> feed = prompt;
-      if (prompt.empty()) feed.push_back(history.back());
+      // the first emission step so its logits are not thrown away. The feed
+      // starts from the unfed tail of the history — after any earlier
+      // generation the warm state reflects history minus its last token, so
+      // that token must lead the feed ahead of the new prompt (cold replay
+      // feeds it as part of the full history; this is what keeps the two
+      // modes bit-identical across multi-call sessions).
+      std::vector<int> feed;
+      if (!history.empty()) feed.push_back(history.back());
+      feed.insert(feed.end(), prompt.begin(), prompt.end());
       history.insert(history.end(), prompt.begin(), prompt.end());
       for (std::size_t i = 0; i + 1 < feed.size(); ++i) {
         if (stop_requested() || !step(model, id, models::token_lm_input(lm, feed[i], &state),
@@ -251,12 +257,25 @@ GenerationResult SessionManager::generate(SessionId id, const std::vector<int>& 
       state.clear();  // cold sessions never carry warm state
     }
   } catch (...) {
-    // Validation failures (bad prompt token, fresh-session empty prompt)
-    // must release the generation slot before propagating.
-    std::lock_guard<std::mutex> lock(mu_);
-    rec->generating = false;
-    --active_generations_;
-    gen_cv_.notify_all();
+    // Validation failures (bad prompt token, fresh-session empty prompt) and
+    // a throwing on_token callback must release the generation slot before
+    // propagating — and still finalize a close_session() requested while the
+    // generation ran, or the record (rejected by generate(), skipped by
+    // expire_idle()) and its server-side sticky entry would leak until a
+    // second close_session() call.
+    bool erase = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      rec->generating = false;
+      if (rec->closed) {
+        sessions_.erase(id);
+        ++closed_;
+        erase = true;
+      }
+      --active_generations_;
+      gen_cv_.notify_all();
+    }
+    if (erase) server_.forget_affinity(model, id);
     throw;
   }
 

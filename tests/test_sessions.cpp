@@ -346,6 +346,44 @@ TEST(Sessions, EmptyPromptContinuesTheSequenceExactly) {
   EXPECT_THROW(srv.generate(fresh, {}, 4), std::invalid_argument);
 }
 
+/// Two generate() calls with non-empty prompts on one session; returns the
+/// concatenated token stream. Exercises the warm continuation path where the
+/// previous generation's last emitted token is still unfed.
+std::vector<int> two_call_tokens(bool warm) {
+  LmFixture& f = lm_fixture();
+  ServerOptions so;
+  so.workers = 2;
+  SessionManagerOptions mo;
+  mo.warm_state = warm;
+  bswp::SessionServer srv(so, mo);
+  srv.add("lm", f.session, f.lm);
+  const SessionId id = srv.open("lm");
+  std::vector<int> tokens = srv.generate(id, {6, 1}, 8).tokens;
+  const std::vector<int> more = srv.generate(id, {4, 9}, 8).tokens;
+  tokens.insert(tokens.end(), more.begin(), more.end());
+  return tokens;
+}
+
+TEST(Sessions, PromptedContinuationFeedsTheUnfedTail) {
+  LmFixture& f = lm_fixture();
+  // A prompt split across calls walks the single-call trajectory: after the
+  // prefill-only first call, history's last token is still unfed, and the
+  // second call must feed it ahead of its own prompt.
+  const std::vector<int> full = generate_tokens(f.session, f.lm, 2, {4, 9, 2}, 24);
+  ServerOptions so;
+  so.workers = 2;
+  bswp::SessionServer srv(so);
+  srv.add("lm", f.session, f.lm);
+  const SessionId id = srv.open("lm");
+  EXPECT_TRUE(srv.generate(id, {4}, 0).tokens.empty());
+  EXPECT_EQ(srv.generate(id, {9, 2}, 24).tokens, full);
+
+  // Prompted continuation after emitted tokens: warm serving must feed the
+  // previous generation's last emission before the new prompt, exactly as
+  // cold replay does — the cross-call half of the warm/cold contract.
+  EXPECT_EQ(two_call_tokens(/*warm=*/true), two_call_tokens(/*warm=*/false));
+}
+
 TEST(Sessions, ConcurrentSessionsStayIsolatedAndDeterministic) {
   LmFixture& f = lm_fixture();
   constexpr int kSessions = 6;
@@ -514,6 +552,35 @@ TEST(Sessions, CloseMidGenerationStopsAtTokenBoundary) {
   EXPECT_EQ(srv.stats().sessions.cancelled, 1u);
 }
 
+TEST(Sessions, CallbackThrowAfterCloseStillFinalizesTheClose) {
+  LmFixture& f = lm_fixture();
+  bswp::SessionServer srv;
+  srv.add("lm", f.session, f.lm);
+  const SessionId id = srv.open("lm");
+
+  // close() lands mid-generation (deferred), then the callback throws: the
+  // unwind path must still finalize the close, or the record and its sticky
+  // affinity entry would linger as an unusable zombie.
+  EXPECT_THROW(srv.generate(id, {1}, 8,
+                            [&](const TokenEvent&) {
+                              srv.close(id);
+                              throw std::runtime_error("client bailed");
+                            }),
+               std::runtime_error);
+  EXPECT_EQ(srv.active_sessions(), 0u);
+  EXPECT_THROW(srv.close(id), std::invalid_argument);  // already gone
+  EXPECT_EQ(srv.stats().sessions.closed, 1u);
+
+  // Without a pending close, a throwing callback leaves the session usable.
+  const SessionId again = srv.open("lm");
+  EXPECT_THROW(
+      srv.generate(again, {1}, 8,
+                   [](const TokenEvent&) { throw std::runtime_error("client bailed"); }),
+      std::runtime_error);
+  EXPECT_EQ(srv.active_sessions(), 1u);
+  EXPECT_EQ(srv.generate(again, {2}, 4).tokens.size(), 4u);
+}
+
 TEST(Sessions, ShutdownMidGenerationStopsCleanly) {
   LmFixture& f = lm_fixture();
   bswp::SessionServer srv;
@@ -569,6 +636,55 @@ TEST(Server, DeadlineExpiredSurfacesThroughFutureAndStats) {
   server.submit("lm", models::token_lm_input(f.lm, 2, nullptr), keyed).get();
   server.forget_affinity("lm", 42);
   EXPECT_THROW(server.forget_affinity("ghost", 42), std::invalid_argument);
+}
+
+TEST(Server, DeadlineExpiryDoesNotWaitForSaturatedWorkers) {
+  LmFixture& f = lm_fixture();
+  ServerOptions so;
+  so.workers = 1;
+  InferenceServer server(so);
+  // "bulk": one kBulk-request batch, formed only once complete (10 s
+  // window), occupies the lone worker for tens of milliseconds — orders of
+  // magnitude past the probe deadline below.
+  constexpr std::size_t kBulk = 8192;
+  ModelConfig bulk;
+  bulk.batching.max_batch = static_cast<int>(kBulk);
+  bulk.batching.max_delay = 10s;
+  bulk.queue.capacity = kBulk;
+  server.register_model("bulk", f.session.network(), bulk);
+  // "probe": never batch-ready on its own — its request can only leave the
+  // queue through deadline expiry.
+  server.register_model("probe", f.session.network(), slow_config(10s));
+
+  std::vector<std::future<QTensor>> bulk_futs;
+  bulk_futs.reserve(kBulk);
+  for (std::size_t i = 0; i < kBulk; ++i) {
+    bulk_futs.push_back(server.submit(
+        "bulk", models::token_lm_input(f.lm, static_cast<int>(i) % f.lm.vocab, nullptr)));
+  }
+  // Once the batch is handed to the worker, no worker is free until it
+  // completes.
+  while (server.model_stats("bulk").dispatched < kBulk) std::this_thread::yield();
+
+  SubmitOptions opt;
+  opt.deadline = 300us;
+  std::future<QTensor> probe =
+      server.submit("probe", models::token_lm_input(f.lm, 1, nullptr), opt);
+  try {
+    probe.get();
+    FAIL() << "expected ServerRejected(kDeadlineExpired)";
+  } catch (const ServerRejected& e) {
+    EXPECT_EQ(e.reason(), ServerRejected::Reason::kDeadlineExpired);
+  }
+  // The purge must not have waited for a worker to free up: the saturating
+  // batch is still in flight when the probe's future fails.
+  EXPECT_EQ(server.model_stats("bulk").admission.completed, 0u)
+      << "probe deadline expired only after the saturating batch completed";
+
+  server.drain();
+  for (auto& fut : bulk_futs) fut.get();
+  EXPECT_EQ(server.model_stats("bulk").admission.completed, kBulk);
+  EXPECT_EQ(server.model_stats("probe").deadline_expired, 1u);
 }
 
 TEST(Sessions, DeadlineMissIsRetriedWithoutDroppingTokens) {

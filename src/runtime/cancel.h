@@ -1,0 +1,106 @@
+// Cooperative cancellation for in-flight executor runs.
+//
+// A CancelToken is the layer-granular shed point of the serving stack: the
+// Executor checks it at every layer boundary of run_view()/run_batch_view()
+// and abandons the run with an ExecutionCancelled throw when it trips. The
+// arena makes abandonment free — every backend rewrites its output slot from
+// scratch and the ScratchArena bump-resets per layer, so a cancelled run
+// leaves no state a later run could observe; the caller simply never reads
+// the output views. No partial QTensor can escape: materialization happens
+// only after the full plan walk returns.
+//
+// Two trip conditions, usable together:
+//
+//   * cancel() — a manual flag any thread may set at any time;
+//   * arm(clock, deadline[, remaining_us, layers, scale]) — a deadline on
+//     the injected Clock, optionally sharpened by a per-layer
+//     remaining-execution schedule: with a schedule, the token trips at
+//     layer p as soon as now + remaining_us[p] * scale overshoots the
+//     deadline — i.e. the moment the SLO becomes unreachable, not the
+//     moment it is already blown. The InferenceServer derives the schedule
+//     from the compiled plan's per-layer CostCounter capture priced with
+//     sim::host_profile(), calibrated by measured executor time.
+//
+// Ownership protocol: arm()/disarm() belong to the single thread driving
+// the executor (the worker), called only between runs; cancel() is safe
+// from any thread at any point. The schedule pointer is borrowed and must
+// stay valid while armed (the server points it at registration-time data
+// that is never mutated).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "runtime/clock.h"
+
+namespace bswp::runtime {
+
+/// Thrown by Executor::run_view / run_batch_view when an armed CancelToken
+/// trips at a layer boundary. Deliberately NOT derived from the engine's
+/// invariant-failure exceptions: a catcher can tell a deliberate shed from a
+/// kernel fault (the server maps this to kDeadlineExpired, anything else to
+/// a failed future).
+class ExecutionCancelled : public std::runtime_error {
+ public:
+  explicit ExecutionCancelled(const std::string& what) : std::runtime_error(what) {}
+};
+
+class CancelToken {
+ public:
+  /// Manual trip: the next layer-boundary check abandons the run. Safe from
+  /// any thread, including while a run is in flight.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept { return cancelled_.load(std::memory_order_relaxed); }
+
+  /// Arm a deadline on `clock` (borrowed, must outlive the armed state).
+  /// With a non-null `remaining_us` schedule of `layers` entries,
+  /// remaining_us[p] is the estimated microseconds of execution from layer p
+  /// (inclusive) to the end and `scale` is a measured-over-estimated
+  /// calibration factor; the token then trips as soon as the deadline is
+  /// unreachable rather than only once it has passed. Owner-thread only,
+  /// between runs.
+  void arm(const Clock* clock, Clock::time_point deadline, const double* remaining_us = nullptr,
+           std::size_t layers = 0, double scale = 1.0) noexcept {
+    clock_ = clock;
+    deadline_ = deadline;
+    remaining_us_ = remaining_us;
+    layers_ = layers;
+    scale_ = scale;
+  }
+
+  /// Clear the deadline AND the manual flag, making the token reusable for
+  /// the next run. Owner-thread only, between runs.
+  void disarm() noexcept {
+    clock_ = nullptr;
+    remaining_us_ = nullptr;
+    layers_ = 0;
+    cancelled_.store(false, std::memory_order_relaxed);
+  }
+
+  /// The layer-boundary decision the executor takes before running layer
+  /// `layer`: true = abandon the run now.
+  bool should_cancel(std::size_t layer) const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (clock_ == nullptr) return false;
+    const Clock::time_point now = clock_->now();
+    if (now >= deadline_) return true;
+    if (remaining_us_ != nullptr && layer < layers_) {
+      const double slack_us =
+          std::chrono::duration<double, std::micro>(deadline_ - now).count();
+      if (remaining_us_[layer] * scale_ > slack_us) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  const Clock* clock_ = nullptr;
+  Clock::time_point deadline_{};
+  const double* remaining_us_ = nullptr;
+  std::size_t layers_ = 0;
+  double scale_ = 1.0;
+};
+
+}  // namespace bswp::runtime

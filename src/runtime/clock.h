@@ -1,0 +1,103 @@
+// Injectable time source for the serving layers.
+//
+// Every timed decision in the serving stack — batching windows, request
+// deadlines, autoscaler cadence/cooldown, session TTL expiry, latency
+// stamps — reads time through a runtime::Clock instead of calling
+// std::chrono::steady_clock::now() directly. Production code runs on the
+// SteadyClock default (a zero-cost passthrough); tests inject a ManualClock
+// and advance virtual time explicitly, so deadline/TTL/autoscaler
+// assertions are deterministic instead of racing wall-clock sleeps.
+//
+// The seam deliberately reuses std::chrono::steady_clock's time_point and
+// duration types: existing timestamps keep their types, and a null Clock*
+// option field means "the real clock" everywhere a clock is injectable
+// (ServerOptions::clock, SessionManagerOptions::clock).
+//
+// Timed condition-variable waits go through Clock::wait_until so a sleeper
+// wakes when *virtual* time passes its wake point. ManualClock implements
+// this as a bounded real-time poll (a few hundred microseconds per check):
+// callers must treat wait_until exactly like a plain cv wait — spurious
+// wakeups allowed, re-check conditions in a loop — which every serving-layer
+// wait already does. The consequence is the property the tests rely on:
+// while virtual time stands still, no timed decision can fire; advancing
+// virtual time is the only way to make one fire.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace bswp::runtime {
+
+class Clock {
+ public:
+  using time_point = std::chrono::steady_clock::time_point;
+  using duration = std::chrono::steady_clock::duration;
+
+  virtual ~Clock() = default;
+
+  /// Current time on this clock. Thread-safe.
+  virtual time_point now() const = 0;
+
+  /// Block on `cv` (with `lock` held) until roughly `tp` on THIS clock, a
+  /// notification, or a spurious wakeup — callers must re-check their
+  /// condition in a loop, exactly as with a raw cv wait.
+  virtual void wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                          time_point tp) const = 0;
+};
+
+/// The production clock: a passthrough to std::chrono::steady_clock.
+class SteadyClock final : public Clock {
+ public:
+  time_point now() const override { return std::chrono::steady_clock::now(); }
+  void wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                  time_point tp) const override {
+    cv.wait_until(lock, tp);
+  }
+};
+
+/// Process-wide SteadyClock instance — what a null injectable clock field
+/// resolves to.
+inline const Clock& steady_clock_ref() {
+  static const SteadyClock clock;
+  return clock;
+}
+
+/// Test clock: time moves only when advance()/set() is called. Thread-safe
+/// (now() is an atomic load), so any number of server/session threads may
+/// read it while a test thread advances it.
+///
+/// Virtual time starts one hour past the steady-clock epoch so that
+/// subtraction (cutoffs, cooldown arithmetic) never has to reason about the
+/// epoch boundary.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(time_point start = time_point{} + std::chrono::hours(1))
+      : now_rep_(start.time_since_epoch().count()) {}
+
+  time_point now() const override {
+    return time_point(duration(now_rep_.load(std::memory_order_acquire)));
+  }
+
+  /// Move virtual time forward. Sleepers observe the new time within one
+  /// poll period (sub-millisecond of real time), not instantly — tests wait
+  /// for the *effect* they expect rather than assuming synchronous delivery.
+  void advance(duration d) { now_rep_.fetch_add(d.count(), std::memory_order_acq_rel); }
+  void set(time_point tp) { now_rep_.store(tp.time_since_epoch().count(), std::memory_order_release); }
+
+  void wait_until(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                  time_point tp) const override {
+    if (now() >= tp) return;
+    // Bounded real-time poll: virtual time cannot wake a real cv, so check
+    // it a few thousand times per second. Decisions stay deterministic —
+    // they depend only on the virtual now() the caller re-reads after this
+    // returns — the poll just bounds how much real time a test waits.
+    cv.wait_for(lock, std::chrono::microseconds(200));
+  }
+
+ private:
+  std::atomic<duration::rep> now_rep_;
+};
+
+}  // namespace bswp::runtime

@@ -29,9 +29,14 @@ Executor::Executor(const CompiledNetwork& net, int max_batch)
   }
 }
 
-const kernels::QView& Executor::run_view(const Tensor& image, sim::CostCounter* counter) {
+const kernels::QView& Executor::run_view(const Tensor& image, sim::CostCounter* counter,
+                                         const CancelToken* cancel) {
   const CompiledNetwork& net = *net_;
   for (std::size_t p = 0; p < net.plans.size(); ++p) {
+    if (cancel != nullptr && cancel->should_cancel(p)) {
+      throw ExecutionCancelled("Executor: run cancelled at layer boundary " +
+                               std::to_string(p) + " ('" + net.plans[p].name + "')");
+    }
     scratch_.reset();
     ExecContext ctx{net,
                     net.plans[p],
@@ -49,13 +54,18 @@ const kernels::QView& Executor::run_view(const Tensor& image, sim::CostCounter* 
 }
 
 const kernels::QView& Executor::run_batch_view(std::span<const Tensor> images,
-                                               sim::CostCounter* counter) {
+                                               sim::CostCounter* counter,
+                                               const CancelToken* cancel) {
   const int n = static_cast<int>(images.size());
   check(n >= 1, "Executor: run_batch_view needs at least one image");
   check(n <= max_batch_, "Executor: batch exceeds the executor's max_batch");
-  if (n == 1) return run_view(images[0], counter);
+  if (n == 1) return run_view(images[0], counter, cancel);
   const CompiledNetwork& net = *net_;
   for (std::size_t p = 0; p < net.plans.size(); ++p) {
+    if (cancel != nullptr && cancel->should_cancel(p)) {
+      throw ExecutionCancelled("Executor: batch cancelled at layer boundary " +
+                               std::to_string(p) + " ('" + net.plans[p].name + "')");
+    }
     scratch_.reset();
     ExecContext ctx{net,
                     net.plans[p],
@@ -80,8 +90,29 @@ kernels::QView Executor::logits_view(int i) const {
   return v;
 }
 
-QTensor Executor::run(const Tensor& image, sim::CostCounter* counter) {
-  return run_view(image, counter).to_qtensor();
+QTensor Executor::run(const Tensor& image, sim::CostCounter* counter,
+                      const CancelToken* cancel) {
+  return run_view(image, counter, cancel).to_qtensor();
+}
+
+std::vector<sim::CostCounter> Executor::profile_layers(const Tensor& image) {
+  const CompiledNetwork& net = *net_;
+  std::vector<sim::CostCounter> per_layer(net.plans.size());
+  for (std::size_t p = 0; p < net.plans.size(); ++p) {
+    scratch_.reset();
+    ExecContext ctx{net,
+                    net.plans[p],
+                    &image,
+                    inputs_.data() + input_start_[p],
+                    static_cast<int>(net.plans[p].inputs.size()),
+                    &views_[p],
+                    &scratch_,
+                    &per_layer[p]};
+    backends_[p]->execute(ctx);
+    check(views_[p].len <= net.plans[p].out_elems(),
+          "Executor: backend overflowed its planned output slot");
+  }
+  return per_layer;
 }
 
 std::vector<QTensor> Executor::run_batch(std::span<const Tensor> images,

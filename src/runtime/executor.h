@@ -20,6 +20,16 @@
 // callers go through bswp::Session; sustained traffic holds an Executor (or
 // a ServingPool of them) and reuses it across inferences.
 //
+// Cancellation: run_view/run_batch_view take an optional CancelToken and
+// check it at every layer boundary (the top of each plan iteration, so a
+// token armed with an already-unreachable deadline aborts before layer 0
+// runs). A tripped token throws ExecutionCancelled and the run is abandoned
+// cleanly — every backend rewrites its arena slot from scratch and the
+// scratch arena bump-resets per layer, so the next run on the same executor
+// is bit-identical to a run on a fresh one, and no partial output can
+// escape (materialization happens only after the full plan walk). The
+// un-cancelled path stays zero-allocation.
+//
 // Thread safety: an Executor is a mutable execution context — one thread at
 // a time. For parallel serving, build one Executor per worker (they share
 // the immutable CompiledNetwork and the stateless backends).
@@ -28,6 +38,7 @@
 #include <memory>
 #include <span>
 
+#include "runtime/cancel.h"
 #include "runtime/kernel_backend.h"
 #include "runtime/memory_planner.h"
 
@@ -45,23 +56,37 @@ class Executor {
 
   /// Run one image (CHW or 1xCxHxW float tensor) and return a view of the
   /// quantized logits inside the arena. Zero heap allocations. The view is
-  /// valid until the next run_view()/run() call or destruction.
-  const kernels::QView& run_view(const Tensor& image, sim::CostCounter* counter = nullptr);
+  /// valid until the next run_view()/run() call or destruction. A non-null
+  /// `cancel` is checked at every layer boundary; a tripped token throws
+  /// ExecutionCancelled and abandons the run (see the header comment).
+  const kernels::QView& run_view(const Tensor& image, sim::CostCounter* counter = nullptr,
+                                 const CancelToken* cancel = nullptr);
 
   /// Run `images.size()` images (<= max_batch) through the network in one
   /// plan walk and return the view of image 0's logits; image i's logits are
   /// at logits_view(i). Zero heap allocations; bit-identical to running each
   /// image through run_view() in order. Views are valid until the next
-  /// run/run_batch call or destruction.
+  /// run/run_batch call or destruction. `cancel` as in run_view — the whole
+  /// batch is abandoned together (layer boundaries are batch-wide).
   const kernels::QView& run_batch_view(std::span<const Tensor> images,
-                                       sim::CostCounter* counter = nullptr);
+                                       sim::CostCounter* counter = nullptr,
+                                       const CancelToken* cancel = nullptr);
 
   /// Logits view of image i from the last run_batch_view() call. The view's
   /// metadata is shared; data points at image i's slice.
   kernels::QView logits_view(int i) const;
 
   /// run_view() + materialize the logits as an owning QTensor.
-  QTensor run(const Tensor& image, sim::CostCounter* counter = nullptr);
+  QTensor run(const Tensor& image, sim::CostCounter* counter = nullptr,
+              const CancelToken* cancel = nullptr);
+
+  /// One plan walk of `image` tallying each layer's kernel events into its
+  /// own CostCounter (index = plan index). This is the estimate source for
+  /// execution-aware deadlines: price each counter with a sim::McuProfile
+  /// (sim::host_profile() for this host) and suffix-sum to get the
+  /// remaining-execution schedule a CancelToken can be armed with. Allocates
+  /// (the result vector) — a registration-time call, not a serving-path one.
+  std::vector<sim::CostCounter> profile_layers(const Tensor& image);
 
   /// run_batch_view() + materialize every image's logits (allocates).
   std::vector<QTensor> run_batch(std::span<const Tensor> images,

@@ -10,9 +10,9 @@ namespace bswp::runtime {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using WallClock = std::chrono::steady_clock;
 
-double elapsed_us(Clock::time_point from, Clock::time_point to) {
+double elapsed_us(WallClock::time_point from, WallClock::time_point to) {
   return std::chrono::duration<double, std::micro>(to - from).count();
 }
 
@@ -31,8 +31,8 @@ struct FrontDoor::Pending {
   RequestClass cls = RequestClass::kNormal;
   std::promise<QTensor> promise;
   std::future<QTensor> shard_future;
-  Clock::time_point arrival;
-  Clock::time_point deadline;
+  WallClock::time_point arrival;
+  WallClock::time_point deadline;
   bool has_deadline = false;
   int owner = 0;            // ring owner ignoring health (takeover metric)
   std::vector<int> tried;   // shards that already failed this request
@@ -52,7 +52,7 @@ struct FrontDoor::ShardState {
   ShardHealth health = ShardHealth::kHealthy;
   int fail_streak = 0;          // consecutive shard faults while healthy
   int ok_streak = 0;            // consecutive successes while probing
-  Clock::time_point tripped_at{};
+  WallClock::time_point tripped_at{};
   std::uint64_t routed = 0;
   std::uint64_t takeovers = 0;
   std::uint64_t failures = 0;
@@ -105,7 +105,7 @@ void FrontDoor::register_model(const std::string& model_id,
 
 std::future<QTensor> FrontDoor::submit(const std::string& model_id,
                                        Tensor image, RequestClass cls) {
-  const auto arrival = Clock::now();
+  const auto arrival = WallClock::now();
   std::promise<QTensor> promise;
   std::future<QTensor> future = promise.get_future();
 
@@ -128,7 +128,7 @@ std::future<QTensor> FrontDoor::submit(const std::string& model_id,
     lock.unlock();
     {
       std::lock_guard<std::mutex> slock(stats_mu_);
-      cache_latency_.record(elapsed_us(arrival, Clock::now()));
+      cache_latency_.record(elapsed_us(arrival, WallClock::now()));
     }
     promise.set_value(std::move(*hit));
     return future;
@@ -223,7 +223,7 @@ void FrontDoor::forwarder_main(int sid) {
         client_error = std::current_exception();
       }
     }
-    const auto now = Clock::now();
+    const auto now = WallClock::now();
 
     if (ok) {
       cache_.put(p.key, result);
@@ -298,7 +298,7 @@ void FrontDoor::forwarder_main(int sid) {
   }
 }
 
-int FrontDoor::route_locked(std::uint64_t key, Clock::time_point now,
+int FrontDoor::route_locked(std::uint64_t key, WallClock::time_point now,
                             const std::vector<int>& tried) {
   // Lazy cooldown refresh: an open breaker whose cooldown has elapsed
   // becomes probing (routable) the next time anyone routes.
@@ -354,7 +354,7 @@ void FrontDoor::breaker_success_locked(ShardState& st) {
 }
 
 void FrontDoor::breaker_failure_locked(ShardState& st, bool shard_stopped,
-                                       Clock::time_point now) {
+                                       WallClock::time_point now) {
   st.ok_streak = 0;
   if (st.health == ShardHealth::kStopped) return;
   if (shard_stopped) {

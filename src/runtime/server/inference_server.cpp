@@ -6,15 +6,18 @@
 #include <utility>
 
 #include "runtime/executor.h"
+#include "sim/mcu.h"
 
 namespace bswp::runtime {
 
+// In this file `Clock` is runtime::Clock (the injectable seam from
+// runtime/clock.h); its time_point/duration are steady_clock's, so existing
+// timestamp types are unchanged. Every read of "now" goes through clock_.
+
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double micros_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+double micros_between(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
 }
 
 void validate(const ModelConfig& config, const char* who) {
@@ -66,6 +69,7 @@ void validate(const AutoscalerOptions& a, const char* who) {
   check(a.up_consecutive >= 1 && a.down_consecutive >= 1,
         std::string(who) + ": autoscaler hysteresis streaks must be >= 1");
   check(a.cooldown.count() >= 0, std::string(who) + ": autoscaler cooldown must be >= 0");
+  check(a.evict_after.count() >= 0, std::string(who) + ": autoscaler evict_after must be >= 0");
 }
 
 }  // namespace
@@ -111,6 +115,19 @@ struct InferenceServer::ModelState {
   /// The compiled input CHW, for pre-dispatch shape validation under batched
   /// execution (empty when the network has no kInput plan).
   std::vector<int> input_chw;
+  /// Execution-aware deadline schedule: remaining_us[p] is the estimated
+  /// per-image microseconds from layer p (inclusive) to the end of the plan,
+  /// from a one-time CostCounter capture at register_model priced with
+  /// sim::host_profile(). Immutable after registration, so workers may read
+  /// it without mu_ (CancelToken borrows the data pointer). Empty when
+  /// execution-aware deadlines are off or profiling failed for this model.
+  std::vector<double> remaining_us;
+  /// EWMA calibration of the cost model against measured executor wall time
+  /// (measured / predicted, per image). Guarded by mu_; 1.0 until the first
+  /// completed batch with a nonzero measurement (manual-clock runs measure
+  /// zero wall time and leave it at 1).
+  double cost_scale = 1.0;
+  bool cost_scale_valid = false;
 
   std::deque<Request> high;  // RequestClass::kHigh, FIFO
   std::deque<Request> norm;  // RequestClass::kNormal, FIFO
@@ -187,12 +204,24 @@ struct InferenceServer::WorkerState {
   bool has_task = false;  // batch placed, not yet picked up
   BatchTask task;
   /// Models whose arena Executor this worker has built (affinity targets).
-  /// Survives descaling: a parked worker re-enters warm.
+  /// Survives descaling: a parked worker re-enters warm — unless the
+  /// autoscaler eviction policy (evict_after / max_warm_bytes) reclaims it.
   std::vector<const ModelState*> warm;
+  /// Eviction request from the autoscaler: the parked worker wakes, drops
+  /// its executor cache and clears the flag (skipped if a dispatch raced in
+  /// — a worker holding a task is live again and never evicted mid-flight).
+  bool evict_requested = false;
+  /// Arena bytes of the executors this worker currently holds; summed into
+  /// ServerStats::warm_bytes and drained by the max_warm_bytes policy.
+  std::size_t warm_bytes = 0;
+  /// Completion time of this worker's last batch — the idleness the
+  /// evict_after policy measures. Initialized to server construction time.
+  Clock::time_point last_active;
 };
 
 InferenceServer::InferenceServer(const ServerOptions& options)
     : options_(options),
+      clock_(options.clock != nullptr ? options.clock : &steady_clock_ref()),
       global_latency_(options.latency_window),
       global_exec_latency_(options.latency_window) {
   check(options_.workers >= 1, "InferenceServer: workers must be >= 1");
@@ -204,11 +233,14 @@ InferenceServer::InferenceServer(const ServerOptions& options)
   live_workers_ = a.enabled ? std::clamp(options_.workers, a.min_workers, a.max_workers)
                             : options_.workers;
   peak_workers_ = live_workers_;
-  last_scale_ = Clock::now();
+  last_scale_ = clock_->now();
   next_eval_ = last_scale_ + a.interval;
 
   worker_state_.reserve(static_cast<std::size_t>(threads));
-  for (int i = 0; i < threads; ++i) worker_state_.push_back(std::make_unique<WorkerState>());
+  for (int i = 0; i < threads; ++i) {
+    worker_state_.push_back(std::make_unique<WorkerState>());
+    worker_state_.back()->last_active = last_scale_;
+  }
   scheduler_ = std::thread([this] { scheduler_main(); });
   workers_.reserve(static_cast<std::size_t>(threads));
   for (int i = 0; i < threads; ++i) {
@@ -226,14 +258,39 @@ void InferenceServer::register_model(const std::string& model_id, const Compiled
                                      const ModelConfig& config) {
   check(!net.plans.empty(), "InferenceServer::register_model: empty network");
   validate(config, "InferenceServer::register_model");
+  auto state = std::make_unique<ModelState>(model_id, net, config, options_.latency_window);
+  if (options_.execution_aware_deadlines && state->input_chw.size() == 3) {
+    // One-time per-layer cost capture: the estimate source for execution-
+    // aware deadlines. A throwaway single-image Executor runs the plan once,
+    // each layer tallying its own CostCounter; the host profile prices the
+    // counters and the suffix sum becomes the remaining-execution schedule
+    // CancelTokens are armed with. Event counts depend on geometry and bit
+    // planes, not weight values, so a zero image prices like any other. A
+    // model this fails for simply serves with queue-residency deadlines.
+    try {
+      Executor probe(net, 1);
+      const Tensor zero(std::vector<int>{state->input_chw[0], state->input_chw[1],
+                                         state->input_chw[2]});
+      const std::vector<sim::CostCounter> layers = probe.profile_layers(zero);
+      const sim::McuProfile host = sim::host_profile();
+      state->remaining_us.assign(layers.size(), 0.0);
+      double acc = 0.0;
+      for (std::size_t p = layers.size(); p-- > 0;) {
+        acc += host.seconds(layers[p]) * 1e6;
+        state->remaining_us[p] = acc;
+      }
+      if (!(acc > 0.0)) state->remaining_us.clear();
+    } catch (...) {
+      state->remaining_us.clear();
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   check(accepting_, "InferenceServer::register_model: server is shut down");
   for (const auto& m : models_) {
     check(m->id != model_id,
           "InferenceServer::register_model: duplicate model id '" + model_id + "'");
   }
-  models_.push_back(
-      std::make_unique<ModelState>(model_id, net, config, options_.latency_window));
+  models_.push_back(std::move(state));
 }
 
 std::future<QTensor> InferenceServer::submit(const std::string& model_id, Tensor image,
@@ -245,7 +302,7 @@ std::future<QTensor> InferenceServer::submit(const std::string& model_id, Tensor
 
 std::future<QTensor> InferenceServer::submit(const std::string& model_id, Tensor image,
                                              const SubmitOptions& options) {
-  const Clock::time_point arrival = Clock::now();
+  const Clock::time_point arrival = clock_->now();
   std::promise<QTensor> promise;
   std::future<QTensor> fut = promise.get_future();
 
@@ -304,7 +361,7 @@ std::future<QTensor> InferenceServer::submit(const std::string& model_id, Tensor
   r.image = std::move(image);
   r.promise = std::move(promise);
   r.arrival = arrival;
-  r.enqueue = Clock::now();
+  r.enqueue = clock_->now();
   r.affinity_key = options.affinity_key;
   if (options.deadline.count() > 0) r.deadline = r.enqueue + options.deadline;
   (options.cls == RequestClass::kHigh ? m->high : m->norm).push_back(std::move(r));
@@ -325,27 +382,46 @@ void InferenceServer::forget_affinity(const std::string& model_id, std::uint64_t
                               "'");
 }
 
+Clock::duration InferenceServer::exec_estimate_locked(const ModelState& m) const {
+  if (m.remaining_us.empty()) return Clock::duration::zero();
+  const double us = m.remaining_us.front() * (m.cost_scale_valid ? m.cost_scale : 1.0);
+  if (!(us > 0.0)) return Clock::duration::zero();
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double, std::micro>(us));
+}
+
 void InferenceServer::expire_deadlines_locked(ModelState& m, Clock::time_point now,
                                               Clock::time_point* next_deadline) {
+  // Refuse-to-dispatch: with an execution estimate available, a request is
+  // unmeetable once its remaining slack drops below the estimated execution
+  // time — not merely once the deadline itself passes. Purging on the
+  // effective deadline (deadline - estimate) is what keeps doomed work from
+  // ever occupying a worker; without an estimate this degrades to plain
+  // queue-residency expiry.
+  const Clock::duration est = exec_estimate_locked(m);
   bool removed = false;
   for (std::deque<Request>* q : {&m.high, &m.norm}) {
     for (auto it = q->begin(); it != q->end();) {
-      if (it->deadline <= now) {
+      if (it->deadline == Clock::time_point::max()) {
+        ++it;
+        continue;
+      }
+      const Clock::time_point effective = it->deadline - est;
+      if (effective <= now) {
         // Fail the future before mu_ is released, like the kShedOldest path:
         // once the request leaves the queue it is invisible to the
         // drain()/shutdown idle predicate, whose "every accepted future is
         // ready" guarantee must not race this set_exception.
         ++m.adm.shed;
         ++m.deadline_expired;
-        it->promise.set_exception(std::make_exception_ptr(
-            ServerRejected(ServerRejected::Reason::kDeadlineExpired,
-                           "InferenceServer: request deadline expired in queue")));
+        it->promise.set_exception(std::make_exception_ptr(ServerRejected(
+            ServerRejected::Reason::kDeadlineExpired,
+            "InferenceServer: deadline unmeetable (expired in queue, or remaining "
+            "slack below the execution estimate)")));
         it = q->erase(it);
         removed = true;
       } else {
-        if (it->deadline != Clock::time_point::max()) {
-          *next_deadline = std::min(*next_deadline, it->deadline);
-        }
+        *next_deadline = std::min(*next_deadline, effective);
         ++it;
       }
     }
@@ -506,7 +582,7 @@ void InferenceServer::scheduler_main() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (stop_threads_) return;
-    const Clock::time_point now = Clock::now();
+    const Clock::time_point now = clock_->now();
 
     if (options_.autoscaler.enabled && now >= next_eval_) {
       autoscale_locked(now);
@@ -532,7 +608,7 @@ void InferenceServer::scheduler_main() {
     Clock::time_point wake = next_deadline;
     if (options_.autoscaler.enabled) wake = std::min(wake, next_eval_);
     if (wake != Clock::time_point::max()) {
-      sched_cv_.wait_until(lock, wake);
+      clock_->wait_until(sched_cv_, lock, wake);
     } else {
       sched_cv_.wait(lock);
     }
@@ -540,6 +616,7 @@ void InferenceServer::scheduler_main() {
 }
 
 void InferenceServer::autoscale_locked(Clock::time_point now) {
+  ++autoscale_evals_;
   const AutoscalerOptions& a = options_.autoscaler;
   std::size_t queued = 0;
   for (const auto& m : models_) queued += m->queued();
@@ -590,6 +667,45 @@ void InferenceServer::autoscale_locked(Clock::time_point now) {
     up_streak_ = 0;
     down_streak_ = 0;
   }
+
+  // Executor-cache eviction rides the autoscaler cadence. Only parked
+  // workers (index >= live_workers_) are candidates: a live worker's cache
+  // is the affinity machinery's working set, and a busy or tasked worker is
+  // about to refresh last_active anyway. The flag wakes the worker, which
+  // drops its own cache (the arenas are its thread-local state).
+  if (a.evict_after.count() > 0) {
+    for (std::size_t i = static_cast<std::size_t>(live_workers_); i < worker_state_.size();
+         ++i) {
+      WorkerState& w = *worker_state_[i];
+      if (w.warm_bytes > 0 && !w.busy && !w.has_task && !w.evict_requested &&
+          now - w.last_active >= a.evict_after) {
+        w.evict_requested = true;
+        w.cv.notify_one();
+      }
+    }
+  }
+  if (a.max_warm_bytes > 0) {
+    std::size_t total = 0;
+    for (const auto& w : worker_state_) {
+      if (!w->evict_requested) total += w->warm_bytes;
+    }
+    // Over budget: evict parked workers oldest-idle-first until under (or
+    // until only live workers hold the remainder — live caches are never
+    // reclaimed, so a budget smaller than the live working set is advisory).
+    while (total > a.max_warm_bytes) {
+      WorkerState* victim = nullptr;
+      for (std::size_t i = static_cast<std::size_t>(live_workers_); i < worker_state_.size();
+           ++i) {
+        WorkerState& w = *worker_state_[i];
+        if (w.warm_bytes == 0 || w.busy || w.has_task || w.evict_requested) continue;
+        if (victim == nullptr || w.last_active < victim->last_active) victim = &w;
+      }
+      if (victim == nullptr) break;
+      victim->evict_requested = true;
+      total -= victim->warm_bytes;
+      victim->cv.notify_one();
+    }
+  }
 }
 
 void InferenceServer::worker_main(int wid) {
@@ -606,19 +722,48 @@ void InferenceServer::worker_main(int wid) {
   // warm worker performs no heap allocations on the dispatch path.
   std::vector<Tensor> staging;
   std::vector<std::size_t> staged_req;  // staging slot -> request index
+  // One reusable cooperative token: armed per executor call (owner-thread
+  // protocol — never while a run is in flight), checked by the executor at
+  // every layer boundary.
+  CancelToken cancel;
 
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    self.cv.wait(lock, [&] { return stop_threads_ || self.has_task; });
-    if (!self.has_task) return;  // stop_threads_, queues already drained
+    self.cv.wait(lock,
+                 [&] { return stop_threads_ || self.has_task || self.evict_requested; });
+    if (self.evict_requested) {
+      self.evict_requested = false;
+      if (!self.has_task && !executors.empty()) {
+        // Drop the cache. The unique_ptrs move to a local vector so the
+        // arenas (the actual memory the policy reclaims) are freed outside
+        // mu_; counters and the scheduler-visible warm set update first.
+        std::vector<std::unique_ptr<Executor>> dropped;
+        dropped.reserve(executors.size());
+        for (auto& entry : executors) {
+          if (entry.second != nullptr) dropped.push_back(std::move(entry.second));
+        }
+        executors.clear();
+        evicted_executors_ += dropped.size();
+        self.warm.clear();
+        self.warm_bytes = 0;
+        lock.unlock();
+        dropped.clear();
+        lock.lock();
+      }
+    }
+    if (!self.has_task) {
+      if (stop_threads_) return;  // queues already drained
+      continue;                   // eviction wake (or spurious): nothing to run
+    }
     BatchTask task = std::move(self.task);
     self.task = BatchTask{};
     self.has_task = false;
     self.busy = true;
     ++busy_workers_;
+    ModelState& m = *task.model;
+    const double cost_scale = m.cost_scale_valid ? m.cost_scale : 1.0;
     lock.unlock();
 
-    ModelState& m = *task.model;
     std::unique_ptr<Executor>& exec = executors[task.model];
     bool built = false;
     std::exception_ptr build_error;
@@ -638,8 +783,32 @@ void InferenceServer::worker_main(int wid) {
       double e2e_us = 0.0;
       double exec_us = 0.0;  // executor wall time attributed to this request
       bool ran = false;      // produced logits (exec_us is meaningful)
+      bool shed = false;     // cancelled at a layer boundary (SLO unreachable)
     };
     std::vector<Outcome> outcomes(task.requests.size());
+    // Execution-aware shedding: the token is armed with a member deadline and
+    // the model's remaining-execution schedule (immutable after registration,
+    // so reading it without mu_ is safe), scaled by the measured calibration
+    // times the number of images in the run — the schedule is per image, and
+    // the calibration tracks amortized per-image batch cost, so an n-image
+    // batch prices at n times the per-image estimate. The executor then
+    // sheds the run at the first layer boundary where the deadline can no
+    // longer be met — for a batch that was never feasible, that is layer 0,
+    // before any work is wasted on it.
+    const bool exec_aware = options_.execution_aware_deadlines && !m.remaining_us.empty();
+    const auto arm_token = [&](Clock::time_point dl, std::size_t n_images) {
+      cancel.disarm();
+      if (exec_aware && dl != Clock::time_point::max()) {
+        cancel.arm(clock_, dl, m.remaining_us.data(), m.remaining_us.size(),
+                   cost_scale * static_cast<double>(n_images));
+      }
+    };
+    const auto shed_error = [] {
+      return std::make_exception_ptr(ServerRejected(
+          ServerRejected::Reason::kDeadlineExpired,
+          "InferenceServer: in-flight work shed at a layer boundary (deadline "
+          "unreachable)"));
+    };
     const bool batched = options_.batched_execution && build_error == nullptr &&
                          task.requests.size() > 1 &&
                          static_cast<int>(task.requests.size()) <= exec->max_batch();
@@ -651,6 +820,7 @@ void InferenceServer::worker_main(int wid) {
       // batched executor call.
       staging.clear();
       staged_req.clear();
+      Clock::time_point latest_deadline = Clock::time_point::min();
       for (std::size_t i = 0; i < task.requests.size(); ++i) {
         std::exception_ptr bad = validate_image(task.requests[i].image, m.input_chw);
         if (bad != nullptr) {
@@ -658,66 +828,112 @@ void InferenceServer::worker_main(int wid) {
         } else {
           staging.push_back(std::move(task.requests[i].image));
           staged_req.push_back(i);
+          latest_deadline = std::max(latest_deadline, task.requests[i].deadline);
         }
       }
       if (!staging.empty()) {
-        const Clock::time_point exec_t0 = Clock::now();
+        // Armed with the LATEST member deadline: the batch runs (and members
+        // whose own deadline lapsed deliver late) as long as ANY member's
+        // SLO is still reachable; a deadline-free member disables shedding
+        // outright, because the batch must complete for it.
+        arm_token(latest_deadline, staging.size());
+        const Clock::time_point exec_t0 = clock_->now();
         bool batch_ok = true;
+        bool batch_shed = false;
         try {
-          exec->run_batch_view(std::span<const Tensor>(staging.data(), staging.size()));
+          exec->run_batch_view(std::span<const Tensor>(staging.data(), staging.size()),
+                               nullptr, &cancel);
+        } catch (const ExecutionCancelled&) {
+          batch_ok = false;
+          batch_shed = true;
         } catch (...) {
           batch_ok = false;
         }
         if (batch_ok) {
-          const double per_image_us =
-              micros_since(exec_t0) / static_cast<double>(staging.size());
+          const double per_image_us = micros_between(exec_t0, clock_->now()) /
+                                      static_cast<double>(staging.size());
           for (std::size_t k = 0; k < staging.size(); ++k) {
             Outcome& o = outcomes[staged_req[k]];
             o.logits = exec->logits_view(static_cast<int>(k)).to_qtensor();
             o.exec_us = per_image_us;
             o.ran = true;
           }
-        } else {
-          // The batched call failed as a whole; per-image fallback isolates
-          // the failing request to its own future.
+        } else if (batch_shed) {
+          // Deliberate shed: no member could meet its SLO, so the run was
+          // abandoned at a layer boundary. No per-image fallback — re-running
+          // doomed work is exactly the waste this path removes. The arena is
+          // rewritten wholesale by the next run, so nothing partial escapes.
           for (std::size_t k = 0; k < staging.size(); ++k) {
             Outcome& o = outcomes[staged_req[k]];
-            const Clock::time_point r0 = Clock::now();
+            o.shed = true;
+            o.error = shed_error();
+          }
+        } else {
+          // The batched call failed as a whole; per-image fallback isolates
+          // the failing request to its own future. Solo runs are governed by
+          // each request's own deadline.
+          for (std::size_t k = 0; k < staging.size(); ++k) {
+            Outcome& o = outcomes[staged_req[k]];
+            arm_token(task.requests[staged_req[k]].deadline, 1);
+            const Clock::time_point r0 = clock_->now();
             try {
-              o.logits = exec->run(staging[k]);
-              o.exec_us = micros_since(r0);
+              o.logits = exec->run(staging[k], nullptr, &cancel);
+              o.exec_us = micros_between(r0, clock_->now());
               o.ran = true;
+            } catch (const ExecutionCancelled&) {
+              o.shed = true;
+              o.error = shed_error();
             } catch (...) {
               o.error = std::current_exception();
             }
           }
         }
+        cancel.disarm();
       }
     } else {
       for (std::size_t i = 0; i < task.requests.size(); ++i) {
         Outcome& o = outcomes[i];
         // A bad request (e.g. wrong input shape) fails its own future only;
         // batch neighbours are other clients' requests.
-        const Clock::time_point r0 = Clock::now();
+        arm_token(task.requests[i].deadline, 1);
+        const Clock::time_point r0 = clock_->now();
         try {
-          o.logits = exec->run(task.requests[i].image);
-          o.exec_us = micros_since(r0);
+          o.logits = exec->run(task.requests[i].image, nullptr, &cancel);
+          o.exec_us = micros_between(r0, clock_->now());
           o.ran = true;
+        } catch (const ExecutionCancelled&) {
+          o.shed = true;
+          o.error = shed_error();
         } catch (...) {
           o.error = std::current_exception();
         }
       }
+      cancel.disarm();
     }
+    const Clock::time_point done = clock_->now();
     for (std::size_t i = 0; i < task.requests.size(); ++i) {
-      outcomes[i].e2e_us = micros_since(task.requests[i].arrival);
+      outcomes[i].e2e_us = micros_between(task.requests[i].arrival, done);
     }
 
     // Fulfill promises before reporting quiescence so drain() returning
     // implies every drained future is ready.
     std::size_t ok = 0;
+    std::size_t shed_n = 0;
+    std::size_t n_lat = 0;
     double e2e_sum_us = 0.0;
+    double exec_wall_us = 0.0;
+    std::size_t exec_images = 0;
     for (std::size_t i = 0; i < task.requests.size(); ++i) {
-      e2e_sum_us += outcomes[i].e2e_us;
+      if (outcomes[i].shed) {
+        ++shed_n;  // shed mid-run records no latency sample (like a queue purge)
+      } else {
+        e2e_sum_us += outcomes[i].e2e_us;
+        ++n_lat;
+      }
+      if (outcomes[i].ran) {
+        exec_wall_us += outcomes[i].exec_us;
+        ++exec_images;
+      }
       if (outcomes[i].error != nullptr) {
         task.requests[i].promise.set_exception(outcomes[i].error);
       } else {
@@ -732,6 +948,7 @@ void InferenceServer::worker_main(int wid) {
     {
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       for (const Outcome& o : outcomes) {
+        if (o.shed) continue;
         m.latency.record(o.e2e_us);
         global_latency_.record(o.e2e_us);
         if (o.ran) {
@@ -742,14 +959,30 @@ void InferenceServer::worker_main(int wid) {
     }
 
     lock.lock();
-    if (built) self.warm.push_back(task.model);
+    if (built) {
+      self.warm.push_back(task.model);
+      self.warm_bytes += exec->arena_bytes();
+    }
+    self.last_active = clock_->now();
     m.adm.completed += ok;
-    m.adm.failed += task.requests.size() - ok;
-    if (!task.requests.empty()) {
+    m.adm.shed += shed_n;
+    m.deadline_expired += shed_n;  // in-flight sheds count with queue purges
+    m.adm.failed += task.requests.size() - ok - shed_n;
+    if (exec_images > 0 && exec_wall_us > 0.0 && !m.remaining_us.empty() &&
+        m.remaining_us.front() > 0.0) {
+      // Calibrate the cost model against reality: EWMA of measured-over-
+      // predicted per-image executor time, folded into every future estimate
+      // and armed token. Zero measurements (manual clock) leave it alone.
+      const double ratio =
+          (exec_wall_us / static_cast<double>(exec_images)) / m.remaining_us.front();
+      m.cost_scale = m.cost_scale_valid ? 0.2 * ratio + 0.8 * m.cost_scale : ratio;
+      m.cost_scale_valid = true;
+    }
+    if (n_lat > 0) {
       // Batch-mean EWMA of end-to-end latency: the autoscaler's cheap
       // latency signal (the percentile windows live behind stats_mu_, which
-      // the scheduler never takes).
-      const double mean_us = e2e_sum_us / static_cast<double>(task.requests.size());
+      // the scheduler never takes). Shed requests contribute nothing.
+      const double mean_us = e2e_sum_us / static_cast<double>(n_lat);
       lat_ewma_us_ = lat_ewma_valid_ ? 0.2 * mean_us + 0.8 * lat_ewma_us_ : mean_us;
       lat_ewma_valid_ = true;
     }
@@ -869,6 +1102,9 @@ ServerStats InferenceServer::stats() const {
     s.peak_workers = peak_workers_;
     s.scale_up_events = scale_ups_;
     s.scale_down_events = scale_downs_;
+    s.autoscale_evals = autoscale_evals_;
+    s.evicted_executors = evicted_executors_;
+    for (const auto& w : worker_state_) s.warm_bytes += w->warm_bytes;
   }
   for (ModelStats& ms : s.models) {
     ms.dispatch_share = s.dispatched > 0
@@ -951,6 +1187,8 @@ void InferenceServer::reset_stats() {
     }
     scale_ups_ = 0;
     scale_downs_ = 0;
+    autoscale_evals_ = 0;
+    evicted_executors_ = 0;  // warm_bytes is state, not a counter: untouched
     peak_workers_ = live_workers_;
     lat_ewma_us_ = 0.0;
     lat_ewma_valid_ = false;

@@ -171,11 +171,18 @@ class InferenceServer {
   /// requests are purged (futures failed) as a side effect. Lock held.
   ModelState* select_model_locked(std::chrono::steady_clock::time_point now,
                                   std::chrono::steady_clock::time_point* next_deadline);
-  /// Purge requests whose SubmitOptions::deadline elapsed; fails their
-  /// futures with kDeadlineExpired. Feeds the earliest surviving request
-  /// deadline into `next_deadline`. Lock held.
+  /// Purge requests whose SubmitOptions::deadline is unmeetable: elapsed in
+  /// queue, or — under execution_aware_deadlines — with less slack left
+  /// than the model's (calibrated) execution estimate, so dispatching them
+  /// would only waste a worker. Fails their futures with kDeadlineExpired.
+  /// Feeds the earliest surviving effective deadline (deadline minus the
+  /// execution estimate) into `next_deadline`. Lock held.
   void expire_deadlines_locked(ModelState& m, std::chrono::steady_clock::time_point now,
                                std::chrono::steady_clock::time_point* next_deadline);
+  /// The model's calibrated whole-network execution estimate, as a clock
+  /// duration (zero when unavailable or execution-aware deadlines are off).
+  /// Lock held (reads the calibration EWMA).
+  std::chrono::steady_clock::duration exec_estimate_locked(const ModelState& m) const;
   /// Free live worker for `m`, preferring (1) the sticky worker of the next
   /// request's affinity key, (2) a warm executor (affinity hit); -1 when
   /// every live worker is occupied. Lock held.
@@ -193,6 +200,9 @@ class InferenceServer {
   ModelStats snapshot_locked(const ModelState& m) const;
 
   ServerOptions options_;
+  /// Resolved time source: options_.clock, or the process steady clock.
+  /// Every timed decision and latency stamp reads through this.
+  const Clock* clock_ = nullptr;
 
   std::mutex lifecycle_mu_;  // serializes shutdown()/destructor
   mutable std::mutex mu_;    // queues, dispatch, counters, lifecycle
@@ -220,6 +230,8 @@ class InferenceServer {
   int peak_workers_ = 0;   // high-water mark of live_workers_
   std::uint64_t scale_ups_ = 0;
   std::uint64_t scale_downs_ = 0;
+  std::uint64_t autoscale_evals_ = 0;
+  std::uint64_t evicted_executors_ = 0;  // executors dropped by eviction
   int up_streak_ = 0;      // consecutive pressure evaluations (hysteresis)
   int down_streak_ = 0;    // consecutive idle evaluations (hysteresis)
   std::chrono::steady_clock::time_point last_scale_;

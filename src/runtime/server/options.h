@@ -12,6 +12,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "runtime/clock.h"
+
 namespace bswp::runtime {
 
 /// When the scheduler closes a batch for one model. A batch dispatches as
@@ -94,11 +96,20 @@ struct SubmitOptions {
   /// worker costs a session-affinity miss, not latency. Forget keys with
   /// InferenceServer::forget_affinity when the session closes.
   std::uint64_t affinity_key = 0;
-  /// Queue-residency deadline measured from admission (0 = none). A request
+  /// Completion deadline measured from admission (0 = none). A request
   /// still queued when its deadline elapses is purged by the scheduler and
   /// its future fails with ServerRejected::Reason::kDeadlineExpired — it
-  /// never reaches a worker. A request already dispatched runs to
-  /// completion; the deadline bounds queueing, not execution.
+  /// never reaches a worker. Under ServerOptions::execution_aware_deadlines
+  /// (the default) the deadline bounds *completion*, not just queueing: the
+  /// scheduler purges a request as soon as its remaining slack no longer
+  /// covers the model's estimated execution time (refuse-to-dispatch), and
+  /// a dispatched batch whose every member's SLO has become unreachable is
+  /// shed at the next layer boundary mid-run — those futures fail with the
+  /// same kDeadlineExpired, and no partial result is ever observable. With
+  /// execution_aware_deadlines = false the deadline bounds queue residency
+  /// only and dispatched work always runs to completion (the pre-SLO
+  /// behavior, kept for ablation — bench/bench_server.cpp measures the
+  /// attainment gap).
   std::chrono::microseconds deadline{0};
 };
 
@@ -150,6 +161,22 @@ struct AutoscalerOptions {
   int down_consecutive = 4;
   /// Minimum gap between two scale events (default 20 ms, >= 0).
   std::chrono::microseconds cooldown{20000};
+  /// Executor-cache eviction on parked workers (0 = never evict, the
+  /// default). A worker left dispatch-ineligible ("parked") whose last
+  /// batch completed more than `evict_after` ago drops its warm arena
+  /// Executors — from a parked worker's point of view every model is cold,
+  /// and its arenas are pure memory cost until a scale-up. Evicted
+  /// executors rebuild lazily on the next dispatch (an affinity miss, never
+  /// an error; logits are bit-identical after a re-warm). Counted in
+  /// ServerStats::evicted_executors; resident bytes are
+  /// ServerStats::warm_bytes.
+  std::chrono::microseconds evict_after{0};
+  /// Server-wide warm-arena budget in bytes (0 = unbounded). When the total
+  /// arena bytes held by worker executor caches exceeds this, parked
+  /// workers' caches are evicted oldest-idle-first until the total is back
+  /// under budget. Live workers' caches are never evicted — the budget
+  /// bounds parked memory, it does not starve dispatch.
+  std::size_t max_warm_bytes = 0;
 };
 
 /// Per-model configuration (defaults come from ServerOptions; a latency-
@@ -195,6 +222,23 @@ struct ServerOptions {
   /// 65536; 0 keeps every sample — fine for tests, unbounded for a
   /// long-running server).
   std::size_t latency_window = 1 << 16;
+  /// Execution-aware SLO enforcement for SubmitOptions::deadline (default
+  /// true). The server derives a per-layer execution-time estimate for each
+  /// registered model from a one-time per-layer CostCounter capture priced
+  /// with sim::host_profile() (calibrated against measured executor time as
+  /// batches complete), then (a) refuses to dispatch a request whose
+  /// remaining slack no longer covers its estimated execution — purged with
+  /// kDeadlineExpired before wasting a worker — and (b) arms a CancelToken
+  /// on every dispatched batch so in-flight work is shed at the next layer
+  /// boundary once no member's SLO is reachable. false restores queue-
+  /// residency-only deadlines (dispatched work runs to completion) for
+  /// ablation.
+  bool execution_aware_deadlines = true;
+  /// Time source for every timed decision (batching windows, deadlines,
+  /// autoscaler cadence, latency stamps). Null (the default) means the
+  /// process steady clock; tests inject a runtime::ManualClock to make
+  /// timing deterministic. Borrowed — must outlive the server.
+  const Clock* clock = nullptr;
 };
 
 }  // namespace bswp::runtime

@@ -9,7 +9,10 @@
 //     (one dispatch of 1..max_batch requests to one worker);
 //   * every latency field is MICROSECONDS (the `_us` suffix is load-bearing);
 //   * `queue_depth` is an instantaneous request count, not a rate;
-//   * worker counts are live (dispatch-eligible) workers, not threads.
+//   * worker counts are live (dispatch-eligible) workers, not threads;
+//   * `evicted_executors` counts EXECUTORS (one warm arena dropped from one
+//     worker's cache); `warm_bytes` is an instantaneous BYTE count of the
+//     arena memory those caches currently hold.
 #pragma once
 
 #include <cstddef>
@@ -148,6 +151,20 @@ struct ServerStats {
   /// disabled).
   std::uint64_t scale_up_events = 0;
   std::uint64_t scale_down_events = 0;
+  /// Autoscaler evaluations since start/reset_stats() (0 when disabled).
+  /// Tests use this to confirm the scheduler observed an advanced manual
+  /// clock before asserting what the evaluation did (or did not) change.
+  std::uint64_t autoscale_evals = 0;
+  /// Warm arena Executors dropped from parked workers' caches by the
+  /// AutoscalerOptions eviction policy (evict_after / max_warm_bytes) since
+  /// start/reset_stats(). Each eviction is one executor on one worker; the
+  /// next dispatch of that model to that worker rebuilds it (an affinity
+  /// miss), with bit-identical logits after the re-warm.
+  std::uint64_t evicted_executors = 0;
+  /// Arena bytes currently held by worker executor caches, across all
+  /// workers (instantaneous snapshot) — what the max_warm_bytes budget
+  /// bounds.
+  std::size_t warm_bytes = 0;
   LatencySummary latency;          // microseconds, across all models
   /// Execute-time latency across all models (see ModelStats::exec_latency).
   LatencySummary exec_latency;

@@ -9,10 +9,10 @@ namespace bswp::runtime {
 
 namespace {
 
-using Clock = std::chrono::steady_clock;
+using WallClock = std::chrono::steady_clock;
 
-double micros_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+double micros_since(WallClock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(WallClock::now() - t0).count();
 }
 
 }  // namespace
@@ -98,7 +98,7 @@ void ServingPool::worker_main(int id) {
         const std::size_t i = b->next.fetch_add(chunk, std::memory_order_relaxed);
         if (i >= b->images.size()) break;
         const std::size_t n = std::min(chunk, b->images.size() - i);
-        const Clock::time_point t0 = Clock::now();
+        const WallClock::time_point t0 = WallClock::now();
         try {
           exec->run_batch_view(b->images.subspan(i, n));
           // Per-image latency under batched execution is the amortized share
@@ -140,7 +140,7 @@ std::vector<QTensor> ServingPool::run(std::span<const Tensor> images, int n_work
   const int workers =
       static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(n_workers), images.size()));
   std::vector<double> lat_us(images.size(), 0.0);
-  const Clock::time_point t_batch = Clock::now();
+  const WallClock::time_point t_batch = WallClock::now();
 
   if (workers == 1) {
     // Inline on the caller thread; the sequential executor persists too and
@@ -149,7 +149,7 @@ std::vector<QTensor> ServingPool::run(std::span<const Tensor> images, int n_work
     const auto chunk = static_cast<std::size_t>(exec_batch_);
     for (std::size_t i = 0; i < images.size(); i += chunk) {
       const std::size_t n = std::min(chunk, images.size() - i);
-      const Clock::time_point t0 = Clock::now();
+      const WallClock::time_point t0 = WallClock::now();
       seq_exec_->run_batch_view(images.subspan(i, n));
       const double per_image = micros_since(t0) / static_cast<double>(n);
       for (std::size_t k = 0; k < n; ++k) {
@@ -183,7 +183,7 @@ std::vector<QTensor> ServingPool::run(std::span<const Tensor> images, int n_work
     BatchStats s;
     s.images = images.size();
     s.workers = workers;
-    s.wall_seconds = std::chrono::duration<double>(Clock::now() - t_batch).count();
+    s.wall_seconds = std::chrono::duration<double>(WallClock::now() - t_batch).count();
     s.throughput_ips =
         s.wall_seconds > 0.0 ? static_cast<double>(images.size()) / s.wall_seconds : 0.0;
     s.latency = LatencyRecorder::summarize(std::move(lat_us));

@@ -5,18 +5,23 @@
 
 namespace bswp::runtime {
 
+// `Clock` here is runtime::Clock (runtime/clock.h); all reads of "now" go
+// through the injected clock_ so TTL and decode timing run on a ManualClock
+// in tests.
+
 namespace {
 
-using Clock = std::chrono::steady_clock;
-
-double micros_since(Clock::time_point t0) {
-  return std::chrono::duration<double, std::micro>(Clock::now() - t0).count();
+double micros_between(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
 }
 
 }  // namespace
 
 SessionManager::SessionManager(InferenceServer& server, const SessionManagerOptions& options)
-    : server_(server), options_(options), token_latency_(options.token_latency_window) {
+    : server_(server),
+      options_(options),
+      clock_(options.clock != nullptr ? options.clock : &steady_clock_ref()),
+      token_latency_(options.token_latency_window) {
   check(options_.max_sessions >= 1, "SessionManager: max_sessions must be >= 1");
   check(options_.token_deadline.count() >= 0, "SessionManager: token_deadline must be >= 0");
   check(options_.session_ttl.count() >= 0, "SessionManager: session_ttl must be >= 0");
@@ -51,7 +56,7 @@ SessionId SessionManager::open_session(const std::string& model_id) {
   rec->id = id;
   rec->model = model_id;
   rec->lm = lm->second;
-  rec->last_used = Clock::now();
+  rec->last_used = clock_->now();
   sessions_.emplace(id, std::move(rec));
   ++opened_;
   peak_sessions_ = std::max(peak_sessions_, sessions_.size());
@@ -95,7 +100,7 @@ bool SessionManager::has_session(SessionId id) const {
 
 int SessionManager::expire_idle() {
   if (options_.session_ttl.count() == 0) return 0;
-  const Clock::time_point cutoff = Clock::now() - options_.session_ttl;
+  const Clock::time_point cutoff = clock_->now() - options_.session_ttl;
   std::vector<std::pair<std::string, SessionId>> victims;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -208,23 +213,23 @@ GenerationResult SessionManager::generate(SessionId id, const std::vector<int>& 
         models::token_lm_decode(lm, out, &state);
       }
       int pending = feed.back();
-      const Clock::time_point decode_t0 = Clock::now();
+      const Clock::time_point decode_t0 = clock_->now();
       for (int n = 0; n < max_tokens && !aborted; ++n) {
-        const Clock::time_point t0 = Clock::now();
+        const Clock::time_point t0 = clock_->now();
         if (stop_requested() ||
             !step(model, id, models::token_lm_input(lm, pending, &state), &out, &misses)) {
           aborted = true;
           break;
         }
         const int token = models::token_lm_decode(lm, out, &state);
-        const double us = micros_since(t0);
+        const double us = micros_between(t0, clock_->now());
         lat_us.push_back(us);
         res.tokens.push_back(token);
         history.push_back(token);
         pending = token;
         if (on_token) on_token(TokenEvent{n, token, us});
       }
-      decode_seconds = micros_since(decode_t0) / 1e6;
+      decode_seconds = micros_between(decode_t0, clock_->now()) / 1e6;
     } else {
       // Cold-resubmit ablation: every emission replays the whole history
       // from the zero state (token n costs |history| + n steps). Same feed
@@ -232,9 +237,9 @@ GenerationResult SessionManager::generate(SessionId id, const std::vector<int>& 
       // per-token cost changes, which is exactly what the warm-vs-cold
       // bench isolates.
       history.insert(history.end(), prompt.begin(), prompt.end());
-      const Clock::time_point decode_t0 = Clock::now();
+      const Clock::time_point decode_t0 = clock_->now();
       for (int n = 0; n < max_tokens && !aborted; ++n) {
-        const Clock::time_point t0 = Clock::now();
+        const Clock::time_point t0 = clock_->now();
         std::vector<float> cold_state;
         for (std::size_t i = 0; i < history.size() && !aborted; ++i) {
           if (stop_requested() ||
@@ -247,13 +252,13 @@ GenerationResult SessionManager::generate(SessionId id, const std::vector<int>& 
         }
         if (aborted) break;
         const int token = models::token_lm_decode(lm, out, nullptr);
-        const double us = micros_since(t0);
+        const double us = micros_between(t0, clock_->now());
         lat_us.push_back(us);
         res.tokens.push_back(token);
         history.push_back(token);
         if (on_token) on_token(TokenEvent{n, token, us});
       }
-      decode_seconds = micros_since(decode_t0) / 1e6;
+      decode_seconds = micros_between(decode_t0, clock_->now()) / 1e6;
       state.clear();  // cold sessions never carry warm state
     }
   } catch (...) {
@@ -289,7 +294,7 @@ GenerationResult SessionManager::generate(SessionId id, const std::vector<int>& 
   {
     std::lock_guard<std::mutex> lock(mu_);
     rec->generating = false;
-    rec->last_used = Clock::now();
+    rec->last_used = clock_->now();
     rec->state = std::move(state);
     rec->history = std::move(history);
     rec->tokens += res.tokens.size();

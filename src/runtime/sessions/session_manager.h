@@ -33,11 +33,14 @@
 // counts, scalar-vs-SIMD lanes, and warm-vs-cold serving modes —
 // tests/test_sessions.cpp pins this against a golden token fixture.
 //
-// Per-token deadlines bound *queueing*, not execution: a step still queued
-// past SessionManagerOptions::token_deadline fails with kDeadlineExpired
-// and is retried once without a deadline, so a deadline miss costs latency
-// (and a stats increment), never a token — the emitted sequence is
-// deadline-independent by construction.
+// Per-token deadlines are execution-aware (the server default): a step
+// fails with kDeadlineExpired when it is still queued past
+// SessionManagerOptions::token_deadline, when its remaining slack drops
+// below the server's per-layer execution estimate (refused at dispatch), or
+// when in-flight work is shed at a layer boundary. Every such miss is
+// retried once without a deadline, so a deadline miss costs latency (and a
+// stats increment), never a token — the emitted sequence is
+// deadline-independent by construction, under all three failure shapes.
 //
 // docs/sessions.md is the prose companion (lifecycle, guarantees, tuning).
 #pragma once
@@ -62,9 +65,10 @@ namespace bswp::runtime {
 using SessionId = std::uint64_t;
 
 struct SessionManagerOptions {
-  /// Per-token queue-residency deadline forwarded as
-  /// SubmitOptions::deadline (0 = none). An expired step is retried without
-  /// a deadline: misses are counted, tokens are never dropped.
+  /// Per-token deadline forwarded as SubmitOptions::deadline (0 = none);
+  /// execution-aware under ServerOptions::execution_aware_deadlines. An
+  /// expired or shed step is retried without a deadline: misses are
+  /// counted, tokens are never dropped.
   std::chrono::microseconds token_deadline{0};
   /// Idle sessions older than this are closed by expire_idle() (0 = never).
   std::chrono::milliseconds session_ttl{0};
@@ -82,6 +86,11 @@ struct SessionManagerOptions {
   RequestClass token_class = RequestClass::kHigh;
   /// Retained per-token latency samples, manager-wide and per session.
   std::size_t token_latency_window = 1 << 14;
+  /// Time source for TTL expiry and decode timing (null = the process
+  /// steady clock). Borrowed; must outlive the manager. Tests inject a
+  /// ManualClock here (usually the same one as ServerOptions::clock) so
+  /// idle-TTL assertions never sleep.
+  const Clock* clock = nullptr;
 };
 
 /// One emitted token, delivered to the generate() callback as it decodes.
@@ -203,6 +212,7 @@ class SessionManager {
 
   InferenceServer& server_;
   SessionManagerOptions options_;
+  const Clock* clock_ = nullptr;  // resolved from options_.clock at ctor
 
   mutable std::mutex mu_;
   std::condition_variable gen_cv_;  // shutdown waits for generations to stop

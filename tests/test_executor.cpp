@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
 #include "api/bswp.h"
 // Replaces global operator new for this test binary so the steady-state
 // zero-allocation claim is asserted, not assumed.
@@ -186,6 +190,106 @@ TEST(Executor, MatchesSessionRun) {
     const Tensor x = image_at(i);
     EXPECT_EQ(exec.run(x).data, s.run(x).data);
   }
+}
+
+// --- layer-boundary cancellation ---------------------------------------------
+
+TEST(CancelToken, ManualFlagAndDisarmedDefaults) {
+  CancelToken t;
+  EXPECT_FALSE(t.should_cancel(0));  // disarmed, unset: never trips
+  t.cancel();
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_TRUE(t.should_cancel(0));
+  EXPECT_TRUE(t.should_cancel(17));
+  t.disarm();  // clears the manual flag too
+  EXPECT_FALSE(t.should_cancel(0));
+}
+
+TEST(CancelToken, ArmedScheduleTripsWhenRemainingExceedsSlack) {
+  // Deterministic on a ManualClock: slack is deadline - virtual now, and
+  // layer p trips once remaining_us[p] * scale exceeds it.
+  ManualClock clock;
+  const double remaining[3] = {300.0, 200.0, 100.0};
+  CancelToken t;
+  t.arm(&clock, clock.now() + std::chrono::microseconds(250), remaining, 3, 1.0);
+  EXPECT_TRUE(t.should_cancel(0));   // 300 us of work, 250 us of slack
+  EXPECT_FALSE(t.should_cancel(1));  // 200 <= 250
+  EXPECT_FALSE(t.should_cancel(2));
+
+  clock.advance(std::chrono::microseconds(100));  // slack 150
+  EXPECT_TRUE(t.should_cancel(1));
+  EXPECT_FALSE(t.should_cancel(2));  // 100 <= 150
+
+  clock.advance(std::chrono::microseconds(100));  // slack 50
+  EXPECT_TRUE(t.should_cancel(2));
+
+  clock.advance(std::chrono::microseconds(100));  // past the deadline
+  EXPECT_TRUE(t.should_cancel(99));  // beyond the schedule: deadline still applies
+
+  t.disarm();
+  EXPECT_FALSE(t.should_cancel(0));
+
+  // The calibration scale inflates the schedule: 200 * 2 > 250.
+  t.arm(&clock, clock.now() + std::chrono::microseconds(250), remaining, 3, 2.0);
+  EXPECT_TRUE(t.should_cancel(1));
+  EXPECT_FALSE(t.should_cancel(2));  // 100 * 2 <= 250
+}
+
+TEST(Executor, PreCancelledTokenAbortsBeforeLayerZero) {
+  bswp::Session s = pooled_session();
+  Executor exec(s.network());
+  CancelToken t;
+  t.cancel();
+  EXPECT_THROW(exec.run(image_at(0), nullptr, &t), ExecutionCancelled);
+  // ExecutionCancelled is a deliberate shed, not an engine fault — callers
+  // must be able to tell them apart by type.
+  try {
+    exec.run_view(image_at(0), nullptr, &t);
+    FAIL() << "cancelled run returned a view";
+  } catch (const ExecutionCancelled&) {
+  }
+}
+
+TEST(Executor, AbandonedRunLeavesNoPartialStateAndRerunsBitIdentical) {
+  bswp::Session s = pooled_session();
+  Executor exec(s.network());
+  const Tensor a = image_at(0), b = image_at(1);
+  const QTensor ref_a = Executor(s.network()).run(a);
+  const QTensor ref_b = Executor(s.network()).run(b);
+  const std::size_t layers = s.network().plans.size();
+  ASSERT_GE(layers, 2u);
+
+  // A hand-built remaining schedule that trips exactly at layer `cut`: zero
+  // estimated work before it, an impossible amount at and after it. The run
+  // is abandoned mid-plan with the arena holding partial layer outputs.
+  ManualClock clock;
+  std::vector<double> remaining(layers, 1e12);
+  for (std::size_t cut = 1; cut < layers; ++cut) {
+    std::fill(remaining.begin(), remaining.begin() + static_cast<std::ptrdiff_t>(cut), 0.0);
+    CancelToken t;
+    t.arm(&clock, clock.now() + std::chrono::milliseconds(1), remaining.data(), layers, 1.0);
+    try {
+      exec.run(a, nullptr, &t);
+      FAIL() << "run with an unreachable deadline completed (cut " << cut << ")";
+    } catch (const ExecutionCancelled&) {
+    }
+    // The abandoned arena must not leak into later runs: the very next
+    // un-cancelled runs are bit-identical to a fresh executor's.
+    EXPECT_EQ(exec.run(b).data, ref_b.data) << "cut " << cut;
+    EXPECT_EQ(exec.run(a).data, ref_a.data) << "cut " << cut;
+  }
+
+  // Cancellation checks cost nothing when the token stays quiet: a run with
+  // an armed-but-slack token completes and stays allocation-free.
+  CancelToken quiet;
+  std::vector<double> none(layers, 0.0);
+  quiet.arm(&clock, clock.now() + std::chrono::hours(1), none.data(), layers, 1.0);
+  exec.run_view(a, nullptr, &quiet);  // warm-up
+  const std::uint64_t before = bswp::alloc_count();
+  for (int i = 0; i < 5; ++i) exec.run_view(a, nullptr, &quiet);
+  EXPECT_EQ(bswp::alloc_count(), before)
+      << "cancellation checks allocated on the steady-state path";
+  EXPECT_EQ(exec.run(a).data, ref_a.data);
 }
 
 // --- serving pool ------------------------------------------------------------

@@ -21,6 +21,7 @@
 #include "api/bswp.h"
 #include "core/rng.h"
 #include "models/zoo.h"
+#include "runtime/clock.h"
 #include "runtime/latency_recorder.h"
 #include "runtime/pipeline.h"
 
@@ -570,13 +571,18 @@ TEST(InferenceServer, AffinityCountersPartitionBatchesAcrossWorkers) {
   EXPECT_EQ(s.affinity_hits, s.batches - s.affinity_misses);
 }
 
-// --- autoscaler --------------------------------------------------------------
+// --- autoscaler (virtual clock) ----------------------------------------------
 
-bool wait_for_worker_count(const InferenceServer& server, int want,
-                           std::chrono::seconds timeout) {
+/// Real-time-bounded poll for an effect of a virtual-clock advance. The
+/// manual clock keeps every scheduler *decision* a function of virtual time
+/// (the safety property under test); this helper only supplies liveness —
+/// the scheduler's manual-clock wait re-polls its predicate every ~200 us of
+/// real time, so effects land shortly after the advance that caused them.
+template <typename Pred>
+bool eventually(Pred pred, std::chrono::seconds timeout = 30s) {
   const auto until = std::chrono::steady_clock::now() + timeout;
   while (std::chrono::steady_clock::now() < until) {
-    if (server.worker_count() == want) return true;
+    if (pred()) return true;
     std::this_thread::sleep_for(1ms);
   }
   return false;
@@ -584,8 +590,16 @@ bool wait_for_worker_count(const InferenceServer& server, int want,
 
 TEST(InferenceServer, AutoscalerGrowsOnBacklogShrinksWhenIdleWithHysteresis) {
   SmallModel& m = small_model();
-  ServerOptions so = quick_options(/*workers=*/1, /*max_batch=*/1, 0us, /*capacity=*/1024,
-                                   QueuePolicy::kBlock);
+  ManualClock clock;
+  // Backlog that cannot dispatch: a 64-wide batch never fills from 8
+  // requests and the 10-minute window never elapses while virtual time only
+  // moves when this test advances it — so every evaluation observes exactly
+  // the queue we built, and the whole grow/shrink trajectory is a
+  // deterministic function of the advances below. No sleeps, no load races.
+  ServerOptions so = quick_options(/*workers=*/1, /*max_batch=*/64,
+                                   std::chrono::microseconds(600'000'000),
+                                   /*capacity=*/1024, QueuePolicy::kBlock);
+  so.clock = &clock;
   so.autoscaler.enabled = true;
   so.autoscaler.min_workers = 1;
   so.autoscaler.max_workers = 3;
@@ -598,33 +612,57 @@ TEST(InferenceServer, AutoscalerGrowsOnBacklogShrinksWhenIdleWithHysteresis) {
   server.register_model("m", m.session.network());
   EXPECT_EQ(server.worker_count(), 1);
 
-  // Load step: a burst of single-request batches that far outlasts the
-  // grow path (2 consecutive 1 ms evaluations + 2 ms cooldown per step).
   std::vector<std::future<QTensor>> futs;
-  for (int i = 0; i < 400; ++i) {
-    futs.push_back(server.submit("m", m.images[static_cast<std::size_t>(i) % m.images.size()]));
-  }
-  EXPECT_TRUE(wait_for_worker_count(server, 3, 30s))
-      << "autoscaler never reached max_workers under sustained backlog";
+  for (int i = 0; i < 8; ++i) futs.push_back(server.submit("m", m.images[i]));
 
-  server.drain();
+  // Each 1 ms advance crosses exactly one evaluation boundary; waiting on
+  // the autoscale_evals counter confirms the scheduler has observed it
+  // before the post-conditions are asserted.
+  std::uint64_t evals = 0;
+  const auto advance_one_eval = [&] {
+    clock.advance(1ms);
+    ++evals;
+    ASSERT_TRUE(eventually([&] { return server.stats().autoscale_evals >= evals; }))
+        << "scheduler never observed evaluation " << evals;
+  };
+
+  advance_one_eval();  // pressure streak 1/2
+  EXPECT_EQ(server.worker_count(), 1);
+  advance_one_eval();  // streak 2/2, cooldown satisfied: 1 -> 2
+  EXPECT_EQ(server.worker_count(), 2);
+  advance_one_eval();  // streak restarted by the scale event
+  EXPECT_EQ(server.worker_count(), 2);
+  advance_one_eval();  // streak 2/2 again, 2 ms since last event: 2 -> 3
+  EXPECT_EQ(server.worker_count(), 3);
+  advance_one_eval();  // pinned at max_workers: the streak clamps,
+  advance_one_eval();  // further pressure produces no event
+  EXPECT_EQ(server.worker_count(), 3);
+  EXPECT_EQ(server.stats().scale_up_events, 2u);
+
+  server.drain();  // flush dispatches the backlog; queues empty, pool idle
   for (std::size_t i = 0; i < futs.size(); ++i) {
-    EXPECT_EQ(futs[i].get().data, m.refs[i % m.refs.size()].data);
+    EXPECT_EQ(futs[i].get().data, m.refs[i].data);
   }
 
-  // Idle: queues stay empty, so the relief streak shrinks the pool back to
-  // min_workers, one cooldown-separated step at a time.
-  EXPECT_TRUE(wait_for_worker_count(server, 1, 30s))
-      << "autoscaler never shrank back to min_workers after the load step";
+  advance_one_eval();  // relief streak 1/3
+  advance_one_eval();  // 2/3
+  EXPECT_EQ(server.worker_count(), 3);
+  advance_one_eval();  // 3/3: 3 -> 2
+  EXPECT_EQ(server.worker_count(), 2);
+  advance_one_eval();
+  advance_one_eval();
+  advance_one_eval();  // 3/3 again, cooldown satisfied: 2 -> 1
+  EXPECT_EQ(server.worker_count(), 1);
+
   const ServerStats s = server.stats();
   EXPECT_EQ(s.current_workers, 1);
   EXPECT_EQ(s.peak_workers, 3);
   EXPECT_EQ(s.scale_up_events, 2u);    // 1 -> 2 -> 3, never past max
   EXPECT_EQ(s.scale_down_events, 2u);  // 3 -> 2 -> 1, never past min
 
-  // No oscillation: with the queues empty and the pool at min_workers, many
-  // more evaluation intervals must not produce another scale event.
-  std::this_thread::sleep_for(300ms);
+  // No oscillation: many more observed evaluations at min_workers with empty
+  // queues must not produce another scale event (no wall-clock settling).
+  for (int i = 0; i < 6; ++i) advance_one_eval();
   const ServerStats settled = server.stats();
   EXPECT_EQ(settled.scale_up_events, s.scale_up_events);
   EXPECT_EQ(settled.scale_down_events, s.scale_down_events);
@@ -633,36 +671,226 @@ TEST(InferenceServer, AutoscalerGrowsOnBacklogShrinksWhenIdleWithHysteresis) {
 
 TEST(InferenceServer, AutoscalerLatencySignalDoesNotPinIdlePool) {
   SmallModel& m = small_model();
+  ManualClock clock;
   // The latency EWMA only moves when batches complete, so after traffic
   // stops it freezes at the last burst's (high) value. The signal must be
   // gated on a non-empty queue: an idle pool holding a stale EWMA above
   // up_latency_us has to shrink back to min_workers, not stay scaled up.
   ServerOptions so = quick_options(/*workers=*/1, /*max_batch=*/1, 0us, /*capacity=*/1024,
                                    QueuePolicy::kBlock);
+  so.clock = &clock;
   so.autoscaler.enabled = true;
   so.autoscaler.min_workers = 1;
   so.autoscaler.max_workers = 3;
   so.autoscaler.interval = 1ms;
   so.autoscaler.up_queue_per_worker = 1e9;  // queue-depth signal never trips
-  so.autoscaler.up_latency_us = 1.0;        // any completed batch trips this
+  so.autoscaler.up_latency_us = 1.0;        // any aged completion trips this
   so.autoscaler.up_consecutive = 2;
   so.autoscaler.down_consecutive = 3;
-  so.autoscaler.cooldown = 2ms;
+  so.autoscaler.cooldown = 0ms;
   InferenceServer server(so);
   server.register_model("m", m.session.network());
 
+  // Age the backlog in virtual time: requests queue behind the busy pool
+  // while the clock advances between submits, so completions record
+  // milliseconds of virtual end-to-end latency and push the EWMA far above
+  // the 1 us threshold while the queue is non-empty.
   std::vector<std::future<QTensor>> futs;
-  for (int i = 0; i < 200; ++i) {
+  for (int i = 0; i < 64; ++i) {
     futs.push_back(server.submit("m", m.images[static_cast<std::size_t>(i) % m.images.size()]));
+    clock.advance(1ms);
   }
-  EXPECT_TRUE(wait_for_worker_count(server, 3, 30s))
-      << "latency signal never grew the pool while requests were queued";
+  ASSERT_TRUE(eventually([&] {
+    if (server.worker_count() == 3) return true;
+    clock.advance(1ms);  // keep evaluations coming while the burst drains
+    return false;
+  })) << "latency signal never grew the pool while requests were queued";
   server.drain();
   for (std::size_t i = 0; i < futs.size(); ++i) {
     EXPECT_EQ(futs[i].get().data, m.refs[i % m.refs.size()].data);
   }
-  EXPECT_TRUE(wait_for_worker_count(server, 1, 30s))
-      << "stale latency EWMA pinned the idle pool above min_workers";
+  ASSERT_TRUE(eventually([&] {
+    if (server.worker_count() == 1) return true;
+    clock.advance(1ms);
+    return false;
+  })) << "stale latency EWMA pinned the idle pool above min_workers";
+}
+
+// --- executor-cache eviction -------------------------------------------------
+
+TEST(InferenceServer, AutoscalerEvictsParkedExecutorsAndRewarmsBitIdentical) {
+  SmallModel& m = small_model();
+  ManualClock clock;
+  ServerOptions so = quick_options(/*workers=*/1, /*max_batch=*/1, 0us, /*capacity=*/1024,
+                                   QueuePolicy::kBlock);
+  so.clock = &clock;
+  so.autoscaler.enabled = true;
+  so.autoscaler.min_workers = 1;
+  so.autoscaler.max_workers = 2;
+  so.autoscaler.interval = 1ms;
+  so.autoscaler.up_queue_per_worker = 1.0;
+  so.autoscaler.up_consecutive = 1;
+  so.autoscaler.down_consecutive = 1;
+  so.autoscaler.cooldown = 0ms;
+  so.autoscaler.evict_after = 3ms;
+  InferenceServer server(so);
+  server.register_model("m", m.session.network());
+
+  // Phase 1: backlog scales to two workers; both serve and build executors.
+  std::vector<std::future<QTensor>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(server.submit("m", m.images[static_cast<std::size_t>(i) % m.images.size()]));
+  }
+  ASSERT_TRUE(eventually([&] {
+    if (server.model_stats("m").affinity_misses >= 2) return true;  // both built
+    clock.advance(1ms);
+    return false;
+  })) << "the second worker never scaled up and served";
+  server.drain();
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    EXPECT_EQ(futs[i].get().data, m.refs[i % m.refs.size()].data);
+  }
+  const ServerStats warm = server.stats();
+  EXPECT_EQ(warm.evicted_executors, 0u);
+  EXPECT_GT(warm.warm_bytes, 0u);
+
+  // Phase 2: idle evaluations shrink the pool, and once the parked worker
+  // has sat past evict_after in virtual time, a later evaluation reclaims
+  // its executor. The live worker's cache is never touched.
+  const std::size_t warm_before = warm.warm_bytes;  // both arenas, pre-advance
+  ASSERT_TRUE(eventually([&] {
+    if (server.stats().evicted_executors >= 1) return true;
+    clock.advance(1ms);
+    return false;
+  })) << "parked worker's executor was never evicted";
+  const ServerStats evicted = server.stats();
+  EXPECT_EQ(evicted.evicted_executors, 1u);  // the parked worker, nothing else
+  EXPECT_EQ(evicted.current_workers, 1);     // eviction implies it was parked
+  EXPECT_LT(evicted.warm_bytes, warm_before);
+  EXPECT_GT(evicted.warm_bytes, 0u);  // the live worker keeps its arena
+
+  // Phase 3: re-warm. New backlog scales back up; the evicted worker
+  // rebuilds (one more affinity miss) and serves bit-identical logits.
+  std::vector<std::future<QTensor>> futs3;
+  std::size_t next = 0;
+  ASSERT_TRUE(eventually([&] {
+    if (server.model_stats("m").affinity_misses >= 3) return true;  // rebuilt
+    futs3.push_back(server.submit("m", m.images[next % m.images.size()]));
+    ++next;
+    clock.advance(1ms);
+    return false;
+  })) << "the evicted worker never re-warmed";
+  server.drain();
+  for (std::size_t i = 0; i < futs3.size(); ++i) {
+    EXPECT_EQ(futs3[i].get().data, m.refs[i % m.refs.size()].data)
+        << "re-warmed executor diverged from the reference at request " << i;
+  }
+  EXPECT_GT(server.stats().warm_bytes, evicted.warm_bytes);
+}
+
+TEST(InferenceServer, WarmBytesBudgetEvictsParkedWorkersButNeverLiveOnes) {
+  SmallModel& m = small_model();
+  ManualClock clock;
+  ServerOptions so = quick_options(/*workers=*/1, /*max_batch=*/1, 0us, /*capacity=*/1024,
+                                   QueuePolicy::kBlock);
+  so.clock = &clock;
+  so.autoscaler.enabled = true;
+  so.autoscaler.min_workers = 1;
+  so.autoscaler.max_workers = 2;
+  so.autoscaler.interval = 1ms;
+  so.autoscaler.up_queue_per_worker = 1.0;
+  so.autoscaler.up_consecutive = 1;
+  so.autoscaler.down_consecutive = 1;
+  so.autoscaler.cooldown = 0ms;
+  so.autoscaler.max_warm_bytes = 1;  // any parked warm worker is over budget
+  InferenceServer server(so);
+  server.register_model("m", m.session.network());
+
+  std::vector<std::future<QTensor>> futs;
+  for (int i = 0; i < 32; ++i) {
+    futs.push_back(server.submit("m", m.images[static_cast<std::size_t>(i) % m.images.size()]));
+  }
+  ASSERT_TRUE(eventually([&] {
+    if (server.model_stats("m").affinity_misses >= 2) return true;
+    clock.advance(1ms);
+    return false;
+  })) << "the second worker never scaled up and served";
+  server.drain();
+  for (std::size_t i = 0; i < futs.size(); ++i) {
+    EXPECT_EQ(futs[i].get().data, m.refs[i % m.refs.size()].data);
+  }
+
+  // While both workers are live the budget has no parked candidates: the
+  // pool stays over budget rather than evicting a live cache.
+  EXPECT_EQ(server.stats().evicted_executors, 0u);
+
+  // The moment one worker parks, the budget reclaims its cache — but only
+  // its cache: the live worker stays warm even though it alone still
+  // exceeds the 1-byte budget (live caches are never reclaimed).
+  ASSERT_TRUE(eventually([&] {
+    if (server.stats().evicted_executors >= 1) return true;
+    clock.advance(1ms);
+    return false;
+  })) << "budget never evicted the parked worker";
+  const ServerStats s = server.stats();
+  EXPECT_EQ(s.evicted_executors, 1u);
+  EXPECT_GT(s.warm_bytes, 0u);
+  EXPECT_EQ(s.current_workers, 1);
+}
+
+// --- execution-aware shedding ------------------------------------------------
+
+TEST(InferenceServer, SheddingStormNeverYieldsPartialResultsAndKeepsBitIdentity) {
+  SmallModel& m = small_model();
+  // Real clock, real races: queue purges, in-flight layer-boundary sheds and
+  // completions interleave freely (this file runs under the TSan CI job).
+  // The contract: every future either carries logits bit-identical to the
+  // single-threaded reference or fails with kDeadlineExpired; deadline-free
+  // requests always complete; the admission ledger balances exactly.
+  ServerOptions so = quick_options(/*workers=*/2, /*max_batch=*/4, /*delay=*/200us,
+                                   /*capacity=*/4096, QueuePolicy::kBlock);
+  InferenceServer server(so);
+  server.register_model("m", m.session.network());
+
+  struct Sub {
+    std::future<QTensor> fut;
+    std::size_t img;
+    bool has_deadline;
+  };
+  std::vector<Sub> subs;
+  subs.reserve(300);
+  for (int i = 0; i < 300; ++i) {
+    SubmitOptions opt;
+    const bool with_deadline = (i % 3) != 0;
+    // 1 us .. 700 us: far below the model's execution time, so deadlined
+    // requests are refused at dispatch or shed at a layer boundary.
+    if (with_deadline) opt.deadline = std::chrono::microseconds(1 + (i * 37) % 700);
+    const std::size_t img = static_cast<std::size_t>(i) % m.images.size();
+    subs.push_back({server.submit("m", m.images[img], opt), img, with_deadline});
+  }
+  server.drain();
+
+  std::size_t completed = 0;
+  std::size_t shed = 0;
+  for (Sub& s : subs) {
+    try {
+      const QTensor out = s.fut.get();
+      EXPECT_EQ(out.data, m.refs[s.img].data) << "completed result not bit-identical";
+      ++completed;
+    } catch (const ServerRejected& e) {
+      EXPECT_TRUE(s.has_deadline) << "a deadline-free request was shed";
+      EXPECT_EQ(e.reason(), ServerRejected::Reason::kDeadlineExpired);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(completed + shed, subs.size());
+  EXPECT_GE(completed, 100u);  // every deadline-free request at minimum
+  const ModelStats ms = server.model_stats("m");
+  EXPECT_EQ(ms.admission.accepted, subs.size());
+  EXPECT_EQ(ms.admission.completed, completed);
+  EXPECT_EQ(ms.admission.shed, shed);
+  EXPECT_EQ(ms.deadline_expired, shed);
+  EXPECT_EQ(ms.admission.failed, 0u);
 }
 
 TEST(InferenceServer, AutoscalerValidationAndFixedPoolDefaults) {

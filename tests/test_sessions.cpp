@@ -32,6 +32,7 @@
 #include "core/tensor.h"
 #include "models/zoo.h"
 #include "quant/calibrate.h"
+#include "runtime/clock.h"
 #include "runtime/pipeline.h"
 #include "runtime/server/inference_server.h"
 
@@ -495,22 +496,31 @@ TEST(Sessions, RegisterLmValidation) {
 
 TEST(Sessions, IdleSessionsExpireAfterTtl) {
   LmFixture& f = lm_fixture();
+  // Idle age is measured on the injected clock, so the TTL threshold is
+  // asserted exactly — just under stays live, just past expires, no sleeps.
+  ManualClock clock;
   SessionManagerOptions mo;
   mo.session_ttl = 5ms;
+  mo.clock = &clock;
   bswp::SessionServer srv(ServerOptions{}, mo);
   srv.add("lm", f.session, f.lm);
   srv.open("lm");
   srv.open("lm");
-  std::this_thread::sleep_for(30ms);
+  EXPECT_EQ(srv.expire_idle(), 0);  // freshly opened: zero idle time
+  clock.advance(4ms);
+  EXPECT_EQ(srv.expire_idle(), 0);  // under the TTL: still live
+  clock.advance(2ms);               // 6 ms idle, past the 5 ms TTL
   EXPECT_EQ(srv.expire_idle(), 2);
   EXPECT_EQ(srv.active_sessions(), 0u);
   EXPECT_EQ(srv.stats().sessions.expired, 2u);
 
-  // ttl = 0 disables expiry entirely.
-  bswp::SessionServer keep;
+  // ttl = 0 disables expiry entirely, no matter how long sessions idle.
+  SessionManagerOptions keep_opts;
+  keep_opts.clock = &clock;
+  bswp::SessionServer keep(ServerOptions{}, keep_opts);
   keep.add("lm", f.session, f.lm);
   keep.open("lm");
-  std::this_thread::sleep_for(5ms);
+  clock.advance(std::chrono::hours(1));
   EXPECT_EQ(keep.expire_idle(), 0);
   EXPECT_EQ(keep.active_sessions(), 1u);
 }
@@ -603,18 +613,23 @@ TEST(Sessions, ShutdownMidGenerationStopsCleanly) {
 
 TEST(Server, DeadlineExpiredSurfacesThroughFutureAndStats) {
   LmFixture& f = lm_fixture();
+  ManualClock clock;
   ServerOptions so;
   so.workers = 1;
+  so.clock = &clock;
   InferenceServer server(so);
-  // 30 ms batching window, batch of 8: a lone request is never dispatched
-  // before a short deadline elapses.
+  // 30 ms batching window, batch of 8: on the manual clock a lone request
+  // is dispatched only when this test advances past the window, and its
+  // deadline expires only when the test advances past the deadline — the
+  // assertion is exact, with no wall-clock margins.
   server.register_model("lm", f.session.network(), slow_config(30ms));
 
   SubmitOptions opt;
   opt.deadline = 1ms;
   std::future<QTensor> fut = server.submit("lm", models::token_lm_input(f.lm, 1, nullptr), opt);
+  clock.advance(2ms);  // past the deadline, far short of the batching window
   try {
-    fut.get();
+    fut.get();  // blocks until the scheduler's next purge pass observes it
     FAIL() << "expected ServerRejected(kDeadlineExpired)";
   } catch (const ServerRejected& e) {
     EXPECT_EQ(e.reason(), ServerRejected::Reason::kDeadlineExpired);
@@ -626,14 +641,19 @@ TEST(Server, DeadlineExpiredSurfacesThroughFutureAndStats) {
   ASSERT_EQ(s.models.size(), 1u);
   EXPECT_EQ(s.models[0].deadline_expired, 1u);
 
-  // The server is healthy: the same request without a deadline completes.
-  QTensor out = server.submit("lm", models::token_lm_input(f.lm, 1, nullptr)).get();
+  // The server is healthy: the same request without a deadline completes
+  // once virtual time crosses the batching window.
+  std::future<QTensor> ok = server.submit("lm", models::token_lm_input(f.lm, 1, nullptr));
+  clock.advance(31ms);
+  const QTensor out = ok.get();
   EXPECT_EQ(out.size(), static_cast<std::size_t>(f.lm.vocab + f.lm.state_dim));
 
   // Affinity bookkeeping API: keyed submit, then forget.
   SubmitOptions keyed;
   keyed.affinity_key = 42;
-  server.submit("lm", models::token_lm_input(f.lm, 2, nullptr), keyed).get();
+  std::future<QTensor> kf = server.submit("lm", models::token_lm_input(f.lm, 2, nullptr), keyed);
+  clock.advance(31ms);
+  kf.get();
   server.forget_affinity("lm", 42);
   EXPECT_THROW(server.forget_affinity("ghost", 42), std::invalid_argument);
 }
@@ -710,6 +730,95 @@ TEST(Sessions, DeadlineMissIsRetriedWithoutDroppingTokens) {
   EXPECT_EQ(s.sessions.deadline_misses, 5u);
   EXPECT_EQ(s.deadline_expired, 5u);
   EXPECT_EQ(srv.session_stats(id).deadline_misses, 5u);
+}
+
+TEST(Sessions, PerTokenDeadlineExpiresUnderSaturationWithoutDroppingTokens) {
+  // Session-level mirror of Server.DeadlineExpiryDoesNotWaitForSaturatedWorkers:
+  // a decode step's deadline expires while the lone worker is pinned by a
+  // saturating bulk batch — the miss is observable before that batch
+  // completes, and the generation still emits the full, bit-identical
+  // token stream once the worker frees up.
+  LmFixture& f = lm_fixture();
+  const std::vector<int> prompt = {1, 2};
+  const std::vector<int> ref = generate_tokens(f.session, f.lm, 1, prompt, 4);
+
+  ServerOptions so;
+  so.workers = 1;
+  InferenceServer server(so);
+  constexpr std::size_t kBulk = 4096;
+  ModelConfig bulk;
+  bulk.batching.max_batch = static_cast<int>(kBulk);
+  bulk.batching.max_delay = 10s;
+  bulk.queue.capacity = kBulk;
+  server.register_model("bulk", f.session.network(), bulk);
+  server.register_model("lm", f.session.network(), slow_config(5ms));
+
+  SessionManagerOptions mo;
+  mo.token_deadline = 300us;
+  SessionManager mgr(server, mo);
+  mgr.register_lm("lm", f.lm);
+
+  std::vector<std::future<QTensor>> bulk_futs;
+  bulk_futs.reserve(kBulk);
+  for (std::size_t i = 0; i < kBulk; ++i) {
+    bulk_futs.push_back(server.submit(
+        "bulk", models::token_lm_input(f.lm, static_cast<int>(i) % f.lm.vocab, nullptr)));
+  }
+  // Once the batch is handed to the worker, no worker is free until it
+  // completes.
+  while (server.model_stats("bulk").dispatched < kBulk) std::this_thread::yield();
+
+  const SessionId id = mgr.open_session("lm");
+  std::future<GenerationResult> gen = mgr.generate_async(id, prompt, 4);
+  // The first step's deadline must expire while the saturating batch is
+  // still in flight: the purge runs on the scheduler, not on a worker.
+  while (server.model_stats("lm").deadline_expired == 0) std::this_thread::yield();
+  EXPECT_EQ(server.model_stats("bulk").admission.completed, 0u)
+      << "step deadline expired only after the saturating batch completed";
+
+  const GenerationResult r = gen.get();
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.tokens, ref);  // misses cost latency, never tokens
+  EXPECT_GE(r.deadline_misses, 1u);
+
+  server.drain();
+  for (auto& fut : bulk_futs) fut.get();
+  EXPECT_EQ(server.model_stats("bulk").admission.completed, kBulk);
+}
+
+TEST(Sessions, ShedMidGenerationNeverLosesOrDuplicatesTokens) {
+  // A 1 us per-token deadline is unmeetable under execution-aware admission:
+  // the remaining-execution estimate exceeds the slack at every scheduler
+  // pass, so each step's first attempt is refused (kDeadlineExpired) before
+  // a worker is wasted on it. Every miss retries deadline-free, so the
+  // emitted stream must match the undeadlined reference token for token —
+  // no losses, no duplicates — while the ledger records one shed per miss.
+  LmFixture& f = lm_fixture();
+  const std::vector<int> prompt = {3, 1};
+  const std::vector<int> ref = generate_tokens(f.session, f.lm, 1, prompt, 6);
+
+  ServerOptions so;
+  so.workers = 1;
+  InferenceServer server(so);
+  server.register_model("lm", f.session.network());
+  SessionManagerOptions mo;
+  mo.token_deadline = 1us;
+  SessionManager mgr(server, mo);
+  mgr.register_lm("lm", f.lm);
+
+  const SessionId id = mgr.open_session("lm");
+  const GenerationResult r = mgr.generate(id, prompt, 6);
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.tokens, ref);
+  EXPECT_GE(r.deadline_misses, 1u);
+
+  const ModelStats ms = server.model_stats("lm");
+  EXPECT_EQ(ms.deadline_expired, r.deadline_misses);
+  EXPECT_EQ(ms.admission.shed, r.deadline_misses);
+  EXPECT_EQ(ms.admission.failed, 0u);
+  // Steps = misses (first attempts) + completions (retries): the ledger
+  // balances exactly.
+  EXPECT_EQ(ms.admission.accepted, ms.admission.completed + ms.admission.shed);
 }
 
 // --- affinity + stats rollup -------------------------------------------------
